@@ -1,0 +1,153 @@
+// Command ncdsm-bench regenerates the paper's evaluation: every table
+// and figure of Section V plus the ablations, printed as text tables
+// with the same rows/series the paper reports.
+//
+// Usage:
+//
+//	ncdsm-bench -list
+//	ncdsm-bench -fig 7                 # one figure at default scale
+//	ncdsm-bench -fig all -scale 0.05   # everything, scaled down
+//	ncdsm-bench -table 1
+//	ncdsm-bench -fig A                 # coherency ablation
+//
+// Scale 1.0 runs paper-sized workloads (10M-key b-trees, 500k searches)
+// and can take many minutes; the default 0.05 preserves every shape in
+// seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate: 6..11, eq, A..F, or 'all'")
+		table  = flag.String("table", "", "table to regenerate: 1")
+		scale  = flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized)")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		list   = flag.Bool("list", false, "list available experiments")
+		format = flag.String("format", "table", "output format: table, csv, md, chart")
+		sweep  = flag.String("sweep", "", "re-run the experiment per value: Key=v1,v2,... (see -list)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %s\n", e.ID)
+		}
+		fmt.Println("sweepable parameters (-sweep Key=v1,v2,...):")
+		for _, k := range experiments.SweepableParams() {
+			fmt.Printf("  %s\n", k)
+		}
+		return
+	}
+
+	ids, err := selectIDs(*fig, *table)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+		os.Exit(2)
+	}
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base := experiments.DefaultOptions()
+	base.Scale = *scale
+	base.Seed = *seed
+
+	var sweepKey string
+	var sweepValues []string
+	if *sweep != "" {
+		var err error
+		sweepKey, sweepValues, err = experiments.ParseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+			os.Exit(2)
+		}
+	} else {
+		sweepValues = []string{""} // one plain run
+	}
+
+	for _, sv := range sweepValues {
+		o := base
+		if sweepKey != "" {
+			if err := experiments.ApplyParam(&o.P, sweepKey, sv); err != nil {
+				fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("--- %s = %s ---\n", sweepKey, sv)
+		}
+		runAll(ids, o, *format)
+	}
+}
+
+// runAll generates and prints each selected experiment under o.
+func runAll(ids []string, o experiments.Options, format string) {
+	for _, id := range ids {
+		gen, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		figure, err := gen(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ncdsm-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch format {
+		case "csv":
+			out, err := figure.CSV()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ncdsm-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+			fmt.Println()
+		case "md":
+			fmt.Println(figure.Markdown())
+		case "chart":
+			fmt.Print(figure.Chart(64, 16))
+			fmt.Println()
+		case "table":
+			fmt.Print(figure.Render())
+			fmt.Printf("[generated in %.1fs at scale %g]\n\n", time.Since(start).Seconds(), o.Scale)
+		default:
+			fmt.Fprintf(os.Stderr, "ncdsm-bench: unknown format %q\n", format)
+			os.Exit(2)
+		}
+	}
+}
+
+// selectIDs maps the -fig/-table flags to experiment identifiers.
+func selectIDs(fig, table string) ([]string, error) {
+	var ids []string
+	switch {
+	case fig == "all":
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	case fig != "":
+		id := fig
+		if _, err := strconv.Atoi(id); err == nil {
+			// Bare figure numbers map to the paper's figure ids.
+			id = "fig" + id
+		}
+		ids = append(ids, id)
+	}
+	if table != "" {
+		if table != "1" && table != "table1" {
+			return nil, fmt.Errorf("unknown table %q (only table 1 exists)", table)
+		}
+		ids = append(ids, "table1")
+	}
+	return ids, nil
+}

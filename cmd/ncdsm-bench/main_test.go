@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestSelectIDs(t *testing.T) {
+	cases := []struct {
+		fig, table string
+		want       []string
+		wantErr    bool
+	}{
+		{"7", "", []string{"fig7"}, false},
+		{"fig9", "", []string{"fig9"}, false},
+		{"A", "", []string{"A"}, false},
+		{"eq", "", []string{"eq"}, false},
+		{"", "1", []string{"table1"}, false},
+		{"", "table1", []string{"table1"}, false},
+		{"6", "1", []string{"fig6", "table1"}, false},
+		{"", "2", nil, true},
+		{"", "", nil, false},
+	}
+	for _, c := range cases {
+		got, err := selectIDs(c.fig, c.table)
+		if (err != nil) != c.wantErr {
+			t.Errorf("selectIDs(%q, %q) err = %v", c.fig, c.table, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("selectIDs(%q, %q) = %v, want %v", c.fig, c.table, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("selectIDs(%q, %q) = %v, want %v", c.fig, c.table, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSelectAllCoversRegistry(t *testing.T) {
+	ids, err := selectIDs("all", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < 14 {
+		t.Errorf("'all' selected only %d experiments", len(ids))
+	}
+}

@@ -1,0 +1,285 @@
+// Command ncdsm-cluster inspects the modeled machine: it prints the
+// cluster memory map a node sees (the paper's Figure 3), walks through a
+// remote reservation step by step (Figure 4), and shows a region layout
+// after memory has moved between nodes (Figure 1).
+//
+// Usage:
+//
+//	ncdsm-cluster -memmap 1          # node 1's view of the address space
+//	ncdsm-cluster -reserve 1:3:4GB   # node 1 reserves 4 GB on node 3
+//	ncdsm-cluster -regions           # demo region layout across the cluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/params"
+	"repro/internal/workloads"
+
+	ncdsmfacade "repro"
+)
+
+func main() {
+	var (
+		memmap  = flag.Int("memmap", 0, "print the memory map seen by this node")
+		reserve = flag.String("reserve", "", "walk a reservation: requester:donor:size (e.g. 1:3:4GB)")
+		regions = flag.Bool("regions", false, "demo a Figure 1 region layout")
+		stats   = flag.Bool("stats", false, "run a sample workload and dump per-component utilization")
+	)
+	flag.Parse()
+
+	sys, err := ncdsmfacade.New(ncdsmfacade.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(ncdsmfacade.Describe(sys.Config()))
+	fmt.Println()
+
+	did := false
+	if *memmap > 0 {
+		did = true
+		if err := sys.MemoryMap(ncdsmfacade.NodeID(*memmap), os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *reserve != "" {
+		did = true
+		if err := walkReservation(sys, *reserve); err != nil {
+			fatal(err)
+		}
+	}
+	if *regions {
+		did = true
+		if err := demoRegions(sys); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		did = true
+		if err := dumpStats(sys); err != nil {
+			fatal(err)
+		}
+	}
+	if !did {
+		flag.Usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ncdsm-cluster:", err)
+	os.Exit(1)
+}
+
+// walkReservation narrates the Figure 4 protocol.
+func walkReservation(sys *ncdsmfacade.System, spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("reserve spec %q, want requester:donor:size", spec)
+	}
+	req, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return err
+	}
+	donor, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return err
+	}
+	size, err := parseSize(parts[2])
+	if err != nil {
+		return err
+	}
+
+	region, err := sys.Region(ncdsmfacade.NodeID(req))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1. node %d is running out of local memory and asks node %d for %s\n",
+		req, donor, parts[2])
+	core := sys.Core()
+	agent, err := core.Agent(ncdsmfacade.NodeID(req))
+	if err != nil {
+		return err
+	}
+	rng, err := agent.ReserveRemoteFrom(addr.NodeID(donor), size)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2. node %d reserves and pins local range [%v, %v) in its pooled zone\n",
+		donor, rng.Start.Local(), rng.Start.Local()+addr.Phys(rng.Size))
+	fmt.Printf("3. the acknowledgment carries the range prefixed with node %d's identifier: %v\n",
+		donor, rng)
+	r, err := core.Region(addr.NodeID(req))
+	if err != nil {
+		return err
+	}
+	base, err := r.MapBorrowed(rng)
+	if err != nil {
+		return err
+	}
+	pa, err := r.Translate(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("4. node %d writes the translation into its page table: virtual %#x -> physical %v\n",
+		req, uint64(base), pa)
+	fmt.Printf("5. loads and stores at %#x now reach node %d's memory in hardware (no software on the path)\n",
+		uint64(base), donor)
+	fmt.Printf("   node %d effective memory: %d GB\n", req, region.EffectiveMemory()>>30)
+	return nil
+}
+
+// demoRegions reproduces the Figure 1 layout: region 3 extended into its
+// neighbors, region 5 into node D.
+func demoRegions(sys *ncdsmfacade.System) error {
+	core := sys.Core()
+	grow := func(req, donor addr.NodeID, gb uint64) error {
+		a, err := core.Agent(req)
+		if err != nil {
+			return err
+		}
+		_, err = a.ReserveRemoteFrom(donor, gb<<30)
+		return err
+	}
+	// Region 3 (node 3) borrows from its neighbors 2 and 4; region 5
+	// (node 5) borrows from node 4.
+	for _, g := range []struct {
+		req, donor addr.NodeID
+		gb         uint64
+	}{{3, 2, 4}, {3, 4, 4}, {5, 4, 2}} {
+		if err := grow(g.req, g.donor, g.gb); err != nil {
+			return err
+		}
+	}
+	fmt.Println("region layout (paper Figure 1):")
+	for n := addr.NodeID(1); int(n) <= sys.Nodes(); n++ {
+		a, err := core.Agent(n)
+		if err != nil {
+			return err
+		}
+		if a.BorrowedBytes() == 0 && a.GrantedBytes() == 0 {
+			continue
+		}
+		fmt.Printf("  region %2d: private %2d GB", n, sys.Config().PrivateMemPerNode>>30)
+		if b := a.BorrowedBytes(); b > 0 {
+			fmt.Printf(" + %d GB borrowed from", b>>30)
+			for _, r := range a.Borrowed() {
+				fmt.Printf(" node %d (%d GB)", r.Node(), r.Size>>30)
+			}
+		}
+		if g := a.GrantedBytes(); g > 0 {
+			fmt.Printf(" — lends out %d GB", g>>30)
+		}
+		fmt.Printf("; effective %d GB\n", a.EffectiveMemory()>>30)
+	}
+	fmt.Printf("cluster pool free: %d GB of %d GB\n",
+		sys.PoolFree()>>30, params.Default().PoolSize()>>30)
+	return nil
+}
+
+// parseSize parses human sizes like 512MB, 4GB, 8192 (bytes).
+func parseSize(s string) (uint64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(u), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}
+
+// dumpStats drives a representative load (4 threads on node 6 against
+// servers at 1 hop, one background client) and prints where the time
+// went: RMC utilizations, retry counts, link loads, cache and memory
+// counters — the observability view an operator of the real prototype
+// would want.
+func dumpStats(sys *ncdsmfacade.System) error {
+	core := sys.Core()
+	cl := core.Cluster()
+	p := sys.Config()
+
+	launch := func(client addr.NodeID, threads, accesses int, seed int64) error {
+		region, err := core.Region(client)
+		if err != nil {
+			return err
+		}
+		rng, err := region.GrowFrom(7, 64<<20) // node 7 serves everyone
+		if err != nil {
+			return err
+		}
+		node, err := cl.Node(client)
+		if err != nil {
+			return err
+		}
+		for t := 0; t < threads; t++ {
+			stream, err := workloads.RandomStream(seed+int64(t), []addr.Range{rng}, accesses, 0.1)
+			if err != nil {
+				return err
+			}
+			th, err := cpu.NewThread(cpu.ThreadConfig{
+				Name: fmt.Sprintf("n%d/t%d", client, t), Engine: core.Engine(), Memory: node,
+				Stream: stream, Core: t, WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
+			})
+			if err != nil {
+				return err
+			}
+			th.Start(0)
+		}
+		return nil
+	}
+	if err := launch(6, 4, 20000, 1); err != nil {
+		return err
+	}
+	if err := launch(8, 2, 10000, 100); err != nil {
+		return err
+	}
+	end := core.Engine().Run()
+
+	fmt.Printf("sample workload: 4 threads on node 6 + 2 on node 8, all against node 7; %.2f ms simulated\n\n",
+		float64(end)/float64(params.Millisecond))
+	fmt.Printf("%-28s %10s\n", "component", "value")
+	for _, id := range []addr.NodeID{6, 7, 8} {
+		n, err := cl.Node(id)
+		if err != nil {
+			return err
+		}
+		r := n.RMC()
+		fmt.Printf("node %-2d RMC client util      %9.1f%%   (forwarded %d, NACK retries %d)\n",
+			id, 100*r.ClientUtilization(end), r.Forwarded, r.Retries)
+		fmt.Printf("node %-2d RMC server util      %9.1f%%   (served %d, aborted %d)\n",
+			id, 100*r.ServerUtilization(end), r.ServedHere, r.Aborted)
+		reads, writes := n.Bank().Stats()
+		fmt.Printf("node %-2d caches               %9.1f%%   hit rate; DRAM %d reads / %d writes\n",
+			id, 100*n.Caches().HitRate(), reads, writes)
+	}
+	meshFab, err := cl.MeshFabric()
+	if err != nil {
+		return err
+	}
+	topo := cl.Topology()
+	fmt.Println()
+	for _, pair := range [][2]addr.NodeID{{6, 7}, {7, 6}, {8, 7}, {7, 8}} {
+		if topo.Hops(pair[0], pair[1]) != 1 {
+			continue
+		}
+		u, err := meshFab.LinkUtilization(pair[0], pair[1], end)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mesh link %d->%d               %9.1f%%\n", pair[0], pair[1], 100*u)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]uint64{
+		"4GB":   4 << 30,
+		"512MB": 512 << 20,
+		"64KB":  64 << 10,
+		"8192":  8192,
+		" 2gb ": 2 << 30,
+		"1 MB":  1 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "GB", "-4GB", "4TBx"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Memory-hungry application: a canneal-style workload whose dataset
+// dwarfs one node's memory — the class of application the paper is
+// built for. The same kernel runs under the three memory configurations
+// of Figure 11: an (idealized) machine with everything local, the
+// prototype's remote memory, and remote swap. The scattered access
+// pattern gives swap essentially no locality to amortize faults with,
+// while the RMC pays a flat ~1 µs per miss and stays feasible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/memmodel"
+	"repro/internal/params"
+	"repro/internal/workloads"
+)
+
+func main() {
+	p := params.Default()
+
+	fmt.Println("canneal-style memory-hungry kernel (simulated annealing of a netlist)")
+	k := workloads.Canneal(p)
+	fmt.Printf("  footprint:   %d MB (local memory available to the swapped dataset: %d MB)\n",
+		k.Footprint>>20, workloads.ScaleRef(p)>>20)
+	fmt.Printf("  accesses:    %d scattered reads/writes\n\n", k.Accesses)
+
+	type row struct {
+		cfg  memmodel.Config
+		res  workloads.Result
+		hitR float64
+	}
+	var rows []row
+	for _, cfg := range []memmodel.Config{
+		memmodel.ConfigLocal, memmodel.ConfigRemote, memmodel.ConfigRemoteSwap, memmodel.ConfigDiskSwap,
+	} {
+		base, err := memmodel.Build(cfg, p, 1, p.SwapResidentPages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cached, err := memmodel.NewLineCached(base, p, memmodel.DefaultCacheLines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{cfg, k.Run(cached, 1), cached.HitRate()})
+	}
+
+	fmt.Printf("%-16s %14s %14s %12s\n", "configuration", "memory (ms)", "total (ms)", "cache hits")
+	base := rows[0].res.Total()
+	for _, r := range rows {
+		fmt.Printf("%-16s %14.1f %14.1f %11.0f%%   (%.0fx local)\n",
+			r.cfg.String(),
+			float64(r.res.MemTime)/float64(params.Millisecond),
+			float64(r.res.Total())/float64(params.Millisecond),
+			r.hitR*100,
+			float64(r.res.Total())/float64(base))
+	}
+
+	fmt.Println("\nthe prototype runs the dataset it cannot hold locally at a single-digit")
+	fmt.Println("multiple of the all-local ideal; both swap variants are off the chart,")
+	fmt.Println("because Equation (1)'s locality term has collapsed to ~1 access per page.")
+}

@@ -1,0 +1,94 @@
+// Package anmodel implements the paper's closed-form memory-time models:
+//
+// Equation (1), remote swap:
+//
+//	T_remote_swap = A_total·L_local + (A_total/A_page)·L_swap
+//
+// where A_total is the total access count, A_page the number of accesses
+// a page receives during its residency (the locality of the workload),
+// L_local the local DRAM latency, and L_swap the cost of retrieving one
+// page.
+//
+// Equation (2), the prototype's remote memory:
+//
+//	T_remote_memory = A_total·L_remote
+//
+// insensitive to locality by construction. The experiments package
+// cross-checks these against the mechanistic models in memmodel: the two
+// must agree exactly when the workload's locality matches A_page.
+package anmodel
+
+import (
+	"fmt"
+
+	"repro/internal/params"
+)
+
+// Inputs carries the paper's model variables.
+type Inputs struct {
+	// ATotal is the total number of memory accesses.
+	ATotal uint64
+	// APage is the mean number of accesses a page receives while
+	// resident (Equation 1's locality term). Must be >= 1: a touched
+	// page was accessed at least once.
+	APage float64
+	// LLocal, LSwap, LRemote are the latency terms.
+	LLocal, LSwap, LRemote params.Duration
+}
+
+// FromParams fills the latency terms from a calibration at the given hop
+// distance, leaving the workload terms to the caller.
+func FromParams(p params.Params, hops int) Inputs {
+	return Inputs{
+		LLocal:  p.DRAMLatency,
+		LSwap:   p.SwapTrapOverhead + p.SwapPageTransfer + 2*params.Duration(hops)*p.HopLatency,
+		LRemote: p.RemoteRoundTrip(hops),
+	}
+}
+
+// Validate reports the first inconsistency.
+func (in Inputs) Validate() error {
+	switch {
+	case in.APage < 1:
+		return fmt.Errorf("anmodel: APage %v < 1", in.APage)
+	case in.LLocal <= 0 || in.LSwap <= 0 || in.LRemote <= 0:
+		return fmt.Errorf("anmodel: non-positive latency terms")
+	}
+	return nil
+}
+
+// RemoteSwapTime evaluates Equation (1).
+func (in Inputs) RemoteSwapTime() (params.Duration, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	faults := float64(in.ATotal) / in.APage
+	return params.Duration(float64(in.ATotal)*float64(in.LLocal) + faults*float64(in.LSwap)), nil
+}
+
+// RemoteMemoryTime evaluates Equation (2).
+func (in Inputs) RemoteMemoryTime() (params.Duration, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	return params.Duration(in.ATotal) * in.LRemote, nil
+}
+
+// CrossoverAPage returns the locality (accesses per resident page) at
+// which the two systems break even: below it, remote memory wins; above
+// it, remote swap amortizes its page faults. Solving Eq(1) = Eq(2):
+//
+//	A_page* = L_swap / (L_remote − L_local)
+//
+// It errors when remote memory is not slower than local (then remote
+// memory wins at any locality).
+func (in Inputs) CrossoverAPage() (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	gap := in.LRemote - in.LLocal
+	if gap <= 0 {
+		return 0, fmt.Errorf("anmodel: remote latency %d not above local %d; remote memory always wins", in.LRemote, in.LLocal)
+	}
+	return float64(in.LSwap) / float64(gap), nil
+}

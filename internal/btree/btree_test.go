@@ -1,0 +1,443 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memmodel"
+	"repro/internal/params"
+)
+
+// countingMem charges 1 per access and records addresses.
+type countingMem struct {
+	n     uint64
+	addrs []uint64
+}
+
+func (c *countingMem) Access(a uint64, write bool) params.Duration {
+	c.n++
+	c.addrs = append(c.addrs, a)
+	return 1
+}
+func (c *countingMem) Name() string { return "counting" }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("fanout 2 accepted")
+	}
+	if _, err := New(3); err != nil {
+		t.Errorf("fanout 3 rejected: %v", err)
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr, _ := New(4)
+	keys := []uint64{50, 10, 90, 30, 70, 20, 80, 60, 40, 100, 5, 95}
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size != len(keys) {
+		t.Errorf("Size = %d", tr.Size)
+	}
+	mem := &countingMem{}
+	for _, k := range keys {
+		found, _, accs := tr.Search(k, mem)
+		if !found {
+			t.Errorf("key %d missing", k)
+		}
+		if accs == 0 {
+			t.Error("search charged no accesses")
+		}
+	}
+	for _, k := range []uint64{0, 11, 55, 101} {
+		if found, _, _ := tr.Search(k, mem); found {
+			t.Errorf("phantom key %d found", k)
+		}
+	}
+	// Duplicate insert is a no-op.
+	tr.Insert(50)
+	if tr.Size != len(keys) {
+		t.Error("duplicate insert changed size")
+	}
+}
+
+func TestInsertMatchesReferenceProperty(t *testing.T) {
+	f := func(raw []uint16, fanoutSel uint8) bool {
+		fanout := 3 + int(fanoutSel%14)
+		tr, err := New(fanout)
+		if err != nil {
+			return false
+		}
+		ref := map[uint64]bool{}
+		for _, r := range raw {
+			k := uint64(r)
+			tr.Insert(k)
+			ref[k] = true
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		if tr.Size != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if !tr.Contains(k) {
+				return false
+			}
+		}
+		// Walk yields sorted order.
+		var last *uint64
+		ok := true
+		tr.Walk(func(k uint64) {
+			if last != nil && *last >= k {
+				ok = false
+			}
+			kk := k
+			last = &kk
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkLoadShape(t *testing.T) {
+	// 10 keys, fanout 3: minimal depth d with 3^d-1 >= 10 is 3.
+	tr, _ := New(3)
+	keys := make([]uint64, 10)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 7
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", tr.Depth())
+	}
+	for _, k := range keys {
+		if !tr.Contains(k) {
+			t.Errorf("bulk-loaded key %d missing", k)
+		}
+	}
+}
+
+func TestBulkLoadMinimalDepthProperty(t *testing.T) {
+	f := func(nSel uint16, fanoutSel uint8) bool {
+		fanout := 3 + int(fanoutSel%30)
+		n := int(nSel%2000) + 1
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(i) * 3
+		}
+		tr, err := New(fanout)
+		if err != nil {
+			return false
+		}
+		if tr.BulkLoad(keys) != nil {
+			return false
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		d := tr.Depth()
+		// Minimal: capacity at d covers n, capacity at d-1 does not.
+		if capacityAtDepth(fanout, d) < uint64(n) {
+			return false
+		}
+		if d > 1 && capacityAtDepth(fanout, d-1) >= uint64(n) {
+			return false
+		}
+		// Spot-check membership.
+		for i := 0; i < n; i += 97 {
+			if !tr.Contains(keys[i]) {
+				return false
+			}
+		}
+		return !tr.Contains(1) // odd keys absent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkLoadErrors(t *testing.T) {
+	tr, _ := New(4)
+	if err := tr.BulkLoad([]uint64{1, 2, 2}); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+	tr2, _ := New(4)
+	if err := tr2.BulkLoad(nil); err != nil {
+		t.Errorf("empty bulk load rejected: %v", err)
+	}
+	tr2.Insert(5)
+	if err := tr2.BulkLoad([]uint64{1}); err == nil {
+		t.Error("bulk load into non-empty tree accepted")
+	}
+}
+
+func TestUnsortedBulkLoad(t *testing.T) {
+	tr, _ := New(8)
+	keys := []uint64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	if err := tr.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	tr.Walk(func(k uint64) { got = append(got, k) })
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("walk not sorted: %v", got)
+		}
+	}
+}
+
+func TestSearchCostLogarithmic(t *testing.T) {
+	tr, _ := New(168)
+	keys := make([]uint64, 100000)
+	for i := range keys {
+		keys[i] = uint64(i) * 2
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	mem := &countingMem{}
+	rng := rand.New(rand.NewSource(7))
+	var total uint64
+	const searches = 1000
+	for i := 0; i < searches; i++ {
+		_, _, accs := tr.Search(uint64(rng.Intn(200000)), mem)
+		total += accs
+	}
+	perSearch := float64(total) / searches
+	// depth ~ 3 levels × (log2(167) ≈ 7.4 probes + header + child) ≈ 30.
+	if perSearch < 5 || perSearch > 60 {
+		t.Errorf("accesses per search = %v, outside the logarithmic band", perSearch)
+	}
+}
+
+func TestNodePageDiscipline(t *testing.T) {
+	// One-page nodes must never straddle a page.
+	tr, _ := New(168)
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	size := NodeBytes(168)
+	if size > params.PageSize {
+		t.Fatalf("fanout-168 node is %d bytes; the test premise is wrong", size)
+	}
+	var walkNodes func(n *node) error
+	walkNodes = func(n *node) error {
+		if n == nil {
+			return nil
+		}
+		if n.base/params.PageSize != (n.base+size-1)/params.PageSize {
+			t.Fatalf("node at %#x straddles a page", n.base)
+		}
+		for _, c := range n.children {
+			if err := walkNodes(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walkNodes(tr.root); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPageNodesPageAligned(t *testing.T) {
+	tr, _ := New(512) // node = 16 + 511*24 = 12280 bytes: 3 pages
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	var check func(n *node)
+	check = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.base%params.PageSize != 0 {
+			t.Fatalf("multi-page node at %#x not page-aligned", n.base)
+		}
+		for _, c := range n.children {
+			check(c)
+		}
+	}
+	check(tr.root)
+}
+
+func TestSearchUnderSwapLocality(t *testing.T) {
+	// A fanout-168 node fills one page: a search touching d nodes under
+	// cold swap should fault about d pages; re-searching the same key is
+	// all hits.
+	p := params.Default()
+	tr, _ := New(168)
+	keys := make([]uint64, 200000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := memmodel.NewSwap(p, fakeDev{}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _ = tr.Search(12345, sw)
+	coldMisses := sw.Cache().Misses
+	if coldMisses == 0 || int(coldMisses) > tr.Depth() {
+		t.Errorf("cold search faulted %d pages over depth %d", coldMisses, tr.Depth())
+	}
+	_, _, _ = tr.Search(12345, sw)
+	if sw.Cache().Misses != coldMisses {
+		t.Error("warm re-search faulted again")
+	}
+}
+
+type fakeDev struct{}
+
+func (fakeDev) FaultCost() params.Duration     { return 1000 }
+func (fakeDev) WritebackCost() params.Duration { return 1000 }
+func (fakeDev) Name() string                   { return "fake" }
+
+func TestFootprintGrows(t *testing.T) {
+	tr, _ := New(32)
+	if tr.FootprintBytes() != 0 {
+		t.Error("empty tree has a footprint")
+	}
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(tr.Nodes) * NodeBytes(32)
+	if tr.FootprintBytes() < want {
+		t.Errorf("footprint %d below %d nodes worth", tr.FootprintBytes(), tr.Nodes)
+	}
+}
+
+func TestEmptyTreeSearch(t *testing.T) {
+	tr, _ := New(8)
+	mem := &countingMem{}
+	if found, cost, accs := tr.Search(1, mem); found || cost != 0 || accs != 0 {
+		t.Error("empty tree search misbehaved")
+	}
+	if tr.Depth() != 0 {
+		t.Error("empty tree has depth")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeScanSmall(t *testing.T) {
+	tr, _ := New(4)
+	for k := uint64(10); k <= 100; k += 10 {
+		tr.Insert(k)
+	}
+	mem := &countingMem{}
+	var got []uint64
+	cost, accs := tr.RangeScan(25, 75, mem, func(k uint64) { got = append(got, k) })
+	want := []uint64{30, 40, 50, 60, 70}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan returned %v, want %v", got, want)
+		}
+	}
+	if cost == 0 || accs == 0 {
+		t.Error("scan charged nothing")
+	}
+	// Inclusive bounds.
+	got = nil
+	tr.RangeScan(30, 70, mem, func(k uint64) { got = append(got, k) })
+	if len(got) != 5 || got[0] != 30 || got[4] != 70 {
+		t.Errorf("inclusive scan = %v", got)
+	}
+	// Empty and inverted ranges.
+	got = nil
+	tr.RangeScan(101, 999, mem, func(k uint64) { got = append(got, k) })
+	if len(got) != 0 {
+		t.Errorf("out-of-range scan = %v", got)
+	}
+	if c, a := tr.RangeScan(50, 20, mem, func(uint64) { t.Fatal("visited") }); c != 0 || a != 0 {
+		t.Error("inverted range did work")
+	}
+}
+
+func TestRangeScanMatchesWalkProperty(t *testing.T) {
+	f := func(raw []uint16, loSel, hiSel uint16, fanoutSel uint8) bool {
+		fanout := 3 + int(fanoutSel%20)
+		tr, err := New(fanout)
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			tr.Insert(uint64(r))
+		}
+		lo, hi := uint64(loSel), uint64(hiSel)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want []uint64
+		tr.Walk(func(k uint64) {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		})
+		var got []uint64
+		mem := &countingMem{}
+		tr.RangeScan(lo, hi, mem, func(k uint64) { got = append(got, k) })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeScanCostProportionalToRange(t *testing.T) {
+	tr, _ := New(168)
+	keys := make([]uint64, 100000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	mem := &countingMem{}
+	_, small := tr.RangeScan(1000, 1100, mem, func(uint64) {})
+	_, large := tr.RangeScan(1000, 51000, mem, func(uint64) {})
+	if large < 100*small/2 {
+		t.Errorf("scan cost not proportional: %d accesses for 100 keys, %d for 50000", small, large)
+	}
+	// A scan never visits dramatically more than keys + path nodes.
+	if large > 80000 {
+		t.Errorf("scan of 50000 keys cost %d accesses", large)
+	}
+}

@@ -1,0 +1,371 @@
+// Package cache models one node's coherent cache domain: a set-
+// associative write-back cache per socket with MESI coherence between
+// them. This is the *intra-node* protocol the paper keeps; the system's
+// whole point is that it never extends beyond the motherboard, however
+// much remote memory a region aggregates.
+//
+// The prototype configures remote (RMC-mapped) ranges write-back
+// cacheable, which is why remote lines flow through the same hierarchy —
+// and why, with no inter-node coherency, writable remote data restricts
+// the application to one core unless a phase is read-only (after a
+// flush). FlushAll models exactly that phase transition.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// State is a MESI line state.
+type State uint8
+
+// MESI states.
+const (
+	// Invalid marks an absent or invalidated line.
+	Invalid State = iota
+	// Shared lines may be cached read-only by several sockets.
+	Shared
+	// Exclusive lines are cached by one socket, clean.
+	Exclusive
+	// Modified lines are cached by one socket, dirty.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Config sizes one socket's cache.
+type Config struct {
+	// Sets and Ways give the geometry; capacity = Sets*Ways*LineSize.
+	Sets, Ways int
+	// LineSize is the coherence granule in bytes (a power of two).
+	LineSize uint64
+}
+
+// DefaultConfig returns a 512 KiB 8-way cache with 64 B lines per socket,
+// an Opteron-era L2 stand-in.
+func DefaultConfig() Config { return Config{Sets: 1024, Ways: 8, LineSize: 64} }
+
+// Validate reports the first inconsistency in the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Sets < 1 || c.Ways < 1:
+		return fmt.Errorf("cache: geometry %dx%d invalid", c.Sets, c.Ways)
+	case c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	}
+	return nil
+}
+
+// line is one cache line's tag state.
+type line struct {
+	tag   addr.Phys // line-aligned address (tags keep the node prefix)
+	state State
+	lru   uint64
+}
+
+// socketCache is one socket's set-associative array.
+type socketCache struct {
+	cfg   Config
+	sets  [][]line
+	clock uint64
+}
+
+func newSocketCache(cfg Config) *socketCache {
+	sets := make([][]line, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &socketCache{cfg: cfg, sets: sets}
+}
+
+func (c *socketCache) setOf(tag addr.Phys) []line {
+	idx := (uint64(tag) / c.cfg.LineSize) % uint64(c.cfg.Sets)
+	return c.sets[idx]
+}
+
+// find returns the way holding tag, or -1.
+func (c *socketCache) find(tag addr.Phys) int {
+	set := c.setOf(tag)
+	for w := range set {
+		if set[w].state != Invalid && set[w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim returns the way to fill: an invalid way if any, else LRU.
+func (c *socketCache) victim(tag addr.Phys) int {
+	set := c.setOf(tag)
+	best, bestLRU := -1, ^uint64(0)
+	for w := range set {
+		if set[w].state == Invalid {
+			return w
+		}
+		if set[w].lru < bestLRU {
+			best, bestLRU = w, set[w].lru
+		}
+	}
+	return best
+}
+
+func (c *socketCache) touch(tag addr.Phys, w int) {
+	c.clock++
+	c.setOf(tag)[w].lru = c.clock
+}
+
+// Result describes what one access did, for the timing layer to price.
+type Result struct {
+	// Hit reports whether the line was already present in the issuing
+	// socket's cache in a sufficient state.
+	Hit bool
+	// Probes counts coherence probes sent to other sockets' caches
+	// (invalidations or downgrade snoops).
+	Probes int
+	// Writebacks counts dirty lines pushed back to memory (evictions and
+	// M-line downgrades).
+	Writebacks int
+	// State is the line's state in the issuing cache afterwards.
+	State State
+	// Victim is the line evicted from the issuing cache to make room, if
+	// VictimDirty or Victim != 0; a dirty victim must be written back to
+	// its owning memory (local controller or, for remote lines, the RMC).
+	Victim      addr.Phys
+	VictimDirty bool
+}
+
+// Hierarchy is the coherent domain of one node: one cache per socket,
+// MESI between them. It is deliberately *not* aware of other nodes.
+type Hierarchy struct {
+	cfg     Config
+	sockets []*socketCache
+
+	// Accesses, Hits, Misses, Probes, Writebacks, and Installs are
+	// running totals (Installs are prefetch fills).
+	Accesses, Hits, Misses, Probes, Writebacks, Installs uint64
+}
+
+// NewHierarchy builds a node's cache domain with one cache per socket.
+func NewHierarchy(sockets int, cfg Config) (*Hierarchy, error) {
+	if sockets < 1 {
+		return nil, fmt.Errorf("cache: %d sockets", sockets)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg}
+	for i := 0; i < sockets; i++ {
+		h.sockets = append(h.sockets, newSocketCache(cfg))
+	}
+	return h, nil
+}
+
+// Sockets returns the number of caches in the domain.
+func (h *Hierarchy) Sockets() int { return len(h.sockets) }
+
+// LineSize returns the coherence granule.
+func (h *Hierarchy) LineSize() uint64 { return h.cfg.LineSize }
+
+// Access performs one load (write=false) or store (write=true) by the
+// given socket to the line containing a, running the MESI protocol
+// against the sibling sockets. It returns what happened so the timing
+// layer can charge probe and writeback costs.
+func (h *Hierarchy) Access(socket int, a addr.Phys, write bool) (Result, error) {
+	if socket < 0 || socket >= len(h.sockets) {
+		return Result{}, fmt.Errorf("cache: socket %d outside domain of %d", socket, len(h.sockets))
+	}
+	h.Accesses++
+	tag := a.Line(h.cfg.LineSize)
+	own := h.sockets[socket]
+	var res Result
+
+	if w := own.find(tag); w >= 0 {
+		set := own.setOf(tag)
+		st := set[w].state
+		if !write || st == Modified {
+			// Plain hit.
+			res.Hit = true
+			res.State = st
+			own.touch(tag, w)
+			h.Hits++
+			return res, nil
+		}
+		if st == Exclusive {
+			// Silent E->M upgrade.
+			set[w].state = Modified
+			own.touch(tag, w)
+			res.Hit = true
+			res.State = Modified
+			h.Hits++
+			return res, nil
+		}
+		// S->M upgrade: invalidate the other sharers.
+		res.Probes = h.invalidateOthers(socket, tag)
+		set[w].state = Modified
+		own.touch(tag, w)
+		res.Hit = true
+		res.State = Modified
+		h.Hits++
+		h.Probes += uint64(res.Probes)
+		return res, nil
+	}
+
+	// Miss: consult the siblings.
+	h.Misses++
+	sharers := 0
+	for s, c := range h.sockets {
+		if s == socket {
+			continue
+		}
+		if w := c.find(tag); w >= 0 {
+			set := c.setOf(tag)
+			res.Probes++
+			if write {
+				if set[w].state == Modified {
+					res.Writebacks++ // dirty data forwarded/written back
+				}
+				set[w].state = Invalid
+			} else {
+				if set[w].state == Modified {
+					res.Writebacks++
+				}
+				set[w].state = Shared
+				sharers++
+			}
+		}
+	}
+
+	// Fill into our cache, possibly evicting.
+	w := own.victim(tag)
+	set := own.setOf(tag)
+	if set[w].state != Invalid {
+		res.Victim = set[w].tag
+		if set[w].state == Modified {
+			res.Writebacks++
+			res.VictimDirty = true
+		}
+	}
+	newState := Exclusive
+	if write {
+		newState = Modified
+	} else if sharers > 0 {
+		newState = Shared
+	}
+	set[w] = line{tag: tag, state: newState}
+	own.touch(tag, w)
+	res.State = newState
+	h.Probes += uint64(res.Probes)
+	h.Writebacks += uint64(res.Writebacks)
+	return res, nil
+}
+
+func (h *Hierarchy) invalidateOthers(socket int, tag addr.Phys) int {
+	probes := 0
+	for s, c := range h.sockets {
+		if s == socket {
+			continue
+		}
+		if w := c.find(tag); w >= 0 {
+			c.setOf(tag)[w].state = Invalid
+			probes++
+		}
+	}
+	return probes
+}
+
+// Install places a line into a socket's cache in Exclusive state — a
+// prefetch fill. If any socket already holds the line the install is a
+// no-op (prefetching must never disturb the coherence protocol). The
+// result carries victim information so a displaced dirty line can be
+// written back. Installs do not count as accesses or hits.
+func (h *Hierarchy) Install(socket int, a addr.Phys) (Result, error) {
+	if socket < 0 || socket >= len(h.sockets) {
+		return Result{}, fmt.Errorf("cache: socket %d outside domain of %d", socket, len(h.sockets))
+	}
+	tag := a.Line(h.cfg.LineSize)
+	for _, c := range h.sockets {
+		if c.find(tag) >= 0 {
+			return Result{Hit: true, State: Shared}, nil
+		}
+	}
+	own := h.sockets[socket]
+	w := own.victim(tag)
+	set := own.setOf(tag)
+	var res Result
+	if set[w].state != Invalid {
+		res.Victim = set[w].tag
+		if set[w].state == Modified {
+			res.Writebacks++
+			res.VictimDirty = true
+			h.Writebacks++
+		}
+	}
+	set[w] = line{tag: tag, state: Exclusive}
+	own.touch(tag, w)
+	res.State = Exclusive
+	h.Installs++
+	return res, nil
+}
+
+// Present reports whether any socket currently caches the line.
+func (h *Hierarchy) Present(a addr.Phys) bool {
+	tag := a.Line(h.cfg.LineSize)
+	for _, c := range h.sockets {
+		if c.find(tag) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// StateIn returns the line state in one socket's cache, for tests and
+// introspection.
+func (h *Hierarchy) StateIn(socket int, a addr.Phys) State {
+	tag := a.Line(h.cfg.LineSize)
+	if w := h.sockets[socket].find(tag); w >= 0 {
+		return h.sockets[socket].setOf(tag)[w].state
+	}
+	return Invalid
+}
+
+// FlushAll writes back and invalidates every line in the domain,
+// returning the number of dirty lines written back. The prototype does
+// this between a write phase and a read-only parallel phase, after which
+// several threads may cache remote data safely.
+func (h *Hierarchy) FlushAll() int {
+	dirty := 0
+	for _, c := range h.sockets {
+		for _, set := range c.sets {
+			for w := range set {
+				if set[w].state == Modified {
+					dirty++
+				}
+				set[w].state = Invalid
+			}
+		}
+	}
+	h.Writebacks += uint64(dirty)
+	return dirty
+}
+
+// HitRate returns the fraction of accesses that hit.
+func (h *Hierarchy) HitRate() float64 {
+	if h.Accesses == 0 {
+		return 0
+	}
+	return float64(h.Hits) / float64(h.Accesses)
+}

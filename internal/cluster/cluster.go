@@ -1,0 +1,417 @@
+// Package cluster assembles the hardware of the prototype: N nodes on a
+// 2D mesh, each with a cache hierarchy, socket-interleaved memory
+// controllers, a sparse functional store, and an RMC bridging the node
+// onto the HNC-HT fabric. A Node implements cpu.MemorySystem, so threads
+// issue plain loads and stores and the BAR comparison decides whether
+// they go to a local controller or out through the RMC — exactly the
+// forwarding path of paper Section III-B.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/ht"
+	"repro/internal/htoe"
+	"repro/internal/mem"
+	"repro/internal/mesh"
+	"repro/internal/params"
+	"repro/internal/prefetch"
+	"repro/internal/rmc"
+	"repro/internal/sim"
+)
+
+// Cluster is the assembled machine.
+type Cluster struct {
+	p       params.Params
+	eng     *sim.Engine
+	topo    mesh.Topology
+	fabric  rmc.Fabric
+	meshFab *mesh.Fabric // non-nil only for the mesh interconnect
+	nodes   []*Node
+}
+
+// New builds a cluster from the parameter set.
+func New(eng *sim.Engine, p params.Params) (*Cluster, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := mesh.NewTopology(p.MeshWidth, p.MeshHeight)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{p: p, eng: eng, topo: topo}
+	switch p.Fabric {
+	case params.FabricHToE:
+		f, err := htoe.New(eng, topo.Nodes(), htoe.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		c.fabric = f
+	default:
+		c.meshFab = mesh.NewFabric(eng, topo, p)
+		c.fabric = c.meshFab
+	}
+	for id := addr.NodeID(1); int(id) <= topo.Nodes(); id++ {
+		n, err := newNode(c, id)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building node %d: %w", id, err)
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Params returns the cluster's calibration.
+func (c *Cluster) Params() params.Params { return c.p }
+
+// Engine returns the simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Topology returns the mesh geometry.
+func (c *Cluster) Topology() mesh.Topology { return c.topo }
+
+// Fabric returns the timed interconnect.
+func (c *Cluster) Fabric() rmc.Fabric { return c.fabric }
+
+// MeshFabric returns the concrete mesh fabric (for express-link setup);
+// it errors when the cluster runs a different interconnect.
+func (c *Cluster) MeshFabric() (*mesh.Fabric, error) {
+	if c.meshFab == nil {
+		return nil, fmt.Errorf("cluster: the %v interconnect has no mesh fabric", c.p.Fabric)
+	}
+	return c.meshFab, nil
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns the node with the given identifier.
+func (c *Cluster) Node(id addr.NodeID) (*Node, error) {
+	if id == 0 || int(id) > len(c.nodes) {
+		return nil, fmt.Errorf("cluster: no node %d", id)
+	}
+	return c.nodes[id-1], nil
+}
+
+// MustNode is Node for static identifiers in experiments.
+func (c *Cluster) MustNode(id addr.NodeID) *Node {
+	n, err := c.Node(id)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// RMC implements rmc.Peers.
+func (c *Cluster) RMC(id addr.NodeID) (*rmc.RMC, error) {
+	n, err := c.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	return n.rmc, nil
+}
+
+// Store returns the functional memory of a node, for OS-level machinery
+// (reservation, swap transfer) that moves data outside the timed path.
+func (c *Cluster) Store(id addr.NodeID) (*mem.Store, error) {
+	n, err := c.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	return n.store, nil
+}
+
+// Node is one motherboard: a coherency domain plus its RMC.
+type Node struct {
+	id      addr.NodeID
+	cluster *Cluster
+	p       params.Params
+	eng     *sim.Engine
+
+	memmap *addr.MemMap
+	bars   *ht.RoutingTable
+	rmcU   ht.UnitID
+	caches *cache.Hierarchy
+	bank   *dram.Bank
+	store  *mem.Store
+	rmc    *rmc.RMC
+	pf     *prefetch.Detector
+
+	tagseq uint16
+
+	// LocalOps and RemoteOps count issued line operations by
+	// destination; Prefetches counts prefetch fills requested.
+	LocalOps, RemoteOps, Prefetches uint64
+}
+
+func newNode(c *Cluster, id addr.NodeID) (*Node, error) {
+	p := c.p
+	mm, err := addr.NewMemMap(id, c.topo.Nodes(), p.MemPerNode)
+	if err != nil {
+		return nil, err
+	}
+	rmcUnit := ht.UnitID(p.SocketsPerNode) // first unit after the MCs
+	bars, err := ht.BuildNodeTable(p.SocketsPerNode, p.MemPerNode, c.topo.Nodes(), rmcUnit)
+	if err != nil {
+		return nil, err
+	}
+	caches, err := cache.NewHierarchy(p.SocketsPerNode, cache.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	store, err := mem.NewStore(p.MemPerNode)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := prefetch.New(p.PrefetchDepth, cache.DefaultConfig().LineSize)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		id:      id,
+		cluster: c,
+		p:       p,
+		eng:     c.eng,
+		memmap:  mm,
+		bars:    bars,
+		rmcU:    rmcUnit,
+		caches:  caches,
+		bank:    dram.NewBank(c.eng, id, p),
+		store:   store,
+		pf:      pf,
+	}
+	n.rmc, err = rmc.New(rmc.Config{
+		Self:   id,
+		Engine: c.eng,
+		Params: p,
+		Fabric: c.fabric,
+		Peers:  c,
+		Bank:   n.bank,
+		Store:  store,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() addr.NodeID { return n.id }
+
+// RMC returns the node's remote memory controller.
+func (n *Node) RMC() *rmc.RMC { return n.rmc }
+
+// Caches returns the node's coherent cache domain.
+func (n *Node) Caches() *cache.Hierarchy { return n.caches }
+
+// Bank returns the node's memory controllers.
+func (n *Node) Bank() *dram.Bank { return n.bank }
+
+// Store returns the node's functional memory.
+func (n *Node) Store() *mem.Store { return n.store }
+
+// MemMap returns the node's view of the cluster memory map.
+func (n *Node) MemMap() *addr.MemMap { return n.memmap }
+
+// BARs returns the node's HT routing table.
+func (n *Node) BARs() *ht.RoutingTable { return n.bars }
+
+// FlushCaches writes back and invalidates every line in the node's
+// coherent domain — the operation the prototype performs between a
+// write phase and a read-only parallel phase. Timing: the flush itself
+// is modeled as instantaneous control work; each dirty line's writeback
+// consumes memory/RMC/fabric capacity from now on, so subsequent
+// accesses contend with the flush traffic. It returns the number of
+// dirty lines written back.
+func (n *Node) FlushCaches(now sim.Time) int {
+	// The hierarchy does not remember victim addresses on a bulk flush,
+	// so the writeback traffic is modeled as that many line writes to
+	// the local controllers (remote dirty lines would add RMC traffic;
+	// the discipline of the paper flushes before the data is re-read,
+	// when that traffic has already drained).
+	dirty := n.caches.FlushAll()
+	for i := 0; i < dirty; i++ {
+		if _, err := n.bank.Access(now, addr.Phys(uint64(i)*params.CacheLineSize%n.p.MemPerNode), true); err != nil {
+			panic(fmt.Sprintf("cluster: node %d flush writeback: %v", n.id, err))
+		}
+	}
+	return dirty
+}
+
+// IsRemote implements cpu.MemorySystem: an address is remote exactly when
+// the BARs route it to the RMC unit.
+func (n *Node) IsRemote(a addr.Phys) bool {
+	u, err := n.bars.Route(a)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: node %d has no route for %v: %v", n.id, a, err))
+	}
+	return u == n.rmcU
+}
+
+// socketOf maps a core index to its socket.
+func (n *Node) socketOf(core int) int {
+	perSocket := n.p.CoresPerNode / n.p.SocketsPerNode
+	if perSocket < 1 {
+		perSocket = 1
+	}
+	s := core / perSocket
+	if s >= n.p.SocketsPerNode {
+		s = n.p.SocketsPerNode - 1
+	}
+	return s
+}
+
+// Issue implements cpu.MemorySystem. The access runs through the cache
+// hierarchy; a hit completes at probe-adjusted cache latency, a miss
+// fills the line from the owning memory — a local controller or, for
+// prefixed addresses, the RMC round trip. Dirty victims are written back
+// asynchronously to their owner.
+func (n *Node) Issue(now sim.Time, core int, a cpu.Access, express bool, done func(sim.Time)) {
+	res, err := n.caches.Access(n.socketOf(core), a.Addr, a.Write)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: node %d cache access: %v", n.id, err))
+	}
+	lat := n.p.L1Latency + sim.Time(res.Probes)*n.p.CacheProbeLatency
+	if res.VictimDirty {
+		n.writeback(now, res.Victim)
+	}
+	line := a.Addr.Line(n.caches.LineSize())
+	if n.IsRemote(line) {
+		// Feed the stream detector on every remote access, hit or miss:
+		// hits on previously prefetched lines are exactly what keeps a
+		// stream alive and the prefetcher running ahead of it.
+		n.maybePrefetch(now+lat, core, line)
+	}
+	if res.Hit {
+		n.eng.At(now+lat, func() { done(n.eng.Now()) })
+		return
+	}
+	if !n.IsRemote(line) {
+		n.LocalOps++
+		memDone, err := n.bank.Access(now+lat, line, a.Write)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: node %d local fill: %v", n.id, err))
+		}
+		n.eng.At(memDone, func() { done(n.eng.Now()) })
+		return
+	}
+
+	n.RemoteOps++
+	pkt, err := n.linePacket(line, a.Write)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: node %d remote fill: %v", n.id, err))
+	}
+	if err := n.rmc.Request(now+lat, pkt, express, func(t sim.Time, _ ht.Packet) {
+		done(t)
+	}); err != nil {
+		panic(fmt.Sprintf("cluster: node %d RMC request: %v", n.id, err))
+	}
+}
+
+// maybePrefetch feeds the demand miss to the stream detector and issues
+// RMC reads for whatever it asks, installing the lines into the issuing
+// core's cache when the fills return. Prefetch traffic uses the ordinary
+// mesh path and RMC queues; only the core's outstanding-request window
+// does not apply (the prefetcher is the RMC's engine, not the core's).
+func (n *Node) maybePrefetch(now sim.Time, core int, line addr.Phys) {
+	for _, pf := range n.pf.Observe(core, line) {
+		pf := pf
+		if uint64(pf.Local())+n.caches.LineSize() > n.p.MemPerNode {
+			n.pf.Completed(pf) // past the end of the donor's memory
+			continue
+		}
+		if n.caches.Present(pf) {
+			n.pf.Completed(pf) // already cached: nothing to fetch
+			continue
+		}
+		n.tagseq++
+		req := ht.Packet{Cmd: ht.CmdRdSized, SrcTag: n.tagseq, Addr: pf, Count: int(n.caches.LineSize())}
+		socket := n.socketOf(core)
+		if err := n.rmc.Request(now, req, false, func(t sim.Time, rsp ht.Packet) {
+			n.pf.Completed(pf)
+			if rsp.Cmd == ht.CmdTgtAbort {
+				// The stream ran past what this node was granted; the
+				// serving RMC refused the fill. Drop it silently — a
+				// prefetcher must never widen the protection domain.
+				return
+			}
+			res, err := n.caches.Install(socket, pf)
+			if err != nil {
+				panic(fmt.Sprintf("cluster: node %d prefetch install: %v", n.id, err))
+			}
+			if res.VictimDirty {
+				n.writeback(t, res.Victim)
+			}
+		}); err != nil {
+			n.pf.Completed(pf)
+			continue
+		}
+		n.Prefetches++
+	}
+}
+
+// linePacket builds a line-granular fill/write packet. Timed-path writes
+// carry the line's current contents (the cpu layer models instruction
+// streams, not payloads; real data movement uses ReadBytes/WriteBytes in
+// the core package), so they are functionally idempotent.
+func (n *Node) linePacket(line addr.Phys, write bool) (ht.Packet, error) {
+	size := int(n.caches.LineSize())
+	n.tagseq++
+	pkt := ht.Packet{SrcUnit: 0, SrcTag: n.tagseq, Addr: line, Count: size}
+	if !write {
+		pkt.Cmd = ht.CmdRdSized
+		return pkt, nil
+	}
+	owner, local, err := n.resolve(line)
+	if err != nil {
+		return ht.Packet{}, err
+	}
+	data := make([]byte, size)
+	if err := owner.ReadAt(local, data); err != nil {
+		return ht.Packet{}, err
+	}
+	pkt.Cmd = ht.CmdWrSized
+	pkt.Data = data
+	return pkt, nil
+}
+
+// resolve returns the functional store owning the (possibly prefixed)
+// address along with its local form.
+func (n *Node) resolve(a addr.Phys) (*mem.Store, addr.Phys, error) {
+	canon := a.Canonical(n.id)
+	if canon.IsLocal() {
+		return n.store, canon, nil
+	}
+	st, err := n.cluster.Store(canon.Node())
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, canon.Local(), nil
+}
+
+// writeback pushes a dirty victim line to its owner: local lines cost a
+// controller write; remote lines a posted RMC write that consumes fabric
+// and RMC capacity but completes asynchronously (no thread waits on it).
+func (n *Node) writeback(now sim.Time, victim addr.Phys) {
+	line := victim.Line(n.caches.LineSize())
+	if !n.IsRemote(line) {
+		if _, err := n.bank.Access(now, line, true); err != nil {
+			panic(fmt.Sprintf("cluster: node %d victim writeback: %v", n.id, err))
+		}
+		return
+	}
+	pkt, err := n.linePacket(line, true)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: node %d victim packet: %v", n.id, err))
+	}
+	pkt.Posted = true
+	if err := n.rmc.Request(now, pkt, false, func(sim.Time, ht.Packet) {}); err != nil {
+		panic(fmt.Sprintf("cluster: node %d victim RMC write: %v", n.id, err))
+	}
+}
+
+var _ cpu.MemorySystem = (*Node)(nil)

@@ -1,0 +1,203 @@
+// Package cohdsm models the alternative the paper argues against: a
+// hardware coherent distributed shared memory spanning the cluster (the
+// 3Leaf Aqua / ScaleMP / Numascale class of system), as a directory-based
+// MSI protocol over the same mesh parameters. Every line has a home
+// directory; writes invalidate remote sharers and reads intervene on
+// remote owners, so the cost of keeping caches coherent grows with the
+// number of nodes touching the data — the overhead the RMC architecture
+// removes by never letting a coherency domain span nodes.
+package cohdsm
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/mesh"
+	"repro/internal/params"
+)
+
+// lineState is the directory's view of one line.
+type lineState uint8
+
+const (
+	stateInvalid lineState = iota
+	stateShared
+	stateModified
+)
+
+type dirEntry struct {
+	state   lineState
+	owner   int          // valid when stateModified
+	sharers map[int]bool // valid when stateShared
+}
+
+// Model is the coherent-DSM machine: n nodes, a directory distributed
+// across them by line address, and per-node caches abstracted to
+// presence sets (the protocol cost, not the capacity, is the object of
+// study here).
+type Model struct {
+	p     params.Params
+	topo  mesh.Topology
+	nodes int
+	dir   map[uint64]*dirEntry
+
+	// held[n] is the set of lines node n currently caches, with its
+	// right (true = writable/M, false = readable/S).
+	held []map[uint64]bool
+
+	// Invalidations, Interventions, and DirLookups are protocol event
+	// counts.
+	Invalidations, Interventions, DirLookups uint64
+}
+
+// New builds a coherent DSM over the given geometry.
+func New(p params.Params, nodes int) (*Model, error) {
+	topo, err := mesh.NewTopology(p.MeshWidth, p.MeshHeight)
+	if err != nil {
+		return nil, err
+	}
+	if nodes < 1 || nodes > topo.Nodes() {
+		return nil, fmt.Errorf("cohdsm: %d nodes outside the %d-node mesh", nodes, topo.Nodes())
+	}
+	m := &Model{
+		p:     p,
+		topo:  topo,
+		nodes: nodes,
+		dir:   make(map[uint64]*dirEntry),
+		held:  make([]map[uint64]bool, nodes),
+	}
+	for i := range m.held {
+		m.held[i] = make(map[uint64]bool)
+	}
+	return m, nil
+}
+
+// Nodes returns the coherent domain's node count.
+func (m *Model) Nodes() int { return m.nodes }
+
+// home returns the directory home node index of a line.
+func (m *Model) home(line uint64) int { return int(line) % m.nodes }
+
+// nodeID maps a node index to its mesh identifier.
+func (m *Model) nodeID(i int) addr.NodeID { return addr.NodeID(i + 1) }
+
+// rt returns a round-trip latency between two nodes over the mesh.
+func (m *Model) rt(a, b int) params.Duration {
+	return 2 * params.Duration(m.topo.Hops(m.nodeID(a), m.nodeID(b))) * m.p.HopLatency
+}
+
+// entry fetches or creates the directory entry.
+func (m *Model) entry(line uint64) *dirEntry {
+	e, ok := m.dir[line]
+	if !ok {
+		e = &dirEntry{sharers: make(map[int]bool)}
+		m.dir[line] = e
+	}
+	return e
+}
+
+// Access performs one read or write by a node to a line (line-granular
+// addressing: callers pass byte addresses divided by the line size or
+// any stable line identifier) and returns its latency under the
+// protocol.
+func (m *Model) Access(node int, line uint64, write bool) (params.Duration, error) {
+	if node < 0 || node >= m.nodes {
+		return 0, fmt.Errorf("cohdsm: node %d outside domain of %d", node, m.nodes)
+	}
+	writable, present := m.held[node][line]
+	if present && (!write || writable) {
+		// Cache hit with sufficient rights: no protocol traffic.
+		return m.p.L1Latency, nil
+	}
+
+	e := m.entry(line)
+	m.DirLookups++
+	h := m.home(line)
+	// Request travels to the home directory.
+	lat := m.p.L1Latency + m.rt(node, h) + m.p.CohDirectoryLatency
+
+	if !write {
+		// Read miss: intervene on a modified owner, then share.
+		if e.state == stateModified && e.owner != node {
+			m.Interventions++
+			lat += m.rt(h, e.owner) + m.p.CohProtocolOverhead
+			m.held[e.owner][line] = false // owner downgrades to S
+			e.sharers[e.owner] = true
+		}
+		lat += m.p.DRAMLatency // home memory (or owner cache) supplies data
+		e.state = stateShared
+		e.sharers[node] = true
+		m.held[node][line] = false
+		return lat, nil
+	}
+
+	// Write miss/upgrade: invalidate every other holder and take M.
+	var worstRT params.Duration
+	invalidated := 0
+	invalidate := func(holder int) {
+		if holder == node {
+			return
+		}
+		if _, ok := m.held[holder][line]; ok {
+			delete(m.held[holder], line)
+		}
+		if rt := m.rt(h, holder); rt > worstRT {
+			worstRT = rt
+		}
+		invalidated++
+	}
+	switch e.state {
+	case stateModified:
+		invalidate(e.owner)
+	case stateShared:
+		for s := range e.sharers {
+			invalidate(s)
+		}
+	}
+	// Invalidations go out in parallel but each ack costs protocol
+	// processing at the directory, so latency grows with the sharer
+	// count — the scalability wall of inter-node coherency.
+	lat += worstRT + params.Duration(invalidated)*m.p.CohProtocolOverhead + m.p.DRAMLatency
+	m.Invalidations += uint64(invalidated)
+
+	e.state = stateModified
+	e.owner = node
+	e.sharers = make(map[int]bool)
+	m.held[node][line] = true
+	return lat, nil
+}
+
+// HolderCount returns how many nodes currently cache the line (tests and
+// diagnostics).
+func (m *Model) HolderCount(line uint64) int {
+	n := 0
+	for _, h := range m.held {
+		if _, ok := h[line]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies the single-writer / directory-consistency
+// invariants over every tracked line.
+func (m *Model) CheckInvariants() error {
+	for line, e := range m.dir {
+		writers := 0
+		for i, h := range m.held {
+			if w, ok := h[line]; ok && w {
+				writers++
+				if e.state != stateModified || e.owner != i {
+					return fmt.Errorf("cohdsm: node %d holds line %d writable but directory disagrees", i, line)
+				}
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("cohdsm: line %d has %d writers", line, writers)
+		}
+		if writers == 1 && m.HolderCount(line) > 1 {
+			return fmt.Errorf("cohdsm: line %d modified with %d holders", line, m.HolderCount(line))
+		}
+	}
+	return nil
+}

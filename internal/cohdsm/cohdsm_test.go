@@ -1,0 +1,169 @@
+package cohdsm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/params"
+)
+
+func model(t *testing.T, nodes int) *Model {
+	t.Helper()
+	m, err := New(params.Default(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(params.Default(), 0); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := New(params.Default(), 17); err == nil {
+		t.Error("17 nodes on a 16-node mesh accepted")
+	}
+	bad := params.Default()
+	bad.MeshWidth = 0
+	if _, err := New(bad, 4); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	m := model(t, 4)
+	first, err := m.Access(0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Access(0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second >= first {
+		t.Errorf("cached re-read (%d) not cheaper than fill (%d)", second, first)
+	}
+	if second != params.Default().L1Latency {
+		t.Errorf("hit = %d, want L1", second)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := model(t, 8)
+	const line = 555
+	for n := 0; n < 8; n++ {
+		if _, err := m.Access(n, line, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.HolderCount(line) != 8 {
+		t.Fatalf("holders = %d", m.HolderCount(line))
+	}
+	if _, err := m.Access(0, line, true); err != nil {
+		t.Fatal(err)
+	}
+	if m.HolderCount(line) != 1 {
+		t.Errorf("write left %d holders", m.HolderCount(line))
+	}
+	if m.Invalidations != 7 {
+		t.Errorf("Invalidations = %d, want 7", m.Invalidations)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCostGrowsWithSharers(t *testing.T) {
+	// The ablation's core claim: upgrading a line shared by k nodes costs
+	// more as k grows, while in the RMC design the same data never has
+	// remote sharers at all.
+	cost := func(sharers int) params.Duration {
+		m := model(t, 16)
+		const line = 9
+		for n := 0; n < sharers; n++ {
+			if _, err := m.Access(n, line, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := m.Access(15, line, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c2, c8, c15 := cost(2), cost(8), cost(15)
+	if !(c2 < c8 && c8 < c15) {
+		t.Errorf("invalidation cost not monotone: %d, %d, %d", c2, c8, c15)
+	}
+}
+
+func TestReadIntervenesOnModifiedOwner(t *testing.T) {
+	m := model(t, 4)
+	const line = 77
+	if _, err := m.Access(1, line, true); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Interventions
+	if _, err := m.Access(2, line, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Interventions != before+1 {
+		t.Error("read of modified line did not intervene")
+	}
+	// Both now share; the old owner's next read is a hit.
+	c, err := m.Access(1, line, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != params.Default().L1Latency {
+		t.Errorf("downgraded owner re-read = %d, want hit", c)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterRewriteIsHit(t *testing.T) {
+	m := model(t, 4)
+	if _, err := m.Access(3, 42, true); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Access(3, 42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != params.Default().L1Latency {
+		t.Errorf("owner rewrite = %d, want hit", c)
+	}
+}
+
+func TestAccessValidation(t *testing.T) {
+	m := model(t, 4)
+	if _, err := m.Access(4, 0, false); err == nil {
+		t.Error("node outside domain accepted")
+	}
+	if _, err := m.Access(-1, 0, false); err == nil {
+		t.Error("negative node accepted")
+	}
+}
+
+func TestProtocolInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m, err := New(params.Default(), 8)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			node := int(op) % 8
+			line := uint64(op>>3) % 32
+			write := op&0x8000 != 0
+			if _, err := m.Access(node, line, write); err != nil {
+				return false
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,535 @@
+// Package core assembles the paper's system: the hardware cluster
+// (package cluster), one OS agent per node (package osmodel), the
+// cluster-wide free-memory directory (package memdir), and the region
+// abstraction of Figure 1 — per-node coherency domains whose memory can
+// be grown with frames borrowed from other nodes and shrunk back,
+// without the coherent domain ever leaving the motherboard.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cluster"
+	"repro/internal/cpu"
+	"repro/internal/memdir"
+	"repro/internal/memmodel"
+	"repro/internal/osmodel"
+	"repro/internal/params"
+	"repro/internal/rmalloc"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// System is one assembled machine.
+type System struct {
+	p       params.Params
+	cl      *cluster.Cluster
+	dir     *memdir.Directory
+	agents  map[addr.NodeID]*osmodel.Agent
+	regions map[addr.NodeID]*Region
+}
+
+// NewSystem builds the cluster hardware and boots one OS per node.
+func NewSystem(eng *sim.Engine, p params.Params) (*System, error) {
+	cl, err := cluster.New(eng, p)
+	if err != nil {
+		return nil, err
+	}
+	topo := cl.Topology()
+	s := &System{
+		p:       p,
+		cl:      cl,
+		dir:     memdir.New(func(a, b addr.NodeID) int { return topo.Hops(a, b) }),
+		agents:  make(map[addr.NodeID]*osmodel.Agent),
+		regions: make(map[addr.NodeID]*Region),
+	}
+	resolver := func(n addr.NodeID) (*osmodel.Agent, error) {
+		a, ok := s.agents[n]
+		if !ok {
+			return nil, fmt.Errorf("core: no OS agent on node %d", n)
+		}
+		return a, nil
+	}
+	for i := 1; i <= topo.Nodes(); i++ {
+		a, err := osmodel.NewAgent(addr.NodeID(i), p, s.dir)
+		if err != nil {
+			return nil, err
+		}
+		a.SetPeers(resolver)
+		s.agents[addr.NodeID(i)] = a
+		if p.EnableProtection {
+			// Arm the serving RMC with the OS's grant table: remote
+			// nodes can then only touch memory reserved for them.
+			r, err := cl.RMC(addr.NodeID(i))
+			if err != nil {
+				return nil, err
+			}
+			r.SetProtection(a)
+		}
+	}
+	return s, nil
+}
+
+// Params returns the system calibration.
+func (s *System) Params() params.Params { return s.p }
+
+// Cluster returns the hardware assembly.
+func (s *System) Cluster() *cluster.Cluster { return s.cl }
+
+// Engine returns the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.cl.Engine() }
+
+// Directory returns the free-memory directory.
+func (s *System) Directory() *memdir.Directory { return s.dir }
+
+// Agent returns a node's OS agent.
+func (s *System) Agent(n addr.NodeID) (*osmodel.Agent, error) {
+	a, ok := s.agents[n]
+	if !ok {
+		return nil, fmt.Errorf("core: no OS agent on node %d", n)
+	}
+	return a, nil
+}
+
+// Region returns (creating on first use) the memory region anchored at a
+// node. There is exactly one region per node — "processors in a given
+// node will always create a memory region" — and what varies dynamically
+// is its size.
+func (s *System) Region(n addr.NodeID) (*Region, error) {
+	if r, ok := s.regions[n]; ok {
+		return r, nil
+	}
+	agent, err := s.Agent(n)
+	if err != nil {
+		return nil, err
+	}
+	node, err := s.cl.Node(n)
+	if err != nil {
+		return nil, err
+	}
+	r := &Region{
+		sys:        s,
+		node:       node,
+		agent:      agent,
+		as:         vm.NewAddressSpace(),
+		tlb:        vm.NewTLB(vm.DefaultTLBEntries),
+		writerCore: -1,
+	}
+	heap, err := rmalloc.NewHeap(r.as, (*regionBacking)(r), 0)
+	if err != nil {
+		return nil, err
+	}
+	r.heap = heap
+	s.regions[n] = r
+	return r, nil
+}
+
+// Region is one node's coherency domain plus whatever memory it has
+// aggregated: Figure 1's colored areas.
+type Region struct {
+	sys   *System
+	node  *cluster.Node
+	agent *osmodel.Agent
+	as    *vm.AddressSpace
+	tlb   *vm.TLB
+	heap  *rmalloc.Heap
+
+	// Policy selects donors when the region grows implicitly (heap
+	// growth after local memory runs out). Defaults to MostFree.
+	Policy memdir.Policy
+
+	// Donors, if non-empty, overrides the directory: implicit growth
+	// borrows from these nodes in order (experiments place memory
+	// servers deliberately).
+	Donors []addr.NodeID
+
+	// mappedBorrows tracks explicitly mapped reservations so Shrink can
+	// refuse to pull memory out from under live translations.
+	mappedBorrows map[addr.Phys]mappedBorrow
+
+	// phase and writerCore enforce the prototype's execution discipline
+	// (paper Section IV-B): remote ranges are write-back cached without
+	// inter-node coherency, so writes are legal from one bound core only,
+	// and parallel phases must be read-only (after a flush).
+	phase      Phase
+	writerCore int // -1 until the serial phase's core is claimed
+}
+
+// mappedBorrow records one explicitly mapped reservation.
+type mappedBorrow struct {
+	va   vm.Virt
+	size uint64
+}
+
+// Phase is the region's execution discipline.
+type Phase int
+
+// Execution phases of paper Section IV-B.
+const (
+	// PhaseSerial allows reads and writes from a single bound core — the
+	// prototype's default mode for writable remote data.
+	PhaseSerial Phase = iota
+	// PhaseParallelRead allows reads from any core and no writes; it is
+	// entered by flushing the caches, after which multi-threaded
+	// execution over remote data is safe without inter-node coherency.
+	PhaseParallelRead
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseSerial:
+		return "serial"
+	case PhaseParallelRead:
+		return "parallel-read"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Node returns the region's anchor node identifier.
+func (r *Region) Node() addr.NodeID { return r.node.ID() }
+
+// Heap returns the interposed-malloc heap of the region's process.
+func (r *Region) Heap() *rmalloc.Heap { return r.heap }
+
+// AddressSpace returns the process address space.
+func (r *Region) AddressSpace() *vm.AddressSpace { return r.as }
+
+// TLB returns the process's TLB model.
+func (r *Region) TLB() *vm.TLB { return r.tlb }
+
+// Agent returns the region's OS agent.
+func (r *Region) Agent() *osmodel.Agent { return r.agent }
+
+// Grow extends the region by borrowing bytes from a donor chosen by the
+// region's policy (or Donors list) and returns the prefixed range. The
+// range is reserved and pinned but not yet mapped; Malloc maps on demand,
+// MapBorrowed maps explicitly.
+func (r *Region) Grow(size uint64) (addr.Range, error) {
+	return r.acquireRemote(size)
+}
+
+// GrowFrom extends the region from an explicit donor.
+func (r *Region) GrowFrom(donor addr.NodeID, size uint64) (addr.Range, error) {
+	return r.agent.ReserveRemoteFrom(donor, size)
+}
+
+// Shrink returns a previously grown range to its donor. A range still
+// mapped into the address space is refused: releasing it would leave
+// live translations pointing at memory the donor may re-grant — the
+// hot-unplug safety rule. UnmapBorrowed first.
+func (r *Region) Shrink(rng addr.Range) error {
+	if mb, mapped := r.mappedBorrows[rng.Start]; mapped {
+		return fmt.Errorf("core: range %v is still mapped at %#x; unmap before shrinking", rng, uint64(mb.va))
+	}
+	return r.agent.ReleaseRemote(rng)
+}
+
+// UnmapBorrowed removes the translations MapBorrowed installed for a
+// range, making it safe to Shrink.
+func (r *Region) UnmapBorrowed(rng addr.Range) error {
+	mb, mapped := r.mappedBorrows[rng.Start]
+	if !mapped {
+		return fmt.Errorf("core: range %v is not mapped", rng)
+	}
+	if err := r.as.Unmap(mb.va, vm.PagesFor(rng.Size)); err != nil {
+		return err
+	}
+	r.tlb.Flush()
+	delete(r.mappedBorrows, rng.Start)
+	return nil
+}
+
+func (r *Region) acquireRemote(size uint64) (addr.Range, error) {
+	for _, d := range r.Donors {
+		if rng, err := r.agent.ReserveRemoteFrom(d, size); err == nil {
+			return rng, nil
+		}
+	}
+	if len(r.Donors) > 0 {
+		return addr.Range{}, fmt.Errorf("core: none of the %d preferred donors could grant %d bytes", len(r.Donors), size)
+	}
+	return r.agent.ReserveRemote(size, r.Policy)
+}
+
+// regionBacking adapts the region to rmalloc.Backing: allocate locally
+// while the private zone lasts, then borrow remotely — the moment the
+// paper's OS "realizes that it is running out of local memory". The OS
+// keeps its reserve watermark: a heap chunk that would dip below it goes
+// remote instead, so the kernel never donates its own working memory.
+type regionBacking Region
+
+func (b *regionBacking) AcquireChunk(size uint64) (addr.Range, error) {
+	r := (*Region)(b)
+	reserve := r.sys.p.OSReserveBytes
+	if free := r.agent.PrivateFree(); free >= size && free-size >= reserve {
+		if rng, err := r.agent.AllocPrivate(size); err == nil {
+			return rng, nil
+		}
+		// Contiguity may fail even with enough free bytes; fall through.
+	}
+	return r.acquireRemote(size)
+}
+
+func (b *regionBacking) ReleaseChunk(rng addr.Range) error {
+	r := (*Region)(b)
+	if rng.Start.IsLocal() {
+		return r.agent.FreePrivate(rng)
+	}
+	return r.agent.ReleaseRemote(rng)
+}
+
+// Malloc allocates size bytes in the region's heap, growing the region
+// (locally, then remotely) as needed, and returns a virtual pointer.
+func (r *Region) Malloc(size uint64) (vm.Virt, error) { return r.heap.Malloc(size) }
+
+// Trim returns heap arenas with no live allocations to their backing —
+// freed local memory back to the private zone, freed borrowings back to
+// their donors' pools (the hot-remove flow). Returns the bytes released.
+func (r *Region) Trim() (uint64, error) {
+	released, err := r.heap.Trim()
+	if released > 0 {
+		r.tlb.Flush()
+	}
+	return released, err
+}
+
+// Free releases a Malloc pointer.
+func (r *Region) Free(ptr vm.Virt) error { return r.heap.Free(ptr) }
+
+// MapBorrowed maps an explicitly grown range into the address space and
+// returns its virtual base. Used when an experiment wants raw access to
+// a reservation without the heap.
+func (r *Region) MapBorrowed(rng addr.Range) (vm.Virt, error) {
+	base, err := r.as.ReserveVirtual(rng.Size)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.as.MapRange(base, rng.Start, vm.PagesFor(rng.Size), true); err != nil {
+		return 0, err
+	}
+	if r.mappedBorrows == nil {
+		r.mappedBorrows = make(map[addr.Phys]mappedBorrow)
+	}
+	r.mappedBorrows[rng.Start] = mappedBorrow{va: base, size: rng.Size}
+	return base, nil
+}
+
+// Translate resolves a virtual address through the TLB and page table,
+// with the TLB model accounting hits and misses.
+func (r *Region) Translate(va vm.Virt) (addr.Phys, error) {
+	if pte, ok := r.tlb.Lookup(va); ok {
+		return pte.Phys + addr.Phys(va.Offset()), nil
+	}
+	pa, err := r.as.Translate(va)
+	if err != nil {
+		return 0, err
+	}
+	pte, _ := r.as.Lookup(va)
+	r.tlb.Insert(va, pte)
+	return pa, nil
+}
+
+// Write stores data at a virtual address (functional path: what the
+// bytes are, not when). It spans mappings page by page.
+func (r *Region) Write(va vm.Virt, data []byte) error {
+	return r.copy(va, data, true)
+}
+
+// Read loads len(buf) bytes from a virtual address (functional path).
+func (r *Region) Read(va vm.Virt, buf []byte) error {
+	return r.copy(va, buf, false)
+}
+
+func (r *Region) copy(va vm.Virt, buf []byte, write bool) error {
+	for len(buf) > 0 {
+		pa, err := r.Translate(va)
+		if err != nil {
+			return err
+		}
+		n := params.PageSize - va.Offset()
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		store, local, err := r.resolve(pa)
+		if err != nil {
+			return err
+		}
+		if write {
+			err = store.WriteAt(local, buf[:n])
+		} else {
+			err = store.ReadAt(local, buf[:n])
+		}
+		if err != nil {
+			return err
+		}
+		buf = buf[n:]
+		va += vm.Virt(n)
+	}
+	return nil
+}
+
+func (r *Region) resolve(pa addr.Phys) (st interface {
+	ReadAt(addr.Phys, []byte) error
+	WriteAt(addr.Phys, []byte) error
+}, local addr.Phys, err error) {
+	canon := pa.Canonical(r.node.ID())
+	if canon.IsLocal() {
+		return r.node.Store(), canon, nil
+	}
+	s, err := r.sys.cl.Store(canon.Node())
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, canon.Local(), nil
+}
+
+// WriteUint64 and ReadUint64 are word-granule functional accessors.
+func (r *Region) WriteUint64(va vm.Virt, v uint64) error {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return r.Write(va, b[:])
+}
+
+// ReadUint64 loads a little-endian word from a virtual address.
+func (r *Region) ReadUint64(va vm.Virt) (uint64, error) {
+	var b [8]byte
+	if err := r.Read(va, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := range b {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Accessor builds a macro-layer latency model of the region's virtual
+// address space as it is actually laid out: every heap arena and every
+// explicitly mapped reservation becomes a stripe priced Local or Remote
+// at the owner's true mesh distance. Where the uniform models assume one
+// hop for everything, this reflects the placement the reservation
+// protocol produced — multi-donor regions get multi-distance pricing.
+func (r *Region) Accessor() (*memmodel.Striped, error) {
+	topo := r.sys.cl.Topology()
+	p := r.sys.p
+	var stripes []memmodel.Stripe
+	add := func(va vm.Virt, phys addr.Range) {
+		var acc memmodel.Accessor
+		canon := phys.Start.Canonical(r.node.ID())
+		if canon.IsLocal() {
+			acc = memmodel.Local{P: p}
+		} else {
+			acc = memmodel.Remote{P: p, Hops: topo.Hops(r.node.ID(), canon.Node())}
+		}
+		stripes = append(stripes, memmodel.Stripe{Start: uint64(va), Size: phys.Size, Acc: acc})
+	}
+	for va, phys := range r.heap.Chunks() {
+		add(va, phys)
+	}
+	for start, mb := range r.mappedBorrows {
+		add(mb.va, addr.Range{Start: start, Size: mb.size})
+	}
+	return memmodel.NewStriped(p, stripes)
+}
+
+// Phase returns the region's current execution phase.
+func (r *Region) Phase() Phase { return r.phase }
+
+// CheckAccess reports whether the discipline of the current phase allows
+// the access: in the serial phase, one bound core may read and write (the
+// first core to access claims the binding); in the parallel-read phase,
+// any core may read, nobody may write.
+func (r *Region) CheckAccess(core int, write bool) error {
+	switch r.phase {
+	case PhaseParallelRead:
+		if write {
+			return fmt.Errorf("core: write by core %d during a parallel-read phase; remote data has no inter-node coherency", core)
+		}
+		return nil
+	default:
+		if r.writerCore == -1 {
+			r.writerCore = core
+		}
+		if core != r.writerCore {
+			return fmt.Errorf("core: core %d accessed the region during core %d's serial phase; the prototype binds the process to a single core", core, r.writerCore)
+		}
+		return nil
+	}
+}
+
+// BeginParallelRead flushes the node's caches (pushing dirty remote lines
+// home) and enters the read-only parallel phase, returning the number of
+// dirty lines written back. After it, any number of cores may read.
+func (r *Region) BeginParallelRead(now sim.Time) int {
+	dirty := r.node.FlushCaches(now)
+	r.phase = PhaseParallelRead
+	return dirty
+}
+
+// BeginSerial returns to the single-writer phase, bound to the given
+// core.
+func (r *Region) BeginSerial(core int) {
+	r.phase = PhaseSerial
+	r.writerCore = core
+}
+
+// Access issues one timed access at a virtual address through the
+// node's full memory path (cache, BARs, RMC, fabric); done fires at the
+// completion time. This is the paper's fast path: note it begins with a
+// translation, not a syscall. The access must satisfy the region's
+// execution discipline (CheckAccess).
+func (r *Region) Access(now sim.Time, core int, va vm.Virt, write bool, done func(sim.Time)) error {
+	if err := r.CheckAccess(core, write); err != nil {
+		return err
+	}
+	pa, err := r.Translate(va)
+	if err != nil {
+		return err
+	}
+	r.node.Issue(now, core, cpu.Access{Addr: pa, Write: write}, false, done)
+	return nil
+}
+
+// NewThread binds a virtual-address stream to a core of the region's
+// node with the prototype's outstanding windows.
+func (r *Region) NewThread(name string, core int, stream cpu.Stream, onDone func(*cpu.Thread, sim.Time)) (*cpu.Thread, error) {
+	return cpu.NewThread(cpu.ThreadConfig{
+		Name:         name,
+		Engine:       r.sys.Engine(),
+		Memory:       r.node,
+		Stream:       &translatingStream{r: r, core: core, inner: stream},
+		Core:         core,
+		WindowLocal:  r.sys.p.LocalOutstanding,
+		WindowRemote: r.sys.p.RemoteOutstanding,
+		OnDone:       onDone,
+	})
+}
+
+// translatingStream translates a virtual-address stream to physical on
+// the fly (TLB-accounted) and enforces the phase discipline, so cpu
+// threads see physical addresses and cannot violate the single-writer
+// rule.
+type translatingStream struct {
+	r     *Region
+	core  int
+	inner cpu.Stream
+}
+
+func (s *translatingStream) Next() (cpu.Access, bool) {
+	a, ok := s.inner.Next()
+	if !ok {
+		return cpu.Access{}, false
+	}
+	if err := s.r.CheckAccess(s.core, a.Write); err != nil {
+		panic(fmt.Sprintf("core: stream discipline violation: %v", err))
+	}
+	pa, err := s.r.Translate(vm.Virt(a.Addr))
+	if err != nil {
+		panic(fmt.Sprintf("core: unmapped virtual address %#x in stream: %v", uint64(a.Addr), err))
+	}
+	return cpu.Access{Addr: pa, Write: a.Write}, true
+}

@@ -1,0 +1,196 @@
+// Package db is the in-memory database of the paper's conclusions: "our
+// short-term objective is to continue testing the prototype with real
+// applications or even databases … store indexes or the entire database
+// in memory, and then study the execution time for different queries."
+//
+// A Table keeps both its B-tree index and its row storage inside a
+// memory region — which means both can live in memory borrowed from
+// other nodes, far beyond one motherboard's capacity. Rows move through
+// the region's functional path (the bytes really land on the owning
+// node); queries charge their index probes and row reads to a
+// memmodel.Accessor, so the same query can be priced under local memory,
+// the prototype's remote memory, or remote swap.
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/params"
+	"repro/internal/vm"
+)
+
+// Table is one key-value table: a B-tree index mapping uint64 keys to
+// row pointers, plus length-prefixed rows in region memory.
+type Table struct {
+	region *core.Region
+	index  *btree.Tree
+	name   string
+
+	// Rows counts live rows; PutBytes accumulates stored payload bytes.
+	Rows     uint64
+	PutBytes uint64
+}
+
+// DefaultFanout is the index fanout: the Figure 9 optimum, one node per
+// page.
+const DefaultFanout = 168
+
+// Create makes an empty table in the region. fanout 0 selects the
+// default.
+func Create(region *core.Region, name string, fanout int) (*Table, error) {
+	if region == nil {
+		return nil, fmt.Errorf("db: nil region")
+	}
+	if name == "" {
+		return nil, fmt.Errorf("db: empty table name")
+	}
+	if fanout == 0 {
+		fanout = DefaultFanout
+	}
+	idx, err := btree.New(fanout)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{region: region, index: idx, name: name}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Index exposes the underlying index (for footprint inspection).
+func (t *Table) Index() *btree.Tree { return t.index }
+
+// Put stores (or replaces) a row. The row is allocated in the region —
+// locally while local memory lasts, then on donor nodes — and the index
+// points at it.
+func (t *Table) Put(key uint64, value []byte) error {
+	if old, ok := t.index.Lookup(key); ok && old != 0 {
+		if err := t.freeRow(vm.Virt(old)); err != nil {
+			return err
+		}
+		t.Rows--
+	}
+	ptr, err := t.region.Malloc(8 + uint64(len(value)))
+	if err != nil {
+		return err
+	}
+	if err := t.region.WriteUint64(ptr, uint64(len(value))); err != nil {
+		return err
+	}
+	if len(value) > 0 {
+		if err := t.region.Write(ptr+8, value); err != nil {
+			return err
+		}
+	}
+	t.index.InsertKV(key, uint64(ptr))
+	t.Rows++
+	t.PutBytes += uint64(len(value))
+	return nil
+}
+
+// Delete removes a row (tombstone in the index: payload zero).
+func (t *Table) Delete(key uint64) error {
+	old, ok := t.index.Lookup(key)
+	if !ok || old == 0 {
+		return fmt.Errorf("db: %s has no row %d", t.name, key)
+	}
+	if err := t.freeRow(vm.Virt(old)); err != nil {
+		return err
+	}
+	t.index.InsertKV(key, 0)
+	t.Rows--
+	return nil
+}
+
+func (t *Table) freeRow(ptr vm.Virt) error {
+	return t.region.Free(ptr)
+}
+
+// Get retrieves a row, charging the index walk and the row read to acc.
+// found is false for absent keys and tombstones.
+func (t *Table) Get(key uint64, acc memmodel.Accessor) (value []byte, found bool, cost params.Duration, err error) {
+	rowPtr, ok, c, _ := t.index.SearchKV(key, acc)
+	cost = c
+	if !ok || rowPtr == 0 {
+		return nil, false, cost, nil
+	}
+	value, rc, err := t.readRow(vm.Virt(rowPtr), acc)
+	cost += rc
+	if err != nil {
+		return nil, false, cost, err
+	}
+	return value, true, cost, nil
+}
+
+// readRow loads a length-prefixed row, charging one access per word.
+func (t *Table) readRow(ptr vm.Virt, acc memmodel.Accessor) ([]byte, params.Duration, error) {
+	var cost params.Duration
+	cost += acc.Access(uint64(ptr), false)
+	n, err := t.region.ReadUint64(ptr)
+	if err != nil {
+		return nil, cost, err
+	}
+	buf := make([]byte, n)
+	if n > 0 {
+		if err := t.region.Read(ptr+8, buf); err != nil {
+			return nil, cost, err
+		}
+		for off := uint64(0); off < n; off += 8 {
+			cost += acc.Access(uint64(ptr)+8+off, false)
+		}
+	}
+	return buf, cost, nil
+}
+
+// ScanResult is one row yielded by Scan.
+type ScanResult struct {
+	Key   uint64
+	Value []byte
+}
+
+// Scan returns every live row with lo <= key <= hi in key order,
+// charging index and row accesses to acc.
+func (t *Table) Scan(lo, hi uint64, acc memmodel.Accessor) (rows []ScanResult, cost params.Duration, err error) {
+	var ptrs []struct {
+		key uint64
+		ptr uint64
+	}
+	c, _ := t.index.RangeScan(lo, hi, acc, func(k uint64) {
+		if v, ok := t.index.Lookup(k); ok && v != 0 {
+			ptrs = append(ptrs, struct {
+				key uint64
+				ptr uint64
+			}{k, v})
+		}
+	})
+	cost = c
+	for _, p := range ptrs {
+		val, rc, rerr := t.readRow(vm.Virt(p.ptr), acc)
+		cost += rc
+		if rerr != nil {
+			return rows, cost, rerr
+		}
+		rows = append(rows, ScanResult{Key: p.key, Value: val})
+	}
+	return rows, cost, nil
+}
+
+// Count returns the number of live keys in [lo, hi], an index-only
+// aggregate query.
+func (t *Table) Count(lo, hi uint64, acc memmodel.Accessor) (n uint64, cost params.Duration) {
+	c, _ := t.index.RangeScan(lo, hi, acc, func(k uint64) {
+		if v, ok := t.index.Lookup(k); ok && v != 0 {
+			n++
+		}
+	})
+	return n, c
+}
+
+// FootprintBytes reports the table's total memory: index plus rows
+// (including the length prefixes).
+func (t *Table) FootprintBytes() uint64 {
+	return t.index.FootprintBytes() + t.PutBytes + 8*t.Rows
+}

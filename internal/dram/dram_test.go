@@ -1,0 +1,85 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+func TestControllerLatencyAndQueueing(t *testing.T) {
+	p := params.Default()
+	eng := sim.New()
+	c := NewController(eng, "mc0", p)
+
+	// Uncontended access completes after occupancy + latency.
+	done := c.Access(0, false)
+	if want := p.DRAMOccupancy + p.DRAMLatency; done != want {
+		t.Errorf("first access done = %d, want %d", done, want)
+	}
+	// A simultaneous second access queues behind the first's occupancy.
+	done2 := c.Access(0, true)
+	if want := 2*p.DRAMOccupancy + p.DRAMLatency; done2 != want {
+		t.Errorf("queued access done = %d, want %d", done2, want)
+	}
+	if c.Reads != 1 || c.Writes != 1 {
+		t.Errorf("counters = %d/%d", c.Reads, c.Writes)
+	}
+	if c.Utilization(2*p.DRAMOccupancy) != 1 {
+		t.Error("controller should be fully occupied")
+	}
+}
+
+func TestBankSocketInterleaving(t *testing.T) {
+	p := params.Default() // 4 sockets × 4 GB
+	eng := sim.New()
+	b := NewBank(eng, 1, p)
+
+	if len(b.Controllers()) != 4 {
+		t.Fatalf("controllers = %d", len(b.Controllers()))
+	}
+	// Touch one address per socket range; each controller sees one read.
+	for s := 0; s < 4; s++ {
+		a := addr.Phys(uint64(s) * (4 << 30))
+		if _, err := b.Access(0, a, false); err != nil {
+			t.Fatalf("access socket %d: %v", s, err)
+		}
+	}
+	for s, c := range b.Controllers() {
+		if c.Reads != 1 {
+			t.Errorf("socket %d saw %d reads, want 1", s, c.Reads)
+		}
+	}
+	r, w := b.Stats()
+	if r != 4 || w != 0 {
+		t.Errorf("Stats = %d/%d", r, w)
+	}
+}
+
+func TestBankParallelismAcrossSockets(t *testing.T) {
+	p := params.Default()
+	b := NewBank(sim.New(), 1, p)
+	// Two simultaneous accesses to different sockets don't queue on each
+	// other; two to the same socket do.
+	d1, _ := b.Access(0, addr.Phys(0), false)
+	d2, _ := b.Access(0, addr.Phys(4<<30), false)
+	if d1 != d2 {
+		t.Errorf("cross-socket accesses serialized: %d vs %d", d1, d2)
+	}
+	d3, _ := b.Access(0, addr.Phys(64), false)
+	if d3 <= d1 {
+		t.Errorf("same-socket access did not queue: %d", d3)
+	}
+}
+
+func TestBankRejections(t *testing.T) {
+	p := params.Default()
+	b := NewBank(sim.New(), 1, p)
+	if _, err := b.Access(0, addr.Phys(0x100).WithNode(3), false); err == nil {
+		t.Error("prefixed address accepted by local bank")
+	}
+	if _, err := b.Access(0, addr.Phys(p.MemPerNode), false); err == nil {
+		t.Error("beyond-memory address accepted")
+	}
+}

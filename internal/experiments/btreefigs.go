@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/btree"
+	"repro/internal/memmodel"
+	"repro/internal/params"
+	"repro/internal/stats"
+	"repro/internal/swap"
+)
+
+// btreeResidency scales the swap configuration's resident-page budget
+// with the workload so scaled-down runs keep the paper's
+// footprint-vs-local-memory ratio.
+func btreeResidency(o Options) int {
+	r := int(float64(o.P.SwapResidentPages) * o.Scale)
+	if r < 64 {
+		r = 64
+	}
+	return r
+}
+
+// buildTree populates a tree the paper's way: n random keys, bulk-loaded
+// so every level but the last is full and the last fills left to right.
+func buildTree(o Options, fanout, n int) (*btree.Tree, []uint64, error) {
+	tr, err := btree.New(fanout)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	keys := make([]uint64, 0, n)
+	seen := make(map[uint64]bool, n)
+	for len(keys) < n {
+		k := uint64(rng.Int63n(int64(n) * 4))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		return nil, nil, err
+	}
+	return tr, keys, nil
+}
+
+// searchSweep averages the search cost over random probes.
+func searchSweep(o Options, tr *btree.Tree, keySpace int64, searches int, acc memmodel.Accessor) params.Duration {
+	rng := rand.New(rand.NewSource(o.Seed + 1))
+	var total params.Duration
+	for i := 0; i < searches; i++ {
+		_, cost, _ := tr.Search(uint64(rng.Int63n(keySpace)), acc)
+		total += cost
+	}
+	return params.Duration(float64(total) / float64(searches))
+}
+
+// Fig9 sweeps the b-tree fanout (children per node) under remote swap to
+// find the optimum: a U-shaped curve with its minimum where a node fills
+// exactly one 4 KiB page (~168 children at 24 bytes per entry), the
+// paper's headline 168. The remote-memory series is flat by comparison —
+// Equation (2) does not care about page locality.
+func Fig9(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("fig9", "B-tree search time vs children per node (10M keys, scaled)",
+		"children per node", "time per search (µs)")
+	swapSeries := fig.AddSeries("remote swap")
+	remoteSeries := fig.AddSeries("remote memory")
+
+	nKeys := o.scaled(10_000_000, 20_000)
+	searches := o.scaled(500_000, 1_000)
+	resident := btreeResidency(o)
+
+	for _, fanout := range []int{8, 16, 32, 64, 96, 128, 168, 200, 256, 384, 512, 768, 1024} {
+		tr, _, err := buildTree(o, fanout, nKeys)
+		if err != nil {
+			return nil, err
+		}
+		if tr.FootprintBytes() <= uint64(resident)*params.PageSize {
+			return nil, fmt.Errorf("experiments: fig9 tree (%d bytes) fits in residency; raise Scale", tr.FootprintBytes())
+		}
+		sw, err := memmodel.NewSwap(o.P, swap.RemoteDevice{P: o.P, Hops: 1}, resident)
+		if err != nil {
+			return nil, err
+		}
+		keySpace := int64(nKeys) * 4
+		swapSeries.Add(float64(fanout),
+			float64(searchSweep(o, tr, keySpace, searches, sw))/float64(params.Microsecond))
+		remoteSeries.Add(float64(fanout),
+			float64(searchSweep(o, tr, keySpace, searches, memmodel.Remote{P: o.P, Hops: 1}))/float64(params.Microsecond))
+	}
+	fig.Note("expected: U-shape for remote swap with minimum near fanout 168 (one node = one page); remote memory nearly flat")
+	return fig, nil
+}
+
+// Fig10 sweeps the key count at the optimal fanout: remote memory grows
+// smoothly with tree depth while remote swap explodes once the tree
+// outgrows local residency (page thrashing). The analytic Equation 1/2
+// predictions bracket the measured curves.
+func Fig10(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("fig10", "B-tree search scalability vs number of keys (fanout 168)",
+		"keys in tree", "time per search (µs)")
+	remoteSeries := fig.AddSeries("remote memory")
+	swapSeries := fig.AddSeries("remote swap")
+
+	searches := o.scaled(500_000, 1_000)
+	resident := btreeResidency(o)
+	base := o.scaled(10_000_000, 20_000)
+	for _, frac := range []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0} {
+		n := int(float64(base) * frac)
+		if n < 128 {
+			n = 128
+		}
+		tr, _, err := buildTree(o, 168, n)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := memmodel.NewSwap(o.P, swap.RemoteDevice{P: o.P, Hops: 1}, resident)
+		if err != nil {
+			return nil, err
+		}
+		keySpace := int64(n) * 4
+		remoteSeries.Add(float64(n),
+			float64(searchSweep(o, tr, keySpace, searches, memmodel.Remote{P: o.P, Hops: 1}))/float64(params.Microsecond))
+		swapSeries.Add(float64(n),
+			float64(searchSweep(o, tr, keySpace, searches, sw))/float64(params.Microsecond))
+	}
+	fig.Note("expected: remote memory grows stepwise with depth; remote swap explodes once the tree outgrows the %d resident pages", resident)
+	return fig, nil
+}
+
+// Equations cross-checks the closed-form models against the mechanistic
+// ones on a uniform-locality trace and reports the crossover locality.
+func Equations(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("eq", "Equations (1) and (2) vs mechanistic models",
+		"accesses per resident page (locality)", "total memory time (ms)")
+	eq1 := fig.AddSeries("Eq(1) remote swap")
+	eq2 := fig.AddSeries("Eq(2) remote memory")
+	meas1 := fig.AddSeries("measured swap")
+	meas2 := fig.AddSeries("measured remote")
+
+	pages := o.scaled(2000, 100)
+	for _, perPage := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		total := uint64(pages) * uint64(perPage)
+
+		sw, err := memmodel.NewSwap(o.P, swap.RemoteDevice{P: o.P, Hops: 1}, 64)
+		if err != nil {
+			return nil, err
+		}
+		var swMeasured, rmMeasured params.Duration
+		rm := memmodel.Remote{P: o.P, Hops: 1}
+		for pg := 0; pg < pages; pg++ {
+			for i := 0; i < perPage; i++ {
+				a := uint64(pg)*params.PageSize + uint64(i*8)
+				swMeasured += sw.Access(a, false)
+				rmMeasured += rm.Access(a, false)
+			}
+		}
+		in := anInputs(o, total, float64(perPage))
+		pred1, err := in.RemoteSwapTime()
+		if err != nil {
+			return nil, err
+		}
+		pred2, err := in.RemoteMemoryTime()
+		if err != nil {
+			return nil, err
+		}
+		x := float64(perPage)
+		ms := func(d params.Duration) float64 { return float64(d) / float64(params.Millisecond) }
+		eq1.Add(x, ms(pred1))
+		eq2.Add(x, ms(pred2))
+		meas1.Add(x, ms(swMeasured))
+		meas2.Add(x, ms(rmMeasured))
+	}
+	in := anInputs(o, 1, 1)
+	if x, err := in.CrossoverAPage(); err == nil {
+		fig.Note("analytic crossover: remote swap overtakes remote memory above %.1f accesses per resident page", x)
+	}
+	return fig, nil
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// AblationPrefetch evaluates the paper's named future work: a
+// sequential prefetcher in front of the RMC. A single thread streams
+// sequentially over remote memory (the pattern blackscholes-class
+// applications produce); sweeping the prefetch depth shows the per-line
+// cost collapsing from the full remote round trip toward the local
+// figure, while the random benchmark is unaffected (streams only).
+func AblationPrefetch(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("ablationD", "Sequential prefetching (the paper's future work)",
+		"prefetch depth (lines ahead)", "time per line (µs)")
+	seq := fig.AddSeries("sequential stream over remote memory")
+	rnd := fig.AddSeries("random accesses (unaffected)")
+	localRef := fig.AddSeries("local memory reference")
+
+	lines := o.scaled(40000, 800)
+	for _, depth := range []int{0, 1, 2, 4, 8} {
+		p := o.P
+		p.PrefetchDepth = depth
+		// Prefetch traffic shares the client RMC with demand traffic;
+		// give the RMC a queue deep enough to hold the stream.
+		if depth > 0 && p.RMCQueueDepth < depth+1 {
+			p.RMCQueueDepth = depth + 1
+		}
+		ow := o
+		ow.P = p
+
+		elapsed, err := runSequential(ow, lines)
+		if err != nil {
+			return nil, err
+		}
+		seq.Add(float64(depth), usPerOp(elapsed, lines))
+
+		servers, err := serversAt(ow, 1, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: lines}).run(ow)
+		if err != nil {
+			return nil, err
+		}
+		rnd.Add(float64(depth), usPerOp(res.Elapsed, lines))
+
+		localRef.Add(float64(depth),
+			float64(o.P.DRAMLatency+o.P.DRAMOccupancy+o.P.L1Latency)/float64(params.Microsecond))
+	}
+	fig.Note("depth 0 is the prototype; deeper prefetch hides the fabric round trip behind the stream")
+	fig.Note("the curve floors at the client RMC's %.2f µs service occupancy — prefetching hides latency, not occupancy; closing the rest of the gap needs the ASIC RMC the paper also proposes",
+		float64(o.P.RMCClientOccupancy)/float64(params.Microsecond))
+	return fig, nil
+}
+
+// runSequential streams one thread over consecutive remote lines.
+func runSequential(o Options, lines int) (sim.Time, error) {
+	sys, err := core.NewSystem(sim.New(), o.P)
+	if err != nil {
+		return 0, err
+	}
+	region, err := sys.Region(1)
+	if err != nil {
+		return 0, err
+	}
+	need := uint64(lines+64) * params.CacheLineSize
+	rng, err := region.GrowFrom(2, need)
+	if err != nil {
+		return 0, err
+	}
+	node, err := sys.Cluster().Node(1)
+	if err != nil {
+		return 0, err
+	}
+	i := 0
+	stream := cpu.FuncStream(func() (cpu.Access, bool) {
+		if i >= lines {
+			return cpu.Access{}, false
+		}
+		a := rng.Start + addr.Phys(uint64(i)*params.CacheLineSize)
+		i++
+		return cpu.Access{Addr: a}, true
+	})
+	p := sys.Params()
+	th, err := cpu.NewThread(cpu.ThreadConfig{
+		Name: "seq", Engine: sys.Engine(), Memory: node, Stream: stream,
+		WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
+	})
+	if err != nil {
+		return 0, err
+	}
+	th.Start(0)
+	sys.Engine().Run()
+	if !th.Done {
+		return 0, fmt.Errorf("experiments: sequential stream did not finish")
+	}
+	return th.Elapsed(), nil
+}
+
+// AblationParallelPhase demonstrates the prototype's concession and its
+// escape hatch (paper Section IV-B): writable remote data restricts the
+// application to one core, but a *read-only* phase — after flushing the
+// caches — can run with several threads, because reads of unshared,
+// unwritten remote memory need no coherency at all. Throughput scales
+// with threads until the client RMC's service rate binds, exactly like
+// Figure 7's read curves.
+func AblationParallelPhase(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("ablationE", "Read-only parallel phase after a serial write phase",
+		"threads in the read-only phase", "phase time (ms)")
+	readPhase := fig.AddSeries("read-only phase")
+	ideal := fig.AddSeries("ideal scaling")
+
+	totalReads := o.scaled(60000, 1200)
+	var base float64
+	for _, threads := range []int{1, 2, 4, 8} {
+		elapsed, err := runParallelPhase(o, threads, totalReads)
+		if err != nil {
+			return nil, err
+		}
+		ms := float64(elapsed) / float64(params.Millisecond)
+		readPhase.Add(float64(threads), ms)
+		if threads == 1 {
+			base = ms
+		}
+		ideal.Add(float64(threads), base/float64(threads))
+	}
+	fig.Note("a serial write phase plus cache flush precedes each measurement; scaling saturates at the client RMC like Fig 7")
+	return fig, nil
+}
+
+// runParallelPhase writes a remote buffer with one thread, flushes the
+// node's caches, then measures a read-only phase with the given number
+// of threads.
+func runParallelPhase(o Options, threads, totalReads int) (sim.Time, error) {
+	sys, err := core.NewSystem(sim.New(), o.P)
+	if err != nil {
+		return 0, err
+	}
+	region, err := sys.Region(1)
+	if err != nil {
+		return 0, err
+	}
+	rng, err := region.GrowFrom(2, 64<<20)
+	if err != nil {
+		return 0, err
+	}
+	node, err := sys.Cluster().Node(1)
+	if err != nil {
+		return 0, err
+	}
+	p := sys.Params()
+	eng := sys.Engine()
+
+	// Serial write phase: one core writes the first lines of the buffer.
+	writeLines := o.scaled(2000, 100)
+	wi := 0
+	writeStream := cpu.FuncStream(func() (cpu.Access, bool) {
+		if wi >= writeLines {
+			return cpu.Access{}, false
+		}
+		a := rng.Start + addr.Phys(uint64(wi)*params.CacheLineSize)
+		wi++
+		return cpu.Access{Addr: a, Write: true}, true
+	})
+	wt, err := cpu.NewThread(cpu.ThreadConfig{
+		Name: "writer", Engine: eng, Memory: node, Stream: writeStream,
+		WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
+	})
+	if err != nil {
+		return 0, err
+	}
+	wt.Start(0)
+	eng.Run()
+	if !wt.Done {
+		return 0, fmt.Errorf("experiments: write phase did not finish")
+	}
+
+	// Flush: dirty remote lines go home; after this, caching remote data
+	// read-only is safe on any number of cores.
+	node.FlushCaches(eng.Now())
+
+	// Read-only phase: `threads` cores, random reads over the buffer.
+	start := eng.Now()
+	var threadsDone []*cpu.Thread
+	for t := 0; t < threads; t++ {
+		stream, err := randomReadStream(o.Seed+int64(t)*31, rng, totalReads/threads)
+		if err != nil {
+			return 0, err
+		}
+		th, err := cpu.NewThread(cpu.ThreadConfig{
+			Name: fmt.Sprintf("reader%d", t), Engine: eng, Memory: node, Stream: stream,
+			Core: t * (p.CoresPerNode / maxInt(threads, 1)), WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
+		})
+		if err != nil {
+			return 0, err
+		}
+		th.Start(start)
+		threadsDone = append(threadsDone, th)
+	}
+	eng.Run()
+	var end sim.Time
+	for _, th := range threadsDone {
+		if !th.Done {
+			return 0, fmt.Errorf("experiments: reader did not finish")
+		}
+		if th.FinishTime > end {
+			end = th.FinishTime
+		}
+	}
+	return end - start, nil
+}
+
+func randomReadStream(seed int64, rng addr.Range, count int) (cpu.Stream, error) {
+	return workloads.RandomStream(seed, []addr.Range{rng}, count, 0)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

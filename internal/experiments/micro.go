@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// fig7Client sits at (1,1) of the 4×4 mesh so it has neighbors at one,
+// two, and three hops in all the multiplicities Figure 7 needs.
+const fig7Client = addr.NodeID(6)
+
+// Table1 characterizes the prototype: the configuration constants and
+// the measured unloaded access latencies that anchor every other
+// experiment (the paper reports these in Section IV/V prose; we render
+// them as Table I).
+func Table1(o Options) (*stats.Figure, error) {
+	p := o.P
+	fig := stats.NewFigure("table1", "Prototype configuration and latency characterization",
+		"quantity", "value (µs where applicable)")
+
+	conf := fig.AddSeries("configured")
+	conf.AddLabeled("nodes", 1, float64(p.Nodes()))
+	conf.AddLabeled("cores/node", 2, float64(p.CoresPerNode))
+	conf.AddLabeled("memory/node (GB)", 3, float64(p.MemPerNode>>30))
+	conf.AddLabeled("pooled/node (GB)", 4, float64(p.PooledMemPerNode()>>30))
+	conf.AddLabeled("shared pool (GB)", 5, float64(p.PoolSize()>>30))
+	conf.AddLabeled("outstanding local", 6, float64(p.LocalOutstanding))
+	conf.AddLabeled("outstanding remote (RMC)", 7, float64(p.RemoteOutstanding))
+
+	meas := fig.AddSeries("measured")
+	accesses := o.scaled(20000, 200)
+
+	// Local latency: a thread streaming distinct local lines.
+	sys, err := core.NewSystem(sim.New(), p)
+	if err != nil {
+		return nil, err
+	}
+	localLat, err := measureLocal(sys, accesses)
+	if err != nil {
+		return nil, err
+	}
+	meas.AddLabeled("local access (µs)", 10, localLat/float64(params.Microsecond))
+
+	// Remote latency at 1 and 6 hops, single thread, unloaded. The p99
+	// shows the unloaded path has no latency tail — every access takes
+	// the same hardware trip, unlike a faulting or OS-mediated path.
+	for i, h := range []int{1, 6} {
+		servers, err := serversAt(o, 1, h, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}).run(o)
+		if err != nil {
+			return nil, err
+		}
+		meas.AddLabeled(fmt.Sprintf("remote access, %d hop(s) (µs)", h), float64(11+2*i),
+			res.MeanLatency/float64(params.Microsecond))
+		meas.AddLabeled(fmt.Sprintf("remote access p99, %d hop(s) (µs)", h), float64(12+2*i),
+			res.Threads[0].Latency.Quantile(0.99)/float64(params.Microsecond))
+	}
+	fig.Note("remote/local latency ratio anchors Figures 9-11; analytic 1-hop round trip = %.2f µs",
+		float64(p.RemoteRoundTrip(1))/float64(params.Microsecond))
+	return fig, nil
+}
+
+func measureLocal(sys *core.System, accesses int) (float64, error) {
+	node, err := sys.Cluster().Node(1)
+	if err != nil {
+		return 0, err
+	}
+	var total sim.Time
+	now := sim.Time(0)
+	for i := 0; i < accesses; i++ {
+		a := addr.Phys(uint64(i) * 4096) // distinct pages: always misses
+		start := now
+		var done sim.Time
+		node.Issue(now, 0, cpuAccess(a), false, func(ts sim.Time) { done = ts })
+		sys.Engine().Run()
+		total += done - start
+		now = done
+	}
+	return float64(total) / float64(accesses), nil
+}
+
+// Fig6 measures remote access latency versus distance: the random
+// benchmark with one thread against a single memory server placed 1–6
+// hops away. Latency grows linearly with the hop count; the local
+// latency series shows the gap the RMC pays for crossing the fabric.
+func Fig6(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("fig6", "Remote access latency vs distance",
+		"hops to memory server", "latency per access (µs)")
+	remote := fig.AddSeries("remote memory (measured)")
+	analytic := fig.AddSeries("unloaded round trip (analytic)")
+	local := fig.AddSeries("local memory")
+
+	accesses := o.scaled(20000, 200)
+	for h := 1; h <= 6; h++ {
+		servers, err := serversAt(o, 1, h, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}).run(o)
+		if err != nil {
+			return nil, err
+		}
+		remote.Add(float64(h), res.MeanLatency/float64(params.Microsecond))
+		analytic.Add(float64(h), float64(o.P.RemoteRoundTrip(h))/float64(params.Microsecond))
+		local.Add(float64(h), float64(o.P.DRAMLatency+o.P.DRAMOccupancy+o.P.L1Latency)/float64(params.Microsecond))
+	}
+	fig.Note("latency grows ~%.2f µs per hop (two link traversals per access)",
+		2*float64(o.P.HopLatency)/float64(params.Microsecond))
+	return fig, nil
+}
+
+// Fig7 reproduces the client-bottleneck study: execution time of a fixed
+// number of random loads split over 1/2/4 threads against one server,
+// then 4 threads against four servers at one, two, and three hops. The
+// expected shape: 2 threads halve the time, 4 don't (client-RMC
+// saturation); replicating the server doesn't help; and at 4 threads,
+// moving the servers *farther* slightly *reduces* time because the
+// longer round trip lowers the arrival rate at the client RMC's tiny
+// queue and fewer NACK retries waste its capacity.
+func Fig7(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("fig7", "Client-RMC bottleneck (random benchmark)",
+		"configuration", "execution time (ms)")
+	one := fig.AddSeries("1 server")
+	four := fig.AddSeries("4 servers")
+
+	total := o.scaled(60000, 1200) // total accesses, split across threads
+
+	// Left group: one server one hop away, 1/2/4 threads.
+	for i, threads := range []int{1, 2, 4} {
+		servers, err := serversAt(o, fig7Client, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (microRun{
+			Client: fig7Client, Servers: servers,
+			Threads: threads, AccessesPerThread: total / threads,
+		}).run(o)
+		if err != nil {
+			return nil, err
+		}
+		one.AddLabeled(fmt.Sprintf("%dt, 1 hop", threads), float64(i),
+			float64(res.Elapsed)/float64(params.Millisecond))
+	}
+
+	// Right group: four servers at 1, 2, 3 hops, 4 threads.
+	for j, hops := range []int{1, 2, 3} {
+		servers, err := serversAt(o, fig7Client, hops, 4)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (microRun{
+			Client: fig7Client, Servers: servers,
+			Threads: 4, AccessesPerThread: total / 4,
+		}).run(o)
+		if err != nil {
+			return nil, err
+		}
+		four.AddLabeled(fmt.Sprintf("4t, %d hop", hops), float64(3+j),
+			float64(res.Elapsed)/float64(params.Millisecond))
+	}
+	fig.Note("expected: 1t→2t halves time; 2t→4t does not; 4 servers no better; farther servers slightly faster at 4t")
+	return fig, nil
+}
+
+// fig8Setup describes one x-axis point of Figure 8.
+type fig8Setup struct {
+	Nodes, ThreadsPer int
+}
+
+// Fig8 reproduces the server-congestion study: a control thread on a
+// node connected to the memory server by a private (express) link runs a
+// fixed random workload while an increasing number of other client nodes
+// stress the same server over the mesh. The control time stays flat up
+// to about three stressing nodes, then rises — server-RMC congestion,
+// not network congestion, because the control traffic never shares mesh
+// links with the stressors.
+func Fig8(o Options) (*stats.Figure, error) {
+	const (
+		server  = addr.NodeID(6)  // (1,1)
+		control = addr.NodeID(16) // (3,3), reaches the server by express link only
+	)
+	stressors := []addr.NodeID{1, 2, 3, 4, 5, 7, 9, 10, 11, 13}
+
+	fig := stats.NewFigure("fig8", "Server-RMC congestion (control thread on private link)",
+		"stressing load", "control-thread time (ms)")
+	ctrl := fig.AddSeries("control thread")
+
+	controlAccesses := o.scaled(20000, 400)
+	setups := []fig8Setup{{0, 0}, {1, 1}, {1, 2}, {1, 4}, {2, 4}, {3, 4}, {4, 4}, {5, 4}, {6, 4}}
+	for i, s := range setups {
+		sys, err := core.NewSystem(sim.New(), o.P)
+		if err != nil {
+			return nil, err
+		}
+		meshFab, err := sys.Cluster().MeshFabric()
+		if err != nil {
+			return nil, err
+		}
+		if err := meshFab.AddExpressLink(control, server); err != nil {
+			return nil, err
+		}
+		// Control thread: express-routed loads against the server. The
+		// run ends the moment it finishes; the stressors exist only to
+		// load the server while it runs.
+		eng := sys.Engine()
+		ctrlRun := microRun{
+			Client: control, Servers: []addr.NodeID{server},
+			Threads: 1, AccessesPerThread: controlAccesses, Express: true,
+			OnThreadDone: func(*cpu.Thread, sim.Time) { eng.Stop() },
+		}
+		ctrlThreads, err := ctrlRun.launch(sys, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// Stressing clients: effectively endless streams against the same
+		// server over the mesh; the run ends when the control finishes.
+		for n := 0; n < s.Nodes; n++ {
+			stress := microRun{
+				Client: stressors[n], Servers: []addr.NodeID{server},
+				Threads: s.ThreadsPer, AccessesPerThread: controlAccesses * 50,
+			}
+			if _, err := stress.launch(sys, o.Seed+int64(100*(n+1))); err != nil {
+				return nil, err
+			}
+		}
+		for !ctrlThreads[0].Done {
+			if eng.Pending() == 0 {
+				return nil, fmt.Errorf("experiments: fig8 run stalled")
+			}
+			eng.Run()
+		}
+		label := "no stressors"
+		if s.Nodes > 0 {
+			label = fmt.Sprintf("%dn x %dt", s.Nodes, s.ThreadsPer)
+		}
+		ctrl.AddLabeled(label, float64(i),
+			float64(ctrlThreads[0].FinishTime)/float64(params.Millisecond))
+	}
+	fig.Note("expected: flat through ~3 nodes x 4 threads, then rising as the server RMC saturates")
+	return fig, nil
+}
+
+// AblationWindow sweeps the per-core outstanding-request limit against
+// the RMC range — the prototype's HT-I/O-unit restriction (1) versus the
+// paper's future-work goal of a real memory controller (up to the local
+// window of 8).
+func AblationWindow(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("ablationB", "Outstanding-request window (RMC as I/O unit vs memory controller)",
+		"outstanding remote requests per core", "execution time (ms)")
+	s := fig.AddSeries("1 thread, 1 server, 1 hop")
+	accesses := o.scaled(40000, 800)
+	for _, w := range []int{1, 2, 4, 8} {
+		p := o.P
+		p.RemoteOutstanding = w
+		// A real memory-controller RMC (the paper's future work) would
+		// size its admission queue for the node's outstanding requests;
+		// widening the window without the queue only multiplies NACKs.
+		if p.RMCQueueDepth < w {
+			p.RMCQueueDepth = w
+		}
+		ow := o
+		ow.P = p
+		servers, err := serversAt(ow, 1, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}).run(ow)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(w), float64(res.Elapsed)/float64(params.Millisecond))
+	}
+	fig.Note("window 1 is the prototype; widening overlaps round trips until the client RMC occupancy binds")
+	return fig, nil
+}
+
+// AblationRetry probes the mechanism behind Figure 7's inversion: with
+// the prototype's tiny admission queue, 4 threads at 1 hop waste client-
+// RMC capacity on NACK retries, so 3 hops can be faster; deepening the
+// queue removes the inversion.
+func AblationRetry(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("ablationC", "Client-RMC admission queue vs the Fig. 7 inversion",
+		"RMC queue depth", "execution time, 4 threads (ms)")
+	near := fig.AddSeries("4 servers, 1 hop")
+	far := fig.AddSeries("4 servers, 3 hops")
+	total := o.scaled(60000, 1200)
+	for _, depth := range []int{1, 2, 4, 8} {
+		p := o.P
+		p.RMCQueueDepth = depth
+		od := o
+		od.P = p
+		for _, hops := range []int{1, 3} {
+			servers, err := serversAt(od, fig7Client, hops, 4)
+			if err != nil {
+				return nil, err
+			}
+			res, err := (microRun{
+				Client: fig7Client, Servers: servers,
+				Threads: 4, AccessesPerThread: total / 4,
+			}).run(od)
+			if err != nil {
+				return nil, err
+			}
+			ms := float64(res.Elapsed) / float64(params.Millisecond)
+			if hops == 1 {
+				near.Add(float64(depth), ms)
+			} else {
+				far.Add(float64(depth), ms)
+			}
+		}
+	}
+	fig.Note("at depth 1 the near configuration can exceed the far one (retry waste); deeper queues restore near <= far")
+	return fig, nil
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"repro/internal/addr"
+	"repro/internal/anmodel"
+	"repro/internal/cohdsm"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func anInputs(o Options, total uint64, perPage float64) anmodel.Inputs {
+	in := anmodel.FromParams(o.P, 1)
+	in.ATotal = total
+	in.APage = perPage
+	return in
+}
+
+// Fig11 runs the PARSEC-class suite under the three configurations of
+// the paper's final experiment: all-local memory (the 128 GB mainframe
+// stand-in), the prototype's remote memory, and remote swap. Kernel
+// footprints are scaled multiples of the swap configuration's local
+// memory, preserving each benchmark's footprint class.
+func Fig11(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("fig11", "PARSEC-class benchmarks under three memory configurations",
+		"benchmark", "execution time (ms)")
+
+	p := o.P
+	// Scale the kernels via the residency knob so Scale shrinks both the
+	// footprints and the local budget coherently.
+	p.SwapResidentPages = btreeResidency(o)
+	suite := workloads.ParsecSuite(p)
+
+	configs := []memmodel.Config{memmodel.ConfigLocal, memmodel.ConfigRemote, memmodel.ConfigRemoteSwap}
+	series := make(map[memmodel.Config]*stats.Series, len(configs))
+	for _, cfg := range configs {
+		series[cfg] = fig.AddSeries(cfg.String())
+	}
+	for i, k := range suite {
+		for _, cfg := range configs {
+			base, err := memmodel.Build(cfg, p, 1, p.SwapResidentPages)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := memmodel.NewLineCached(base, p, memmodel.DefaultCacheLines)
+			if err != nil {
+				return nil, err
+			}
+			res := k.Run(acc, o.Seed)
+			series[cfg].AddLabeled(k.Name, float64(i), float64(res.Total())/float64(params.Millisecond))
+		}
+	}
+	fig.Note("expected: blackscholes/raytrace swap ~2x the prototype; canneal swap prohibitive, prototype slower than local but feasible; streamcluster all equal")
+	return fig, nil
+}
+
+// AblationCoherency is the motivation experiment the paper argues from:
+// what inter-node coherency would cost. On the coherent-DSM baseline
+// (the 3Leaf/ScaleMP approach), the cost of writing a line grows with
+// the number of nodes that have read it, because every one of their
+// caches must be invalidated. Under the RMC architecture the same write
+// costs the flat remote round trip no matter how many nodes contribute
+// memory, because no cache outside the writer's node ever holds the
+// line — coherency domains never span nodes.
+func AblationCoherency(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("ablationA", "Coherency overhead vs nodes sharing the data",
+		"nodes that read the line before the write", "write latency (µs)")
+	coh := fig.AddSeries("coherent DSM (directory MSI)")
+	rmcFlat := fig.AddSeries("non-coherent RMC region")
+
+	accesses := o.scaled(40000, 800)
+	const lines = 256
+	for _, sharers := range []int{1, 2, 4, 8, 12, 15} {
+		m, err := cohdsm.New(o.P, 16)
+		if err != nil {
+			return nil, err
+		}
+		// For each line: `sharers` distinct nodes read it, then node 15
+		// (never among the readers) writes it. Average the write cost.
+		var writeTotal params.Duration
+		for l := uint64(0); l < lines; l++ {
+			for s := 0; s < sharers; s++ {
+				if _, err := m.Access(s, l, false); err != nil {
+					return nil, err
+				}
+			}
+			lat, err := m.Access(15, l, true)
+			if err != nil {
+				return nil, err
+			}
+			writeTotal += lat
+		}
+		if err := m.CheckInvariants(); err != nil {
+			return nil, err
+		}
+		coh.Add(float64(sharers), float64(writeTotal)/float64(lines)/float64(params.Microsecond))
+
+		// RMC side: one node aggregates memory from the same number of
+		// donors and writes it with no coherency traffic at all —
+		// measured on the micro layer so congestion effects are not
+		// assumed away.
+		rmcLat, err := rmcAggregateLatency(o, sharers+1, accesses)
+		if err != nil {
+			return nil, err
+		}
+		rmcFlat.Add(float64(sharers), rmcLat/float64(params.Microsecond))
+	}
+	fig.Note("coherent-DSM write cost grows with the sharer count; the RMC write cost is the flat remote round trip")
+	return fig, nil
+}
+
+// rmcAggregateLatency measures mean access latency when node 1 spreads
+// its working set over memory borrowed from n-1 donors.
+func rmcAggregateLatency(o Options, nodes, accesses int) (float64, error) {
+	sys, err := core.NewSystem(sim.New(), o.P)
+	if err != nil {
+		return 0, err
+	}
+	var donors []addr.NodeID
+	for id := addr.NodeID(2); int(id) <= nodes; id++ {
+		donors = append(donors, id)
+	}
+	if len(donors) == 0 {
+		donors = []addr.NodeID{2}
+	}
+	mr := microRun{Client: 1, Servers: donors, Threads: 1, AccessesPerThread: accesses, WriteFrac: 0.25}
+	threads, err := mr.launch(sys, o.Seed)
+	if err != nil {
+		return 0, err
+	}
+	sys.Engine().Run()
+	res, err := collect(threads)
+	if err != nil {
+		return 0, err
+	}
+	return res.MeanLatency, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/params"
+)
+
+// ApplyParam sets one named calibration knob from its string form, for
+// the harness's -sweep flag and ad-hoc sensitivity studies. Duration
+// knobs accept Go duration syntax ("420ns", "1.5us"); integer knobs
+// accept plain integers. SweepableParams lists the accepted names.
+func ApplyParam(p *params.Params, key, value string) error {
+	setDur := func(dst *params.Duration) error {
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", key, err)
+		}
+		*dst = params.FromStd(d)
+		return nil
+	}
+	setInt := func(dst *int) error {
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", key, err)
+		}
+		*dst = n
+		return nil
+	}
+	switch key {
+	case "RMCClientOccupancy":
+		return setDur(&p.RMCClientOccupancy)
+	case "RMCServerOccupancy":
+		return setDur(&p.RMCServerOccupancy)
+	case "RMCRetryPenalty":
+		return setDur(&p.RMCRetryPenalty)
+	case "RMCRetryWaste":
+		return setDur(&p.RMCRetryWaste)
+	case "HopLatency":
+		return setDur(&p.HopLatency)
+	case "DRAMLatency":
+		return setDur(&p.DRAMLatency)
+	case "SwapTrapOverhead":
+		return setDur(&p.SwapTrapOverhead)
+	case "SwapPageTransfer":
+		return setDur(&p.SwapPageTransfer)
+	case "RMCQueueDepth":
+		return setInt(&p.RMCQueueDepth)
+	case "RemoteOutstanding":
+		return setInt(&p.RemoteOutstanding)
+	case "PrefetchDepth":
+		return setInt(&p.PrefetchDepth)
+	case "SwapResidentPages":
+		return setInt(&p.SwapResidentPages)
+	default:
+		return fmt.Errorf("experiments: unknown sweep parameter %q (available: %s)",
+			key, strings.Join(SweepableParams(), ", "))
+	}
+}
+
+// SweepableParams lists the knobs ApplyParam accepts.
+func SweepableParams() []string {
+	return []string{
+		"RMCClientOccupancy", "RMCServerOccupancy", "RMCRetryPenalty", "RMCRetryWaste",
+		"HopLatency", "DRAMLatency", "SwapTrapOverhead", "SwapPageTransfer",
+		"RMCQueueDepth", "RemoteOutstanding", "PrefetchDepth", "SwapResidentPages",
+	}
+}
+
+// ParseSweep parses a "-sweep Key=v1,v2,v3" specification.
+func ParseSweep(spec string) (key string, values []string, err error) {
+	parts := strings.SplitN(spec, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", nil, fmt.Errorf("experiments: sweep spec %q, want Key=v1,v2,...", spec)
+	}
+	values = strings.Split(parts[1], ",")
+	for _, v := range values {
+		if strings.TrimSpace(v) == "" {
+			return "", nil, fmt.Errorf("experiments: empty value in sweep spec %q", spec)
+		}
+	}
+	return parts[0], values, nil
+}

@@ -1,0 +1,115 @@
+package hnc
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/addr"
+	"repro/internal/ht"
+)
+
+// The paper lists "concerns related to communication reliability and
+// security" among the components a full deployment needs but does not
+// describe. This file supplies the transport-integrity half: a CRC over
+// each frame's routing header and payload, and per-peer sequence
+// tracking that detects dropped or reordered frames. The RMC protocol
+// itself stays simple — integrity failures surface as counted, checkable
+// events rather than silent corruption.
+
+// Checksum computes the frame's integrity word over the routing header
+// and the encapsulated packet's metadata and data.
+func (f Frame) Checksum() uint32 {
+	h := crc32.NewIEEE()
+	var hdr [32]byte
+	put := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			hdr[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put(0, uint64(f.Src)|uint64(f.Dst)<<16|uint64(f.Payload.Cmd)<<32|uint64(f.Payload.SrcUnit)<<40|uint64(f.Payload.SrcTag)<<48)
+	put(8, f.Seq)
+	put(16, uint64(f.Payload.Addr))
+	put(24, uint64(f.Payload.Count))
+	h.Write(hdr[:])
+	h.Write(f.Payload.Data)
+	return h.Sum32()
+}
+
+// Sealed is a frame carrying its checksum, as it travels on an
+// unreliable fabric.
+type Sealed struct {
+	Frame Frame
+	CRC   uint32
+}
+
+// Seal attaches the checksum.
+func Seal(f Frame) Sealed { return Sealed{Frame: f, CRC: f.Checksum()} }
+
+// Open verifies the checksum and returns the frame.
+func (s Sealed) Open() (Frame, error) {
+	if got := s.Frame.Checksum(); got != s.CRC {
+		return Frame{}, fmt.Errorf("hnc: checksum mismatch on %v: %#x != %#x", s.Frame, got, s.CRC)
+	}
+	return s.Frame, nil
+}
+
+// Verifier tracks per-peer frame sequences at a receiving RMC and counts
+// integrity events. It tolerates the benign case (first frame from a
+// peer) and flags gaps (dropped frames) and regressions (reordering or
+// replay).
+type Verifier struct {
+	self addr.NodeID
+	last map[addr.NodeID]uint64
+
+	// Received, Gaps, Regressions, and Corrupt count events.
+	Received, Gaps, Regressions, Corrupt uint64
+}
+
+// NewVerifier builds a verifier for one node.
+func NewVerifier(self addr.NodeID) *Verifier {
+	return &Verifier{self: self, last: make(map[addr.NodeID]uint64)}
+}
+
+// Accept verifies a sealed frame end to end: checksum, destination, and
+// per-source sequencing. It returns the frame when clean; integrity
+// failures return errors and bump the counters.
+func (v *Verifier) Accept(s Sealed) (Frame, error) {
+	f, err := s.Open()
+	if err != nil {
+		v.Corrupt++
+		return Frame{}, err
+	}
+	if f.Dst != v.self {
+		return Frame{}, fmt.Errorf("hnc: frame for node %d accepted at node %d", f.Dst, v.self)
+	}
+	v.Received++
+	last, seen := v.last[f.Src]
+	switch {
+	case !seen:
+		// First contact with this peer.
+	case f.Seq == last+1:
+		// In order.
+	case f.Seq > last+1:
+		v.Gaps += f.Seq - last - 1
+	default:
+		v.Regressions++
+		return Frame{}, fmt.Errorf("hnc: frame %d from node %d after %d (reorder or replay)", f.Seq, f.Src, last)
+	}
+	if f.Seq > last {
+		v.last[f.Src] = f.Seq
+	}
+	return f, nil
+}
+
+// Clean reports whether no integrity events have been observed.
+func (v *Verifier) Clean() bool { return v.Gaps == 0 && v.Regressions == 0 && v.Corrupt == 0 }
+
+// ReassembledPayload is a convenience for tests: verify and decapsulate
+// in one step through a bridge.
+func (v *Verifier) ReassembledPayload(b *Bridge, s Sealed) (ht.Packet, error) {
+	f, err := v.Accept(s)
+	if err != nil {
+		return ht.Packet{}, err
+	}
+	return b.Inbound(f)
+}

@@ -1,0 +1,182 @@
+package ht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestCommandClassification(t *testing.T) {
+	cases := []struct {
+		cmd      Command
+		req, rsp bool
+	}{
+		{CmdRdSized, true, false},
+		{CmdWrSized, true, false},
+		{CmdRdResponse, false, true},
+		{CmdTgtDone, false, true},
+	}
+	for _, c := range cases {
+		if c.cmd.IsRequest() != c.req || c.cmd.IsResponse() != c.rsp {
+			t.Errorf("%v: IsRequest=%v IsResponse=%v", c.cmd, c.cmd.IsRequest(), c.cmd.IsResponse())
+		}
+	}
+	if Command(99).String() == "" {
+		t.Error("unknown command should still render")
+	}
+}
+
+func TestResponseConstruction(t *testing.T) {
+	rd := Packet{Cmd: CmdRdSized, SrcUnit: 3, SrcTag: 42, Addr: 0x1000, Count: 64}
+	data := make([]byte, 64)
+	rsp := rd.Response(data)
+	if rsp.Cmd != CmdRdResponse || rsp.SrcUnit != 3 || rsp.SrcTag != 42 || len(rsp.Data) != 64 {
+		t.Errorf("read response malformed: %v", rsp)
+	}
+	if err := rsp.Validate(); err != nil {
+		t.Errorf("read response invalid: %v", err)
+	}
+
+	wr := Packet{Cmd: CmdWrSized, SrcUnit: 1, SrcTag: 7, Addr: 0x2000, Count: 8, Data: make([]byte, 8)}
+	ack := wr.Response(nil)
+	if ack.Cmd != CmdTgtDone || ack.SrcTag != 7 {
+		t.Errorf("write ack malformed: %v", ack)
+	}
+}
+
+func TestResponseOnResponsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Response on a response did not panic")
+		}
+	}()
+	Packet{Cmd: CmdTgtDone}.Response(nil)
+}
+
+func TestValidate(t *testing.T) {
+	good := Packet{Cmd: CmdRdSized, SrcUnit: 0, Addr: 0x100, Count: 64}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid packet rejected: %v", err)
+	}
+	bad := []Packet{
+		{Cmd: Command(0)},
+		{Cmd: CmdRdSized, SrcUnit: MaxUnits, Addr: 0x100, Count: 64},
+		{Cmd: CmdRdSized, Addr: 0x100, Count: 0},
+		{Cmd: CmdRdSized, Addr: addr.Phys(1) << addr.TotalBits, Count: 64},
+		{Cmd: CmdWrSized, Addr: 0x100, Count: 64, Data: make([]byte, 8)},
+		{Cmd: CmdRdResponse, Count: 64, Data: make([]byte, 8)},
+		{Cmd: CmdRdSized, Addr: 0x100, Count: 64, Posted: true},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid packet %d accepted: %v", i, p)
+		}
+	}
+}
+
+func TestFlitBytes(t *testing.T) {
+	p := Packet{Cmd: CmdRdSized, Addr: 0x0, Count: 64}
+	if got := p.FlitBytes(); got != 8 {
+		t.Errorf("header-only packet = %d bytes, want 8", got)
+	}
+	p.Data = make([]byte, 64)
+	if got := p.FlitBytes(); got != 72 {
+		t.Errorf("64B payload packet = %d bytes, want 72", got)
+	}
+	p.Data = make([]byte, 5)
+	if got := p.FlitBytes(); got != 16 {
+		t.Errorf("5B payload packet = %d bytes, want 16 (4B granularity)", got)
+	}
+}
+
+func TestRoutingTableBasics(t *testing.T) {
+	var rt RoutingTable
+	if err := rt.AddBAR(BAR{Range: addr.Range{Start: 0, Size: 0x1000}, Unit: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddBAR(BAR{Range: addr.Range{Start: 0x1000, Size: 0x1000}, Unit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddBAR(BAR{Range: addr.Range{Start: 0x800, Size: 0x100}, Unit: 2}); err == nil {
+		t.Error("overlapping BAR accepted")
+	}
+	if err := rt.AddBAR(BAR{Range: addr.Range{Start: 0x9000, Size: 0}, Unit: 2}); err == nil {
+		t.Error("empty BAR accepted")
+	}
+	if err := rt.AddBAR(BAR{Range: addr.Range{Start: 0x9000, Size: 4}, Unit: MaxUnits}); err == nil {
+		t.Error("out-of-range unit accepted")
+	}
+	if u, err := rt.Route(0xfff); err != nil || u != 0 {
+		t.Errorf("Route(0xfff) = %d, %v", u, err)
+	}
+	if u, err := rt.Route(0x1000); err != nil || u != 1 {
+		t.Errorf("Route(0x1000) = %d, %v", u, err)
+	}
+	if _, err := rt.Route(0x2000); err == nil {
+		t.Error("unclaimed address routed")
+	}
+	if rt.Len() != 2 || len(rt.BARs()) != 2 {
+		t.Error("BAR bookkeeping wrong")
+	}
+}
+
+func TestBuildNodeTable(t *testing.T) {
+	// 4 sockets × 4 GB, 16-node cluster, RMC at unit 8 — the prototype.
+	rt, err := BuildNodeTable(4, 16<<30, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local address in the second socket's range.
+	if u, err := rt.Route(addr.Phys(5 << 30)); err != nil || u != 1 {
+		t.Errorf("Route(5GB) = %d, %v; want socket 1", u, err)
+	}
+	// Any prefixed address goes to the RMC.
+	if u, err := rt.Route(addr.Phys(0x100).WithNode(13)); err != nil || u != 8 {
+		t.Errorf("prefixed route = %d, %v; want RMC unit 8", u, err)
+	}
+	// Address beyond the cluster is unclaimed.
+	if _, err := rt.Route(addr.Phys(0x100).WithNode(17)); err == nil {
+		t.Error("address beyond cluster claimed")
+	}
+}
+
+func TestBuildNodeTableErrors(t *testing.T) {
+	if _, err := BuildNodeTable(0, 16<<30, 16, 8); err == nil {
+		t.Error("zero sockets accepted")
+	}
+	if _, err := BuildNodeTable(3, 16<<30, 16, 8); err == nil {
+		t.Error("non-divisible memory accepted")
+	}
+}
+
+func TestRouteMatchesSocketOfProperty(t *testing.T) {
+	rt, err := BuildNodeTable(4, 16<<30, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint64) bool {
+		a := addr.Phys(raw % (16 << 30))
+		u, err := rt.Route(a)
+		if err != nil {
+			return false
+		}
+		s, err := SocketOf(a, 4, 16<<30)
+		if err != nil {
+			return false
+		}
+		return int(u) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSocketOfErrors(t *testing.T) {
+	if _, err := SocketOf(addr.Phys(0x100).WithNode(2), 4, 1<<30); err == nil {
+		t.Error("prefixed address accepted")
+	}
+	if _, err := SocketOf(addr.Phys(2<<30), 4, 1<<30); err == nil {
+		t.Error("beyond-memory address accepted")
+	}
+}

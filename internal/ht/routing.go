@@ -1,0 +1,109 @@
+package ht
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+)
+
+// BAR is one base-address-register entry: requests whose address falls in
+// Range are forwarded to Unit. The set of BARs at each processor is
+// configured at initialization to reflect the physical memory
+// distribution (paper Section III-B).
+type BAR struct {
+	Range addr.Range
+	Unit  UnitID
+}
+
+// RoutingTable is the ordered BAR set a processor consults to forward a
+// memory operation. Entries must not overlap.
+type RoutingTable struct {
+	bars []BAR
+}
+
+// AddBAR installs an entry. It rejects overlaps: two claimants for one
+// address would make forwarding nondeterministic.
+func (t *RoutingTable) AddBAR(b BAR) error {
+	if b.Range.Size == 0 {
+		return fmt.Errorf("ht: empty BAR for unit %d", b.Unit)
+	}
+	if b.Unit >= MaxUnits {
+		return fmt.Errorf("ht: BAR names unit %d beyond the chain limit", b.Unit)
+	}
+	for _, e := range t.bars {
+		if e.Range.Overlaps(b.Range) {
+			return fmt.Errorf("ht: BAR %v overlaps existing %v", b.Range, e.Range)
+		}
+	}
+	t.bars = append(t.bars, b)
+	sort.Slice(t.bars, func(i, j int) bool { return t.bars[i].Range.Start < t.bars[j].Range.Start })
+	return nil
+}
+
+// Route returns the unit owning the address, performing the BAR
+// comparison a processor does before generating the HT message.
+func (t *RoutingTable) Route(a addr.Phys) (UnitID, error) {
+	// Binary search over the sorted, non-overlapping entries.
+	i := sort.Search(len(t.bars), func(i int) bool { return t.bars[i].Range.End() > a })
+	if i < len(t.bars) && t.bars[i].Range.Contains(a) {
+		return t.bars[i].Unit, nil
+	}
+	return 0, fmt.Errorf("ht: no BAR claims address %v", a)
+}
+
+// Len returns the number of installed BARs.
+func (t *RoutingTable) Len() int { return len(t.bars) }
+
+// BARs returns a copy of the installed entries in address order.
+func (t *RoutingTable) BARs() []BAR {
+	out := make([]BAR, len(t.bars))
+	copy(out, t.bars)
+	return out
+}
+
+// BuildNodeTable constructs the standard routing table of one node:
+// local memory is interleaved across the sockets' memory controllers
+// (units 0..sockets-1), and everything carrying a node prefix is claimed
+// by the RMC unit. This is the Figure 2(b) configuration.
+func BuildNodeTable(sockets int, memEach uint64, clusterNodes int, rmcUnit UnitID) (*RoutingTable, error) {
+	if sockets < 1 {
+		return nil, fmt.Errorf("ht: %d sockets", sockets)
+	}
+	if memEach%uint64(sockets) != 0 {
+		return nil, fmt.Errorf("ht: %d bytes not divisible across %d sockets", memEach, sockets)
+	}
+	t := &RoutingTable{}
+	per := memEach / uint64(sockets)
+	for s := 0; s < sockets; s++ {
+		b := BAR{Range: addr.Range{Start: addr.Phys(uint64(s) * per), Size: per}, Unit: UnitID(s)}
+		if err := t.AddBAR(b); err != nil {
+			return nil, err
+		}
+	}
+	if clusterNodes > 0 {
+		// One contiguous BAR covers every prefixed node segment: the RMC
+		// needs no per-node entries because the prefix itself routes.
+		span := addr.Range{
+			Start: addr.NodeBase(1),
+			Size:  uint64(clusterNodes) * addr.LocalSpace,
+		}
+		if err := t.AddBAR(BAR{Range: span, Unit: rmcUnit}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// SocketOf returns which socket's memory controller owns a local address
+// under the BuildNodeTable layout.
+func SocketOf(a addr.Phys, sockets int, memEach uint64) (int, error) {
+	if !a.IsLocal() {
+		return 0, fmt.Errorf("ht: %v is not a local address", a)
+	}
+	if uint64(a) >= memEach {
+		return 0, fmt.Errorf("ht: %v beyond installed memory", a)
+	}
+	per := memEach / uint64(sockets)
+	return int(uint64(a) / per), nil
+}

@@ -1,0 +1,177 @@
+// Package htoe models HyperTransport-over-Ethernet, the interconnect
+// option the paper notes the HyperTransport Consortium was standardizing
+// ("HyperTransport over Ethernet and HyperTransport over Infiniband,
+// that will allow the use of standard Ethernet and Infiniband
+// switches"). Instead of the prototype's direct 2D mesh, every node's
+// RMC hangs off one NIC link to a central store-and-forward Ethernet
+// switch: two hops for any pair, commodity hardware, but encapsulation
+// and switching costs on every frame — the trade the consortium's
+// standard buys.
+//
+// The model: an HNC frame is wrapped in one or more Ethernet frames
+// (MTU-segmented for page-sized transfers), serialized onto the source
+// NIC's uplink, forwarded by the switch (a shared FIFO — the fabric's
+// central contention point), and serialized down the destination NIC's
+// downlink.
+package htoe
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// Ethernet constants.
+const (
+	// FrameOverhead is the per-Ethernet-frame header/trailer bytes
+	// (MACs, type, FCS, preamble, IFG).
+	FrameOverhead = 38
+	// MTU is the payload capacity of one Ethernet frame.
+	MTU = 1500
+)
+
+// Config carries the HToE timing parameters. Defaults model 2010-era
+// 10 GbE cut-through-capable gear used store-and-forward.
+type Config struct {
+	// NICLatency is the per-end encapsulation/decapsulation cost.
+	NICLatency params.Duration
+	// WireLatency is the one-way link propagation + PHY latency.
+	WireLatency params.Duration
+	// SwitchLatency is the switch's store-and-forward latency per frame.
+	SwitchLatency params.Duration
+	// LinkOccupancy is the serialization time of 64 bytes on a link
+	// (10 GbE: 64 B ≈ 51 ns).
+	LinkOccupancy params.Duration
+	// SwitchOccupancy is the switching capacity consumed per frame.
+	SwitchOccupancy params.Duration
+}
+
+// DefaultConfig returns the calibrated 10 GbE figures.
+func DefaultConfig() Config {
+	return Config{
+		NICLatency:      500 * params.Nanosecond,
+		WireLatency:     200 * params.Nanosecond,
+		SwitchLatency:   500 * params.Nanosecond,
+		LinkOccupancy:   51 * params.Nanosecond,
+		SwitchOccupancy: 60 * params.Nanosecond,
+	}
+}
+
+// Validate reports the first inconsistency.
+func (c Config) Validate() error {
+	if c.NICLatency <= 0 || c.WireLatency <= 0 || c.SwitchLatency <= 0 ||
+		c.LinkOccupancy <= 0 || c.SwitchOccupancy <= 0 {
+		return fmt.Errorf("htoe: all latencies must be positive")
+	}
+	return nil
+}
+
+// Fabric is the switched-Ethernet fabric.
+type Fabric struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes int
+
+	up, down map[addr.NodeID]*sim.Resource
+	sw       *sim.Resource
+
+	// Delivered counts HNC frames delivered; Frames counts Ethernet
+	// frames used (> Delivered when segmentation kicks in).
+	Delivered, Frames uint64
+}
+
+// New builds the fabric for a cluster of the given node count.
+func New(eng *sim.Engine, nodes int, cfg Config) (*Fabric, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("htoe: nil engine")
+	}
+	if nodes < 1 || nodes > addr.MaxNode {
+		return nil, fmt.Errorf("htoe: %d nodes", nodes)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		eng:   eng,
+		cfg:   cfg,
+		nodes: nodes,
+		up:    make(map[addr.NodeID]*sim.Resource, nodes),
+		down:  make(map[addr.NodeID]*sim.Resource, nodes),
+		sw:    sim.NewResource(eng, "htoe/switch", 0),
+	}
+	for i := 1; i <= nodes; i++ {
+		id := addr.NodeID(i)
+		f.up[id] = sim.NewResource(eng, fmt.Sprintf("htoe/up%d", id), 0)
+		f.down[id] = sim.NewResource(eng, fmt.Sprintf("htoe/down%d", id), 0)
+	}
+	return f, nil
+}
+
+// frames returns the Ethernet frame count and total wire bytes for an
+// HNC payload of the given size.
+func frames(payload int) (count, wireBytes int) {
+	if payload <= 0 {
+		return 1, FrameOverhead
+	}
+	count = (payload + MTU - 1) / MTU
+	return count, payload + count*FrameOverhead
+}
+
+// serialize returns the link occupancy of wireBytes.
+func (f *Fabric) serialize(wireBytes int) sim.Time {
+	units := (wireBytes + params.CacheLineSize - 1) / params.CacheLineSize
+	if units < 1 {
+		units = 1
+	}
+	return sim.Time(units) * f.cfg.LinkOccupancy
+}
+
+// Deliver implements rmc.Fabric: NIC encap → uplink → switch → downlink
+// → NIC decap. Every pair is exactly two link hops apart — the constant-
+// distance property that makes switched fabrics attractive, bought at
+// higher per-frame cost and a shared switch.
+func (f *Fabric) Deliver(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim.Time, int) {
+	if !f.contains(src) || !f.contains(dst) {
+		panic(fmt.Sprintf("htoe: delivery %d->%d outside the %d-node fabric", src, dst, f.nodes))
+	}
+	if src == dst {
+		return now, 0
+	}
+	nFrames, totalWire := frames(wireBytes)
+	f.Frames += uint64(nFrames)
+	occ := f.serialize(totalWire)
+
+	t := now + f.cfg.NICLatency
+	upDone, _ := f.up[src].Acquire(t, occ)
+	t = upDone + f.cfg.WireLatency
+	swDone, _ := f.sw.Acquire(t, sim.Time(nFrames)*f.cfg.SwitchOccupancy)
+	t = swDone + f.cfg.SwitchLatency
+	downDone, _ := f.down[dst].Acquire(t, occ)
+	t = downDone + f.cfg.WireLatency + f.cfg.NICLatency
+	f.Delivered++
+	return t, 2
+}
+
+// DeliverExpress implements rmc.Fabric: a switched fabric has no spare
+// point-to-point ports, so express links do not exist here.
+func (f *Fabric) DeliverExpress(sim.Time, addr.NodeID, addr.NodeID, int) (sim.Time, error) {
+	return 0, fmt.Errorf("htoe: switched fabrics have no express links")
+}
+
+// SwitchUtilization reports the shared switch's occupancy fraction.
+func (f *Fabric) SwitchUtilization(elapsed sim.Time) float64 { return f.sw.Utilization(elapsed) }
+
+func (f *Fabric) contains(n addr.NodeID) bool { return n >= 1 && int(n) <= f.nodes }
+
+// RoundTrip returns the unloaded round-trip estimate for a cache-line
+// read over this fabric (request + response traversals plus the remote
+// service terms supplied by the caller).
+func (f *Fabric) RoundTrip(serviceTerms params.Duration) params.Duration {
+	// One line-sized frame serializes on the uplink and the downlink and
+	// crosses the (unloaded) switch.
+	oneWay := f.cfg.NICLatency*2 + f.cfg.WireLatency*2 + f.cfg.SwitchLatency +
+		f.cfg.SwitchOccupancy + 2*f.serialize(FrameOverhead+72)
+	return 2*oneWay + serviceTerms
+}

@@ -1,0 +1,130 @@
+// Package memdir is the cluster-wide free-memory directory — the OS
+// service augmentation the paper lists ("knowledge of the location of
+// free memory across the cluster"). Nodes register their pooled
+// capacity; a node running out of memory asks the directory for a donor,
+// under a placement policy (most free bytes, or nearest by mesh hops,
+// which the microbenchmarks use to position memory servers).
+package memdir
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+)
+
+// Policy selects a donor among candidates.
+type Policy int
+
+// Donor-selection policies.
+const (
+	// MostFree picks the node with the most free pooled bytes, breaking
+	// ties by lowest identifier. Spreads load.
+	MostFree Policy = iota
+	// Nearest picks the closest node (by the registered distance
+	// function) with enough free bytes, breaking ties by most free.
+	Nearest
+)
+
+// Directory tracks pooled capacity across the cluster.
+type Directory struct {
+	free map[addr.NodeID]uint64
+	dist func(a, b addr.NodeID) int
+
+	// Grants counts successful donor selections.
+	Grants uint64
+}
+
+// New creates a directory. dist gives inter-node distance for the
+// Nearest policy; nil disables that policy.
+func New(dist func(a, b addr.NodeID) int) *Directory {
+	return &Directory{free: make(map[addr.NodeID]uint64), dist: dist}
+}
+
+// Register announces a node's pooled capacity (or updates it).
+func (d *Directory) Register(n addr.NodeID, bytes uint64) error {
+	if n == 0 || n > addr.MaxNode {
+		return fmt.Errorf("memdir: invalid node %d", n)
+	}
+	d.free[n] = bytes
+	return nil
+}
+
+// Free returns a node's registered free bytes.
+func (d *Directory) Free(n addr.NodeID) uint64 { return d.free[n] }
+
+// TotalFree returns the pool-wide free bytes.
+func (d *Directory) TotalFree() uint64 {
+	var total uint64
+	for _, b := range d.free {
+		total += b
+	}
+	return total
+}
+
+// FindDonor selects a donor with at least want free bytes for requester
+// self (never self: borrowing from yourself is just local allocation).
+func (d *Directory) FindDonor(self addr.NodeID, want uint64, policy Policy) (addr.NodeID, error) {
+	type cand struct {
+		id   addr.NodeID
+		free uint64
+	}
+	var cands []cand
+	for id, f := range d.free {
+		if id != self && f >= want {
+			cands = append(cands, cand{id, f})
+		}
+	}
+	if len(cands) == 0 {
+		return 0, fmt.Errorf("memdir: no node has %d free pooled bytes (cluster free %d)", want, d.TotalFree())
+	}
+	switch policy {
+	case MostFree:
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].free != cands[j].free {
+				return cands[i].free > cands[j].free
+			}
+			return cands[i].id < cands[j].id
+		})
+	case Nearest:
+		if d.dist == nil {
+			return 0, fmt.Errorf("memdir: Nearest policy without a distance function")
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			di, dj := d.dist(self, cands[i].id), d.dist(self, cands[j].id)
+			if di != dj {
+				return di < dj
+			}
+			if cands[i].free != cands[j].free {
+				return cands[i].free > cands[j].free
+			}
+			return cands[i].id < cands[j].id
+		})
+	default:
+		return 0, fmt.Errorf("memdir: unknown policy %d", policy)
+	}
+	return cands[0].id, nil
+}
+
+// Consume records that a grant took bytes from a node.
+func (d *Directory) Consume(n addr.NodeID, bytes uint64) error {
+	f, ok := d.free[n]
+	if !ok {
+		return fmt.Errorf("memdir: node %d not registered", n)
+	}
+	if f < bytes {
+		return fmt.Errorf("memdir: node %d has %d free, cannot consume %d", n, f, bytes)
+	}
+	d.free[n] = f - bytes
+	d.Grants++
+	return nil
+}
+
+// ReleaseBytes returns capacity to a node.
+func (d *Directory) ReleaseBytes(n addr.NodeID, bytes uint64) error {
+	if _, ok := d.free[n]; !ok {
+		return fmt.Errorf("memdir: node %d not registered", n)
+	}
+	d.free[n] += bytes
+	return nil
+}

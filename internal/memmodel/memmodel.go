@@ -1,0 +1,181 @@
+// Package memmodel is the macro evaluation layer: O(1)-per-access
+// latency models for the three memory configurations the paper compares
+// — all-local memory, the RMC's remote memory (constant line-granular
+// latency, Equation 2), and remote/disk swap (page-granular faults over
+// an LRU residency, Equation 1). Workload-scale experiments (the b-tree
+// study and the PARSEC-class kernels) run here, where single-threaded
+// clients make queueing irrelevant; the micro layer (packages sim, rmc,
+// mesh) covers the contention studies and is cross-validated against
+// this one in the experiments package.
+package memmodel
+
+import (
+	"fmt"
+
+	"repro/internal/params"
+	"repro/internal/swap"
+)
+
+// Accessor prices one memory access.
+type Accessor interface {
+	// Access returns the cost of one access at byte address a.
+	Access(a uint64, write bool) params.Duration
+	// Name identifies the configuration in figures.
+	Name() string
+}
+
+// Local models node-local DRAM: every access costs the local latency.
+// (The paper's equations charge L_local per access; processor caches are
+// deliberately outside the equation on both sides of the comparison.)
+type Local struct {
+	P params.Params
+}
+
+// Access implements Accessor.
+func (l Local) Access(uint64, bool) params.Duration { return l.P.DRAMLatency }
+
+// Name implements Accessor.
+func (l Local) Name() string { return "local memory" }
+
+// Remote models the prototype's remote memory, Equation (2): every
+// access costs the constant line round trip at the given hop distance —
+// no locality sensitivity at all, which is exactly its advantage over
+// swap under scattered access patterns.
+type Remote struct {
+	P    params.Params
+	Hops int
+}
+
+// Access implements Accessor.
+func (r Remote) Access(uint64, bool) params.Duration { return r.P.RemoteRoundTrip(r.Hops) }
+
+// Name implements Accessor.
+func (r Remote) Name() string { return "remote memory" }
+
+// Swap models paging, Equation (1): resident pages cost local latency,
+// faults cost the OS trap plus the device transfer, dirty evictions pay
+// a writeback.
+type Swap struct {
+	p     params.Params
+	dev   swap.Device
+	cache *swap.PageCache
+	name  string
+	// FaultTime accumulates time spent in faults, for breakdowns.
+	FaultTime params.Duration
+}
+
+// NewSwap builds a swap accessor with the given resident-page budget.
+func NewSwap(p params.Params, dev swap.Device, residentPages int) (*Swap, error) {
+	c, err := swap.NewPageCache(residentPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Swap{p: p, dev: dev, cache: c, name: dev.Name()}, nil
+}
+
+// Access implements Accessor.
+func (s *Swap) Access(a uint64, write bool) params.Duration {
+	res := s.cache.Touch(a/params.PageSize, write)
+	if res.Hit {
+		return s.p.DRAMLatency
+	}
+	cost := s.p.SwapTrapOverhead + s.dev.FaultCost()
+	if res.EvictedDirty {
+		cost += s.dev.WritebackCost()
+	}
+	s.FaultTime += cost
+	return cost + s.p.DRAMLatency
+}
+
+// Name implements Accessor.
+func (s *Swap) Name() string { return s.name }
+
+// Cache exposes the residency set for inspection.
+func (s *Swap) Cache() *swap.PageCache { return s.cache }
+
+// Meter wraps an accessor and accumulates totals — the measured side of
+// EXPERIMENTS.md's paper-vs-measured records.
+type Meter struct {
+	Acc Accessor
+	// Accesses counts accesses; Time accumulates their cost.
+	Accesses uint64
+	Time     params.Duration
+}
+
+// NewMeter wraps an accessor.
+func NewMeter(acc Accessor) *Meter {
+	if acc == nil {
+		panic("memmodel: NewMeter(nil)")
+	}
+	return &Meter{Acc: acc}
+}
+
+// Access forwards to the wrapped accessor and accumulates.
+func (m *Meter) Access(a uint64, write bool) params.Duration {
+	d := m.Acc.Access(a, write)
+	m.Accesses++
+	m.Time += d
+	return d
+}
+
+// Name implements Accessor.
+func (m *Meter) Name() string { return m.Acc.Name() }
+
+// MeanAccess returns the average access cost so far.
+func (m *Meter) MeanAccess() float64 {
+	if m.Accesses == 0 {
+		return 0
+	}
+	return float64(m.Time) / float64(m.Accesses)
+}
+
+// Reset zeroes the meter (not the wrapped accessor's state).
+func (m *Meter) Reset() { m.Accesses, m.Time = 0, 0 }
+
+// Config names a standard configuration for experiment drivers.
+type Config int
+
+// Standard configurations of Figure 11.
+const (
+	// ConfigLocal is the 128 GB-in-one-box ideal.
+	ConfigLocal Config = iota
+	// ConfigRemote is the prototype.
+	ConfigRemote
+	// ConfigRemoteSwap is the remote-paging comparator.
+	ConfigRemoteSwap
+	// ConfigDiskSwap is classic disk paging.
+	ConfigDiskSwap
+)
+
+// Build constructs the accessor for a standard configuration at the
+// given hop distance and residency budget.
+func Build(cfg Config, p params.Params, hops, residentPages int) (Accessor, error) {
+	switch cfg {
+	case ConfigLocal:
+		return Local{P: p}, nil
+	case ConfigRemote:
+		return Remote{P: p, Hops: hops}, nil
+	case ConfigRemoteSwap:
+		return NewSwap(p, swap.RemoteDevice{P: p, Hops: hops}, residentPages)
+	case ConfigDiskSwap:
+		return NewSwap(p, swap.DiskDevice{P: p}, residentPages)
+	default:
+		return nil, fmt.Errorf("memmodel: unknown config %d", cfg)
+	}
+}
+
+// String names the configuration.
+func (c Config) String() string {
+	switch c {
+	case ConfigLocal:
+		return "local memory"
+	case ConfigRemote:
+		return "remote memory"
+	case ConfigRemoteSwap:
+		return "remote swap"
+	case ConfigDiskSwap:
+		return "disk swap"
+	default:
+		return fmt.Sprintf("Config(%d)", int(c))
+	}
+}

@@ -1,0 +1,72 @@
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/params"
+)
+
+// Stripe is one address interval backed by one memory configuration.
+type Stripe struct {
+	// Start and Size delimit the interval [Start, Start+Size).
+	Start, Size uint64
+	// Acc prices accesses falling in the interval.
+	Acc Accessor
+}
+
+// Striped prices accesses by which backing the address falls in — the
+// model of a real region whose memory spans the local node and several
+// donors at different hop distances. Where the uniform Remote accessor
+// assumes one distance for everything, Striped reflects the placement
+// the reservation protocol actually produced.
+type Striped struct {
+	stripes []Stripe
+	// Unmapped counts accesses that hit no stripe; they are charged the
+	// full-diameter remote round trip, pessimistically.
+	Unmapped uint64
+	fallback params.Duration
+	p        params.Params
+}
+
+// NewStriped builds the model. Stripes must not overlap.
+func NewStriped(p params.Params, stripes []Stripe) (*Striped, error) {
+	if len(stripes) == 0 {
+		return nil, fmt.Errorf("memmodel: striped model with no stripes")
+	}
+	s := make([]Stripe, len(stripes))
+	copy(s, stripes)
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	for i, st := range s {
+		if st.Size == 0 || st.Acc == nil {
+			return nil, fmt.Errorf("memmodel: stripe %d empty or accessor-less", i)
+		}
+		if i > 0 && st.Start < s[i-1].Start+s[i-1].Size {
+			return nil, fmt.Errorf("memmodel: stripes %d and %d overlap", i-1, i)
+		}
+	}
+	diameter := p.MeshWidth + p.MeshHeight - 2
+	return &Striped{stripes: s, fallback: p.RemoteRoundTrip(diameter), p: p}, nil
+}
+
+// Access implements Accessor.
+func (s *Striped) Access(a uint64, write bool) params.Duration {
+	i := sort.Search(len(s.stripes), func(i int) bool {
+		return s.stripes[i].Start+s.stripes[i].Size > a
+	})
+	if i < len(s.stripes) && a >= s.stripes[i].Start {
+		return s.stripes[i].Acc.Access(a, write)
+	}
+	s.Unmapped++
+	return s.fallback
+}
+
+// Name implements Accessor.
+func (s *Striped) Name() string { return "region layout" }
+
+// Stripes returns the model's intervals in address order.
+func (s *Striped) Stripes() []Stripe {
+	out := make([]Stripe, len(s.stripes))
+	copy(out, s.stripes)
+	return out
+}

@@ -1,0 +1,126 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// linkKey identifies one directed link.
+type linkKey struct {
+	from, to addr.NodeID
+}
+
+// Fabric is the timed fabric: every directed mesh link is a FIFO resource
+// whose occupancy models serialization bandwidth, and crossing a link
+// additionally costs the hop latency (SerDes + router traversal).
+// Express links are dedicated point-to-point connections outside the
+// mesh, used only by traffic that explicitly asks for them.
+type Fabric struct {
+	topo    Topology
+	eng     *sim.Engine
+	p       params.Params
+	links   map[linkKey]*sim.Resource
+	express map[linkKey]*sim.Resource
+
+	// Delivered counts frames fully delivered.
+	Delivered uint64
+}
+
+// NewFabric builds the timed mesh over the engine with the given
+// calibration.
+func NewFabric(eng *sim.Engine, topo Topology, p params.Params) *Fabric {
+	f := &Fabric{
+		topo:    topo,
+		eng:     eng,
+		p:       p,
+		links:   make(map[linkKey]*sim.Resource),
+		express: make(map[linkKey]*sim.Resource),
+	}
+	for id := addr.NodeID(1); int(id) <= topo.Nodes(); id++ {
+		for _, nb := range topo.Neighbors(id) {
+			k := linkKey{id, nb}
+			f.links[k] = sim.NewResource(eng, fmt.Sprintf("link %d->%d", id, nb), 0)
+		}
+	}
+	return f
+}
+
+// Topology returns the fabric's geometry.
+func (f *Fabric) Topology() Topology { return f.topo }
+
+// AddExpressLink installs a dedicated bidirectional point-to-point link
+// between two nodes (one spare HTX connector each). Traffic only uses it
+// via DeliverExpress.
+func (f *Fabric) AddExpressLink(a, b addr.NodeID) error {
+	if !f.topo.Contains(a) || !f.topo.Contains(b) || a == b {
+		return fmt.Errorf("mesh: invalid express link %d<->%d", a, b)
+	}
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		if _, dup := f.express[k]; dup {
+			return fmt.Errorf("mesh: express link %d->%d already exists", k.from, k.to)
+		}
+		f.express[k] = sim.NewResource(f.eng, fmt.Sprintf("express %d->%d", k.from, k.to), 0)
+	}
+	return nil
+}
+
+// occupancy returns the link occupancy of a frame of the given wire size:
+// the calibrated per-packet occupancy covers one cache-line frame; larger
+// transfers (page DMA) scale linearly.
+func (f *Fabric) occupancy(wireBytes int) sim.Time {
+	units := (wireBytes + params.CacheLineSize - 1) / params.CacheLineSize
+	if units < 1 {
+		units = 1
+	}
+	return sim.Time(units) * f.p.LinkOccupancy
+}
+
+// Deliver sends a frame of wireBytes from src to dst along the XY route,
+// starting at now. It returns the arrival time at dst and the hop count.
+// Each hop is store-and-forward: the frame serializes onto the link
+// (waiting behind earlier frames), then takes the hop latency to cross,
+// which is how contention on shared mesh links appears in Figure 8.
+func (f *Fabric) Deliver(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim.Time, int) {
+	if src == dst {
+		return now, 0
+	}
+	path := f.topo.Path(src, dst)
+	t := now
+	occ := f.occupancy(wireBytes)
+	for i := 0; i+1 < len(path); i++ {
+		k := linkKey{path[i], path[i+1]}
+		res := f.links[k]
+		done, _ := res.Acquire(t, occ) // mesh links have unbounded queues
+		t = done + f.p.HopLatency
+	}
+	f.Delivered++
+	return t, len(path) - 1
+}
+
+// DeliverExpress sends a frame over a dedicated express link. It fails if
+// no such link exists.
+func (f *Fabric) DeliverExpress(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim.Time, error) {
+	res, ok := f.express[linkKey{src, dst}]
+	if !ok {
+		return 0, fmt.Errorf("mesh: no express link %d->%d", src, dst)
+	}
+	done, _ := res.Acquire(now, f.occupancy(wireBytes))
+	f.Delivered++
+	return done + f.p.HopLatency, nil
+}
+
+// LinkUtilization returns the utilization of the directed mesh link
+// from->to over elapsed time, for diagnostics.
+func (f *Fabric) LinkUtilization(from, to addr.NodeID, elapsed sim.Time) (float64, error) {
+	res, ok := f.links[linkKey{from, to}]
+	if !ok {
+		return 0, fmt.Errorf("mesh: no link %d->%d", from, to)
+	}
+	return res.Utilization(elapsed), nil
+}
+
+// Links returns the number of directed mesh links.
+func (f *Fabric) Links() int { return len(f.links) }

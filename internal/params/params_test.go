@@ -1,0 +1,128 @@
+package params
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	p := Default()
+	if got := p.Nodes(); got != 16 {
+		t.Errorf("Nodes() = %d, want 16", got)
+	}
+	if got := p.PoolSize(); got != 128<<30 {
+		t.Errorf("PoolSize() = %d, want 128 GiB", got)
+	}
+	if got := p.PooledMemPerNode(); got != 8<<30 {
+		t.Errorf("PooledMemPerNode() = %d, want 8 GiB", got)
+	}
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	p := Default()
+	rt1 := p.RemoteRoundTrip(1)
+	rt3 := p.RemoteRoundTrip(3)
+	if rt1 <= p.DRAMLatency {
+		t.Errorf("remote round trip %d not greater than local latency %d", rt1, p.DRAMLatency)
+	}
+	if rt3-rt1 != 4*p.HopLatency {
+		t.Errorf("3-hop minus 1-hop = %d, want %d (2 extra hops each way)", rt3-rt1, 4*p.HopLatency)
+	}
+	// Calibration promise from DESIGN.md: about 1 µs at 1 hop, and below
+	// Violin's 3 µs which the paper calls large.
+	if rt1 < 500*Nanosecond || rt1 > 3*Microsecond {
+		t.Errorf("1-hop round trip %d ps outside the calibrated band", rt1)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*Params)
+	}{
+		{"zero mesh", func(p *Params) { p.MeshWidth = 0 }},
+		{"too many nodes", func(p *Params) { p.MeshWidth, p.MeshHeight = 1<<7, 1<<7 }},
+		{"no cores", func(p *Params) { p.CoresPerNode = 0 }},
+		{"no sockets", func(p *Params) { p.SocketsPerNode = 0 }},
+		{"zero memory", func(p *Params) { p.MemPerNode = 0 }},
+		{"unaligned memory", func(p *Params) { p.MemPerNode = PageSize + 1 }},
+		{"private exceeds total", func(p *Params) { p.PrivateMemPerNode = p.MemPerNode + PageSize }},
+		{"unaligned private", func(p *Params) { p.PrivateMemPerNode = PageSize / 2 }},
+		{"memory too large for local space", func(p *Params) { p.MemPerNode = 1 << (PhysAddrBits - NodePrefixBits + 1) }},
+		{"zero local window", func(p *Params) { p.LocalOutstanding = 0 }},
+		{"zero remote window", func(p *Params) { p.RemoteOutstanding = 0 }},
+		{"zero rmc queue", func(p *Params) { p.RMCQueueDepth = 0 }},
+		{"negative latency", func(p *Params) { p.DRAMLatency = -1 }},
+		{"zero resident pages", func(p *Params) { p.SwapResidentPages = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Default()
+			tc.edit(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if got := ToStd(1500 * Nanosecond); got != 1500*time.Nanosecond {
+		t.Errorf("ToStd = %v, want 1.5µs", got)
+	}
+	if got := FromStd(2 * time.Microsecond); got != 2*Microsecond {
+		t.Errorf("FromStd = %d, want %d", got, 2*Microsecond)
+	}
+	if got := FromStd(ToStd(7 * Microsecond)); got != 7*Microsecond {
+		t.Errorf("roundtrip = %d, want %d", got, 7*Microsecond)
+	}
+}
+
+func TestUnitScale(t *testing.T) {
+	if Second != 1e12 {
+		t.Errorf("Second = %d ps, want 1e12", Second)
+	}
+	if Microsecond/Nanosecond != 1000 {
+		t.Errorf("µs/ns = %d, want 1000", Microsecond/Nanosecond)
+	}
+}
+
+func TestNewKnobValidation(t *testing.T) {
+	p := Default()
+	p.PrefetchDepth = -1
+	if p.Validate() == nil {
+		t.Error("negative prefetch depth accepted")
+	}
+	p = Default()
+	p.OSReserveBytes = p.PrivateMemPerNode
+	if p.Validate() == nil {
+		t.Error("reserve swallowing the private zone accepted")
+	}
+	p = Default()
+	p.Fabric = FabricKind(9)
+	if p.Validate() == nil {
+		t.Error("unknown fabric accepted")
+	}
+	p = Default()
+	p.Fabric = FabricHToE
+	if err := p.Validate(); err != nil {
+		t.Errorf("HToE fabric rejected: %v", err)
+	}
+}
+
+func TestFabricKindString(t *testing.T) {
+	for k, want := range map[FabricKind]string{FabricMesh: "2D mesh", FabricHToE: "HT-over-Ethernet"} {
+		if k.String() != want {
+			t.Errorf("%d renders %q", int(k), k.String())
+		}
+	}
+	if FabricKind(9).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

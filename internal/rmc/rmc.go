@@ -1,0 +1,309 @@
+// Package rmc implements the paper's core contribution: the Remote
+// Memory Controller. The RMC is presented to the node's processors as a
+// HyperTransport I/O unit claiming every prefixed physical address. In
+// the client role it bridges local HT requests into HNC-HT frames and
+// forwards them to the node named by the address's 14 most-significant
+// bits; in the server role it zeroes those bits and replays the request
+// into its local memory system, then returns the response. There is no
+// translation table anywhere — the address prefix *is* the route — which
+// is what keeps the RMC simple and its message-processing overhead small.
+//
+// Two deliberate prototype limitations are modeled because the paper's
+// evaluation hinges on them:
+//
+//   - Each RMC is a finite-rate store-and-forward engine (a FIFO service
+//     occupancy), so it can congest (Figures 7 and 8).
+//   - The client RMC has a tiny admission queue; requests that find it
+//     full are NACKed and retried, consuming RMC capacity. Under a
+//     high-rate close-by load this wastes cycles, which is why moving
+//     memory servers *farther away* can slightly *improve* 4-thread
+//     throughput (Figure 7's counterintuitive result).
+package rmc
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/dram"
+	"repro/internal/hnc"
+	"repro/internal/ht"
+	"repro/internal/mem"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// Peers resolves a node identifier to its RMC, letting the cluster wire
+// RMCs together without a package cycle.
+type Peers interface {
+	RMC(n addr.NodeID) (*RMC, error)
+}
+
+// Fabric moves HNC frames between nodes. The prototype's 4×4 mesh
+// (package mesh) is the reference implementation; the HT-over-Ethernet
+// fabric the consortium was standardizing (package htoe) is another.
+type Fabric interface {
+	// Deliver carries wireBytes from src to dst starting at now and
+	// returns the arrival time and traversed hop count.
+	Deliver(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim.Time, int)
+	// DeliverExpress uses a dedicated point-to-point link where the
+	// fabric has one; it errors where it does not.
+	DeliverExpress(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim.Time, error)
+}
+
+// RMC is one node's remote memory controller (both roles).
+type RMC struct {
+	self   addr.NodeID
+	eng    *sim.Engine
+	p      params.Params
+	bridge *hnc.Bridge
+	fabric Fabric
+	peers  Peers
+
+	// client is the bounded admission queue + bridging occupancy of the
+	// requester role; server is the FIFO service of the target role.
+	client *sim.Resource
+	server *sim.Resource
+
+	// bank and store are the node's local memory system, used when this
+	// RMC serves requests from other nodes (or loopback).
+	bank  *dram.Bank
+	store *mem.Store
+
+	// protection, when set, is consulted before serving a remote
+	// request: the security component the paper defers. Denied requests
+	// are answered with Target Abort instead of data.
+	protection Protection
+
+	// Stats.
+	Forwarded   uint64 // requests bridged out of this node
+	Retries     uint64 // NACKed admissions at the client queue
+	ServedHere  uint64 // requests served by this node's memory
+	LoopbackOps uint64 // loopback-mode operations (legal, normally unused)
+	Aborted     uint64 // requests denied by the protection check
+}
+
+// Protection decides whether a remote node may touch a local range —
+// the OS wires it to its grant table, so nodes can only reach memory
+// actually reserved for them.
+type Protection interface {
+	// Allowed reports whether requester may access the local range.
+	Allowed(requester addr.NodeID, local addr.Range) bool
+}
+
+// SetProtection installs (or clears, with nil) the access-control hook.
+// The prototype runs without one, as the paper's did.
+func (r *RMC) SetProtection(p Protection) { r.protection = p }
+
+// Config carries the dependencies an RMC needs.
+type Config struct {
+	Self   addr.NodeID
+	Engine *sim.Engine
+	Params params.Params
+	Fabric Fabric
+	Peers  Peers
+	Bank   *dram.Bank
+	Store  *mem.Store
+}
+
+// New builds a node's RMC.
+func New(c Config) (*RMC, error) {
+	if c.Engine == nil || c.Fabric == nil || c.Peers == nil || c.Bank == nil || c.Store == nil {
+		return nil, fmt.Errorf("rmc: incomplete configuration")
+	}
+	b, err := hnc.NewBridge(c.Self)
+	if err != nil {
+		return nil, err
+	}
+	return &RMC{
+		self:   c.Self,
+		eng:    c.Engine,
+		p:      c.Params,
+		bridge: b,
+		fabric: c.Fabric,
+		peers:  c.Peers,
+		client: sim.NewResource(c.Engine, fmt.Sprintf("rmc%d/client", c.Self), c.Params.RMCQueueDepth),
+		server: sim.NewResource(c.Engine, fmt.Sprintf("rmc%d/server", c.Self), 0),
+		bank:   c.Bank,
+		store:  c.Store,
+	}, nil
+}
+
+// Self returns the RMC's node identifier.
+func (r *RMC) Self() addr.NodeID { return r.self }
+
+// ClientUtilization returns the client-role occupancy fraction.
+func (r *RMC) ClientUtilization(elapsed sim.Time) float64 { return r.client.Utilization(elapsed) }
+
+// ServerUtilization returns the server-role occupancy fraction.
+func (r *RMC) ServerUtilization(elapsed sim.Time) float64 { return r.server.Utilization(elapsed) }
+
+// Request submits a memory request whose address carries a node prefix.
+// done is invoked exactly once, at the simulated completion time, with
+// the response packet (RdResponse with data, or TgtDone). express routes
+// both directions over a dedicated express link (Figure 8's control
+// setup) instead of the mesh.
+func (r *RMC) Request(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet)) error {
+	if err := pkt.Validate(); err != nil {
+		return err
+	}
+	if !pkt.Cmd.IsRequest() {
+		return fmt.Errorf("rmc: %v is not a request", pkt.Cmd)
+	}
+	dst := pkt.Addr.Node()
+	if dst == 0 {
+		return fmt.Errorf("rmc: address %v is local; the BARs should have routed it to a memory controller", pkt.Addr)
+	}
+	if r.peersCheck(dst) != nil {
+		return r.peersCheck(dst)
+	}
+	r.admit(now, pkt, express, done)
+	return nil
+}
+
+func (r *RMC) peersCheck(dst addr.NodeID) error {
+	if dst == r.self {
+		return nil
+	}
+	_, err := r.peers.RMC(dst)
+	return err
+}
+
+// admit tries to enter the client queue, retrying on NACK with capped
+// exponential backoff. The backoff matters: a requester retrying at a
+// fixed interval against a full queue would waste RMC capacity faster
+// than the RMC serves, and nothing would ever complete.
+func (r *RMC) admit(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet)) {
+	r.admitAttempt(now, pkt, express, 0, done)
+}
+
+func (r *RMC) admitAttempt(now sim.Time, pkt ht.Packet, express bool, attempt uint, done func(sim.Time, ht.Packet)) {
+	serviced, ok := r.client.Acquire(now, r.p.RMCClientOccupancy)
+	if !ok {
+		// Queue full: NACK processing costs the RMC some capacity, the
+		// requester backs off and reissues.
+		r.Retries++
+		r.client.Penalize(now, r.p.RMCRetryWaste)
+		backoff := r.p.RMCRetryPenalty << min(attempt, 8)
+		r.eng.After(backoff, func() {
+			r.admitAttempt(r.eng.Now(), pkt, express, attempt+1, done)
+		})
+		return
+	}
+	r.Forwarded++
+	r.eng.At(serviced, func() {
+		r.launch(serviced, pkt, express, done)
+	})
+}
+
+// launch bridges the packet onto the fabric once client service is done.
+func (r *RMC) launch(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet)) {
+	dst := pkt.Addr.Node()
+	if dst == r.self {
+		// Loopback mode: the paper notes the overlapped segment exists
+		// but is never used in practice; the hardware would replay the
+		// request into its own local system, so we do.
+		r.LoopbackOps++
+		r.serveLocal(now, pkt, func(t sim.Time, rsp ht.Packet) { done(t, rsp) })
+		return
+	}
+	frame, err := r.bridge.Outbound(pkt)
+	if err != nil {
+		// Unreachable for validated packets; surface loudly in sim.
+		panic(fmt.Sprintf("rmc%d: outbound bridge failed: %v", r.self, err))
+	}
+	arrive, derr := r.deliver(now, r.self, dst, frame.WireBytes(), express)
+	if derr != nil {
+		panic(fmt.Sprintf("rmc%d: deliver failed: %v", r.self, derr))
+	}
+	peer, _ := r.peers.RMC(dst)
+	r.eng.At(arrive, func() {
+		peer.serve(arrive, frame, express, done)
+	})
+}
+
+func (r *RMC) deliver(now sim.Time, src, dst addr.NodeID, bytes int, express bool) (sim.Time, error) {
+	if express {
+		return r.fabric.DeliverExpress(now, src, dst, bytes)
+	}
+	t, _ := r.fabric.Deliver(now, src, dst, bytes)
+	return t, nil
+}
+
+// serve handles a frame arriving from the fabric: decapsulate (zero the
+// prefix), queue through the server occupancy, access local memory, and
+// send the response back to the requester.
+func (r *RMC) serve(now sim.Time, frame hnc.Frame, express bool, done func(sim.Time, ht.Packet)) {
+	local, err := r.bridge.Inbound(frame)
+	if err != nil {
+		panic(fmt.Sprintf("rmc%d: inbound bridge failed: %v", r.self, err))
+	}
+	serviced, _ := r.server.Acquire(now, r.p.RMCServerOccupancy)
+	if r.protection != nil && local.Cmd.IsRequest() {
+		rng := addr.Range{Start: local.Addr, Size: uint64(local.Count)}
+		if !r.protection.Allowed(frame.Src, rng) {
+			r.Aborted++
+			r.eng.At(serviced, func() {
+				reply, err := r.bridge.Reply(frame.Src, local.Abort())
+				if err != nil {
+					panic(fmt.Sprintf("rmc%d: abort reply bridge failed: %v", r.self, err))
+				}
+				back, derr := r.deliver(serviced, r.self, frame.Src, reply.WireBytes(), express)
+				if derr != nil {
+					panic(fmt.Sprintf("rmc%d: abort deliver failed: %v", r.self, derr))
+				}
+				r.eng.At(back, func() { done(back, reply.Payload) })
+			})
+			return
+		}
+	}
+	r.eng.At(serviced, func() {
+		r.access(serviced, local, func(t sim.Time, rsp ht.Packet) {
+			reply, err := r.bridge.Reply(frame.Src, rsp)
+			if err != nil {
+				panic(fmt.Sprintf("rmc%d: reply bridge failed: %v", r.self, err))
+			}
+			back, derr := r.deliver(t, r.self, frame.Src, reply.WireBytes(), express)
+			if derr != nil {
+				panic(fmt.Sprintf("rmc%d: reply deliver failed: %v", r.self, derr))
+			}
+			r.eng.At(back, func() { done(back, rsp) })
+		})
+	})
+}
+
+// serveLocal runs the server path without the fabric (loopback).
+func (r *RMC) serveLocal(now sim.Time, pkt ht.Packet, done func(sim.Time, ht.Packet)) {
+	localPkt := pkt
+	localPkt.Addr = pkt.Addr.Local()
+	serviced, _ := r.server.Acquire(now, r.p.RMCServerOccupancy)
+	r.eng.At(serviced, func() {
+		r.access(serviced, localPkt, done)
+	})
+}
+
+// access performs the functional + timed local memory operation and
+// builds the response.
+func (r *RMC) access(now sim.Time, pkt ht.Packet, done func(sim.Time, ht.Packet)) {
+	r.ServedHere++
+	memDone, err := r.bank.Access(now, pkt.Addr, pkt.Cmd == ht.CmdWrSized)
+	if err != nil {
+		panic(fmt.Sprintf("rmc%d: local memory access failed: %v", r.self, err))
+	}
+	var rsp ht.Packet
+	switch pkt.Cmd {
+	case ht.CmdRdSized:
+		data := make([]byte, pkt.Count)
+		if err := r.store.ReadAt(pkt.Addr, data); err != nil {
+			panic(fmt.Sprintf("rmc%d: functional read failed: %v", r.self, err))
+		}
+		rsp = pkt.Response(data)
+	case ht.CmdWrSized:
+		if err := r.store.WriteAt(pkt.Addr, pkt.Data); err != nil {
+			panic(fmt.Sprintf("rmc%d: functional write failed: %v", r.self, err))
+		}
+		rsp = pkt.Response(nil)
+	default:
+		panic(fmt.Sprintf("rmc%d: cannot serve %v", r.self, pkt.Cmd))
+	}
+	r.eng.At(memDone, func() { done(memDone, rsp) })
+}

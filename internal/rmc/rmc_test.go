@@ -1,0 +1,356 @@
+package rmc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/dram"
+	"repro/internal/ht"
+	"repro/internal/mem"
+	"repro/internal/mesh"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// rig builds a bare N-node RMC network (no caches, no OS) on a 4x4 mesh.
+type rig struct {
+	eng    *sim.Engine
+	p      params.Params
+	fabric *mesh.Fabric
+	rmcs   map[addr.NodeID]*RMC
+	stores map[addr.NodeID]*mem.Store
+}
+
+func (r *rig) RMC(n addr.NodeID) (*RMC, error) {
+	m, ok := r.rmcs[n]
+	if !ok {
+		return nil, fmt.Errorf("no rmc %d", n)
+	}
+	return m, nil
+}
+
+func newRig(t *testing.T, nodes int) *rig {
+	t.Helper()
+	p := params.Default()
+	eng := sim.New()
+	topo, err := mesh.NewTopology(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		eng:    eng,
+		p:      p,
+		fabric: mesh.NewFabric(eng, topo, p),
+		rmcs:   map[addr.NodeID]*RMC{},
+		stores: map[addr.NodeID]*mem.Store{},
+	}
+	for i := 1; i <= nodes; i++ {
+		id := addr.NodeID(i)
+		st, err := mem.NewStore(p.MemPerNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.stores[id] = st
+		m, err := New(Config{
+			Self: id, Engine: eng, Params: p, Fabric: r.fabric,
+			Peers: r, Bank: dram.NewBank(eng, id, p), Store: st,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.rmcs[id] = m
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	r := newRig(t, 2)
+	if _, err := New(Config{Self: 0, Engine: r.eng, Params: r.p, Fabric: r.fabric, Peers: r, Bank: dram.NewBank(r.eng, 1, r.p), Store: r.stores[1]}); err == nil {
+		t.Error("node 0 accepted")
+	}
+}
+
+func TestRemoteReadRoundTrip(t *testing.T) {
+	r := newRig(t, 4)
+	// Seed node 2's memory.
+	want := bytes.Repeat([]byte{0x42}, 64)
+	if err := r.stores[2].WriteAt(0x41000000, want); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotData []byte
+	var doneAt sim.Time
+	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x41000000).WithNode(2), Count: 64}
+	if err := r.rmcs[1].Request(0, req, false, func(ts sim.Time, rsp ht.Packet) {
+		doneAt, gotData = ts, rsp.Data
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !bytes.Equal(gotData, want) {
+		t.Errorf("remote read returned %x, want %x", gotData[:4], want[:4])
+	}
+	// Unloaded latency: client occ + 1-hop request + server occ + DRAM +
+	// 1-hop response. Within the analytic round-trip ± link occupancies.
+	lo := r.p.RemoteRoundTrip(1)
+	hi := lo + 10*r.p.LinkOccupancy + r.p.DRAMOccupancy
+	if doneAt < lo || doneAt > hi {
+		t.Errorf("round trip = %d ps, want within [%d, %d]", doneAt, lo, hi)
+	}
+	if r.rmcs[1].Forwarded != 1 || r.rmcs[2].ServedHere != 1 {
+		t.Error("forward/serve counters wrong")
+	}
+}
+
+func TestRemoteWriteRoundTrip(t *testing.T) {
+	r := newRig(t, 4)
+	payload := bytes.Repeat([]byte{0xA5}, 64)
+	req := ht.Packet{Cmd: ht.CmdWrSized, Addr: addr.Phys(0x100).WithNode(3), Count: 64, Data: payload}
+	var rspCmd ht.Command
+	if err := r.rmcs[1].Request(0, req, false, func(_ sim.Time, rsp ht.Packet) { rspCmd = rsp.Cmd }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if rspCmd != ht.CmdTgtDone {
+		t.Errorf("write response = %v", rspCmd)
+	}
+	got := make([]byte, 64)
+	if err := r.stores[3].ReadAt(0x100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("write did not reach the remote store")
+	}
+}
+
+func TestCrossNodeVisibility(t *testing.T) {
+	// Data written by node 1 into node 3's memory is visible to node 2
+	// reading the same prefixed address: a single shared pool.
+	r := newRig(t, 4)
+	payload := []byte("shared-pool")
+	buf := make([]byte, 64)
+	copy(buf, payload)
+	wr := ht.Packet{Cmd: ht.CmdWrSized, Addr: addr.Phys(0x2000).WithNode(3), Count: 64, Data: buf}
+	if err := r.rmcs[1].Request(0, wr, false, func(sim.Time, ht.Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+
+	var got []byte
+	rd := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x2000).WithNode(3), Count: 64}
+	if err := r.rmcs[2].Request(r.eng.Now(), rd, false, func(_ sim.Time, rsp ht.Packet) { got = rsp.Data }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Errorf("node 2 read %q", got[:len(payload)])
+	}
+}
+
+func TestHopDistanceIncreasesLatency(t *testing.T) {
+	r := newRig(t, 16)
+	measure := func(dst addr.NodeID) sim.Time {
+		r2 := newRig(t, 16)
+		var done sim.Time
+		req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x100).WithNode(dst), Count: 64}
+		if err := r2.rmcs[1].Request(0, req, false, func(ts sim.Time, _ ht.Packet) { done = ts }); err != nil {
+			t.Fatal(err)
+		}
+		r2.eng.Run()
+		return done
+	}
+	_ = r
+	l1 := measure(2)  // 1 hop from node 1 on the 4x4 mesh
+	l3 := measure(4)  // 3 hops
+	l6 := measure(16) // 6 hops
+	if !(l1 < l3 && l3 < l6) {
+		t.Errorf("latency not monotone in distance: %d, %d, %d", l1, l3, l6)
+	}
+	// Each extra hop adds hop latency both ways (plus link occupancy).
+	if d := l3 - l1; d < 4*r.p.HopLatency {
+		t.Errorf("2 extra hops added only %d ps", d)
+	}
+}
+
+func TestLoopbackMode(t *testing.T) {
+	r := newRig(t, 4)
+	if err := r.stores[1].WriteAt(0x500, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x500).WithNode(1), Count: 8}
+	if err := r.rmcs[1].Request(0, req, false, func(_ sim.Time, rsp ht.Packet) { got = rsp.Data }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if got[0] != 9 {
+		t.Error("loopback read wrong data")
+	}
+	if r.rmcs[1].LoopbackOps != 1 {
+		t.Errorf("LoopbackOps = %d", r.rmcs[1].LoopbackOps)
+	}
+	if r.fabric.Delivered != 0 {
+		t.Error("loopback op touched the fabric")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	r := newRig(t, 2)
+	noop := func(sim.Time, ht.Packet) {}
+	if err := r.rmcs[1].Request(0, ht.Packet{Cmd: ht.CmdRdResponse}, false, noop); err == nil {
+		t.Error("response accepted as request")
+	}
+	if err := r.rmcs[1].Request(0, ht.Packet{Cmd: ht.CmdRdSized, Addr: 0x100, Count: 64}, false, noop); err == nil {
+		t.Error("local address accepted")
+	}
+	if err := r.rmcs[1].Request(0, ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x100).WithNode(9), Count: 64}, false, noop); err == nil {
+		t.Error("request to nonexistent node accepted")
+	}
+	if err := r.rmcs[1].Request(0, ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x100).WithNode(2), Count: 0}, false, noop); err == nil {
+		t.Error("invalid packet accepted")
+	}
+}
+
+func TestClientQueueRetries(t *testing.T) {
+	r := newRig(t, 4)
+	// Flood the client RMC far beyond its admission queue at t=0.
+	completions := 0
+	for i := 0; i < 16; i++ {
+		req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(uint64(i) * 64).WithNode(2), Count: 64}
+		if err := r.rmcs[1].Request(0, req, false, func(sim.Time, ht.Packet) { completions++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.Run()
+	if completions != 16 {
+		t.Fatalf("only %d of 16 completed", completions)
+	}
+	if r.rmcs[1].Retries == 0 {
+		t.Error("flood produced no NACK retries; queue bound not enforced")
+	}
+}
+
+func TestRetryWasteSlowsService(t *testing.T) {
+	// The same 16-request flood takes longer than 16 clean admissions
+	// would: NACK processing consumes client-RMC capacity. This is the
+	// mechanism behind Fig 7's inversion.
+	flood := func(stagger sim.Time) sim.Time {
+		r := newRig(t, 4)
+		var last sim.Time
+		for i := 0; i < 16; i++ {
+			req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(uint64(i) * 64).WithNode(2), Count: 64}
+			at := sim.Time(i) * stagger
+			r.eng.At(at, func() {
+				if err := r.rmcs[1].Request(r.eng.Now(), req, false, func(ts sim.Time, _ ht.Packet) {
+					if ts > last {
+						last = ts
+					}
+				}); err != nil {
+					panic(err)
+				}
+			})
+		}
+		r.eng.Run()
+		return last
+	}
+	p := params.Default()
+	burst := flood(0)                    // all at once: retries
+	paced := flood(p.RMCClientOccupancy) // arrival = service rate: no retries
+	if burst <= paced {
+		t.Errorf("burst finished at %d, paced at %d; retry waste should slow the burst", burst, paced)
+	}
+}
+
+func TestExpressRouting(t *testing.T) {
+	r := newRig(t, 16)
+	if err := r.fabric.AddExpressLink(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	var meshDone, expressDone sim.Time
+	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x100).WithNode(16), Count: 64}
+	if err := r.rmcs[1].Request(0, req, false, func(ts sim.Time, _ ht.Packet) { meshDone = ts }); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+
+	r2 := newRig(t, 16)
+	if err := r2.fabric.AddExpressLink(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.rmcs[1].Request(0, req, true, func(ts sim.Time, _ ht.Packet) { expressDone = ts }); err != nil {
+		t.Fatal(err)
+	}
+	r2.eng.Run()
+	if expressDone >= meshDone {
+		t.Errorf("express (%d) not faster than 6-hop mesh (%d)", expressDone, meshDone)
+	}
+}
+
+func TestUtilizationReporting(t *testing.T) {
+	r := newRig(t, 4)
+	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x100).WithNode(2), Count: 64}
+	if err := r.rmcs[1].Request(0, req, false, func(sim.Time, ht.Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	end := r.eng.Run()
+	if u := r.rmcs[1].ClientUtilization(end); u <= 0 || u > 1 {
+		t.Errorf("client utilization = %v", u)
+	}
+	if u := r.rmcs[2].ServerUtilization(end); u <= 0 || u > 1 {
+		t.Errorf("server utilization = %v", u)
+	}
+}
+
+// allowRanges is a Protection allowing one requester a fixed range.
+type allowRanges struct {
+	who addr.NodeID
+	rng addr.Range
+}
+
+func (a allowRanges) Allowed(req addr.NodeID, local addr.Range) bool {
+	return req == a.who && local.Start >= a.rng.Start && local.End() <= a.rng.End()
+}
+
+func TestProtectionAborts(t *testing.T) {
+	r := newRig(t, 4)
+	granted := addr.Range{Start: 0x40000000, Size: 1 << 20}
+	r.rmcs[2].SetProtection(allowRanges{who: 1, rng: granted})
+
+	ask := func(from addr.NodeID, a addr.Phys) ht.Command {
+		var cmd ht.Command
+		req := ht.Packet{Cmd: ht.CmdRdSized, Addr: a.WithNode(2), Count: 64}
+		if err := r.rmcs[from].Request(r.eng.Now(), req, false, func(_ sim.Time, rsp ht.Packet) {
+			cmd = rsp.Cmd
+		}); err != nil {
+			t.Fatal(err)
+		}
+		r.eng.Run()
+		return cmd
+	}
+
+	// The grantee reads inside its grant: data.
+	if got := ask(1, 0x40000000); got != ht.CmdRdResponse {
+		t.Errorf("grantee read = %v", got)
+	}
+	// The grantee strays outside the grant: abort.
+	if got := ask(1, 0x200); got != ht.CmdTgtAbort {
+		t.Errorf("out-of-grant read = %v, want TgtAbort", got)
+	}
+	// A stranger reads inside the grant: abort.
+	if got := ask(3, 0x40000000); got != ht.CmdTgtAbort {
+		t.Errorf("stranger read = %v, want TgtAbort", got)
+	}
+	if r.rmcs[2].Aborted != 2 {
+		t.Errorf("Aborted = %d, want 2", r.rmcs[2].Aborted)
+	}
+	// Clearing protection restores the prototype's open behavior.
+	r.rmcs[2].SetProtection(nil)
+	if got := ask(3, 0x200); got != ht.CmdRdResponse {
+		t.Errorf("unprotected read = %v", got)
+	}
+}

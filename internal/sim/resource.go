@@ -1,0 +1,109 @@
+package sim
+
+import "fmt"
+
+// Resource models a FIFO single server with an optional bounded queue:
+// one request is served at a time for its occupancy; arrivals while busy
+// wait in arrival order. Links, memory controllers, and RMCs are
+// Resources. The model is "timeline" based: instead of scheduling
+// start-of-service events, Acquire computes when service would complete
+// and the caller schedules its continuation there. Because the engine is
+// single-threaded and events execute in time order, this is equivalent to
+// an explicit server process but far cheaper.
+type Resource struct {
+	name string
+	eng  *Engine
+
+	// nextFree is the earliest time the server can begin a new service.
+	nextFree Time
+
+	// queueDepth bounds how many requests may be waiting (excluding the
+	// one in service). 0 means unbounded.
+	queueDepth int
+
+	// waiting tracks the completion times of queued/in-service requests
+	// so bounded-queue admission can be checked. Entries with completion
+	// <= now are pruned lazily.
+	waiting []Time
+
+	// Served counts accepted services; Rejected counts bounced arrivals.
+	Served, Rejected uint64
+	// Busy accumulates total service occupancy, for utilization reports.
+	Busy Time
+}
+
+// NewResource creates a FIFO resource. queueDepth 0 means unbounded.
+func NewResource(eng *Engine, name string, queueDepth int) *Resource {
+	if eng == nil {
+		panic("sim: NewResource with nil engine")
+	}
+	return &Resource{name: name, eng: eng, queueDepth: queueDepth}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+func (r *Resource) prune(now Time) {
+	i := 0
+	for i < len(r.waiting) && r.waiting[i] <= now {
+		i++
+	}
+	if i > 0 {
+		r.waiting = append(r.waiting[:0], r.waiting[i:]...)
+	}
+}
+
+// Acquire requests service of the given occupancy starting no earlier
+// than now. It returns the completion time and true, or 0 and false if
+// the bounded queue is full (the caller must retry). The caller is
+// responsible for scheduling its continuation at the returned time.
+func (r *Resource) Acquire(now Time, occupancy Time) (Time, bool) {
+	if occupancy < 0 {
+		panic(fmt.Sprintf("sim: negative occupancy %d on %s", occupancy, r.name))
+	}
+	r.prune(now)
+	if r.queueDepth > 0 && len(r.waiting) > r.queueDepth {
+		r.Rejected++
+		return 0, false
+	}
+	start := now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	done := start + occupancy
+	r.nextFree = done
+	r.waiting = append(r.waiting, done)
+	r.Served++
+	r.Busy += occupancy
+	return done, true
+}
+
+// Penalize consumes service capacity without a completion (e.g. the cost
+// of NACKing a rejected request). It delays all subsequent services.
+func (r *Resource) Penalize(now Time, cost Time) {
+	if cost <= 0 {
+		return
+	}
+	if r.nextFree < now {
+		r.nextFree = now
+	}
+	r.nextFree += cost
+	r.Busy += cost
+}
+
+// QueueLen returns the number of requests queued or in service at now.
+func (r *Resource) QueueLen(now Time) int {
+	r.prune(now)
+	return len(r.waiting)
+}
+
+// NextFree returns the earliest time a new service could begin.
+func (r *Resource) NextFree() Time { return r.nextFree }
+
+// Utilization returns Busy time as a fraction of the elapsed time.
+func (r *Resource) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Busy) / float64(elapsed)
+}

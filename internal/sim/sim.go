@@ -1,0 +1,154 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is single-threaded on purpose: events execute in strict
+// (time, sequence) order, so a simulation with a fixed seed always
+// produces bit-identical results, which the experiment harness relies on.
+// Model components schedule closures; shared hardware (links, RMCs,
+// memory controllers) is modeled with Resource, a FIFO single server
+// with an optional bounded queue.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulation time in picoseconds.
+type Time = int64
+
+// Event is a scheduled closure.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	fn   func()
+	idx  int
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create engines with New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	// Processed counts executed events, for instrumentation.
+	Processed uint64
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Handle identifies a scheduled event so it can be canceled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// panics: it would silently corrupt causality in a model.
+func (e *Engine) At(at Time, fn func()) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It
+// returns the final simulation time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline (or until the
+// queue drains / Stop). The clock is left at min(deadline, last event).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending returns the number of live events still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

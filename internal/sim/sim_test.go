@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	if end := e.Run(); end != 30 {
+		t.Errorf("final time = %d, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := New()
+	var fired []Time
+	e.After(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	h := e.At(10, func() { fired = true })
+	h.Cancel()
+	h.Cancel() // double-cancel is a no-op
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if got := e.Pending(); got != 0 {
+		t.Errorf("Pending = %d after run", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("executed %d events before stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Errorf("Pending = %d, want 7", e.Pending())
+	}
+	e.Run() // resume
+	if count != 10 {
+		t.Errorf("after resume executed %d, want 10", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	if now := e.RunUntil(12); now != 12 {
+		t.Errorf("RunUntil returned %d, want 12", now)
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired %v, want events at 5 and 10 only", fired)
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Errorf("after Run fired %v, want all 4", fired)
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	e := New()
+	if now := e.RunUntil(100); now != 100 {
+		t.Errorf("RunUntil on empty queue = %d, want 100", now)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := New()
+	r := NewResource(e, "mc", 0)
+	// Three back-to-back acquisitions at t=0 with occupancy 10 complete at
+	// 10, 20, 30: FIFO single server.
+	for i, want := range []Time{10, 20, 30} {
+		done, ok := r.Acquire(0, 10)
+		if !ok || done != want {
+			t.Errorf("acquire %d: done=%d ok=%v, want %d", i, done, ok, want)
+		}
+	}
+	if r.Served != 3 {
+		t.Errorf("Served = %d, want 3", r.Served)
+	}
+	if r.Busy != 30 {
+		t.Errorf("Busy = %d, want 30", r.Busy)
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := New()
+	r := NewResource(e, "mc", 0)
+	r.Acquire(0, 10)
+	// Arrival after the server went idle starts immediately.
+	done, ok := r.Acquire(100, 10)
+	if !ok || done != 110 {
+		t.Errorf("post-idle acquire done=%d, want 110", done)
+	}
+}
+
+func TestResourceBoundedQueue(t *testing.T) {
+	e := New()
+	r := NewResource(e, "rmc", 2)
+	// One in service + up to 2 waiting admitted; honours depth+1 in flight.
+	var admitted int
+	for i := 0; i < 5; i++ {
+		if _, ok := r.Acquire(0, 100); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Errorf("admitted %d requests, want 3 (1 in service + 2 queued)", admitted)
+	}
+	if r.Rejected != 2 {
+		t.Errorf("Rejected = %d, want 2", r.Rejected)
+	}
+	// After the backlog drains, admission resumes.
+	if _, ok := r.Acquire(301, 100); !ok {
+		t.Error("acquire after drain rejected")
+	}
+}
+
+func TestResourcePenalize(t *testing.T) {
+	e := New()
+	r := NewResource(e, "rmc", 0)
+	r.Penalize(50, 25)
+	done, ok := r.Acquire(50, 10)
+	if !ok || done != 85 {
+		t.Errorf("acquire after penalty done=%d, want 85", done)
+	}
+	r.Penalize(1000, 0) // zero penalty is a no-op
+	if r.NextFree() != 85 {
+		t.Errorf("NextFree moved by zero penalty: %d", r.NextFree())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := New()
+	r := NewResource(e, "mc", 0)
+	r.Acquire(0, 50)
+	if u := r.Utilization(100); u != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", u)
+	}
+}
+
+func TestResourceCompletionMonotoneProperty(t *testing.T) {
+	// Completions of a FIFO resource are non-decreasing regardless of the
+	// arrival pattern, and never precede arrival+occupancy.
+	f := func(arrivals []uint16, occ uint8) bool {
+		e := New()
+		r := NewResource(e, "x", 0)
+		occupancy := Time(occ%100) + 1
+		now, last := Time(0), Time(0)
+		for _, a := range arrivals {
+			now += Time(a % 1000)
+			done, ok := r.Acquire(now, occupancy)
+			if !ok {
+				return false
+			}
+			if done < last || done < now+occupancy {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := New()
+		var log []Time
+		var step func(i int)
+		step = func(i int) {
+			log = append(log, e.Now())
+			if i < 50 {
+				e.After(Time(i%7+1), func() { step(i + 1) })
+			}
+		}
+		e.At(0, func() { step(0) })
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// seriesGlyphs mark points of successive series in a chart.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the figure as an ASCII scatter plot: x is the point's X
+// value (or its rank for labeled categorical axes), y is auto-scaled,
+// each series gets a glyph. It is deliberately simple — enough to see a
+// U-shape, a knee, or a crossover straight in the terminal.
+func (f *Figure) Chart(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	keys := f.xKeys()
+	if len(keys) == 0 {
+		return fmt.Sprintf("== %s: %s == (no data)\n", f.ID, f.Title)
+	}
+
+	categorical := false
+	for _, k := range keys {
+		if k.label != "" {
+			categorical = true
+		}
+	}
+	xpos := make(map[figXKey]float64, len(keys))
+	var xmin, xmax float64
+	if categorical {
+		for i, k := range keys {
+			xpos[k] = float64(i)
+		}
+		xmin, xmax = 0, float64(len(keys)-1)
+	} else {
+		xmin, xmax = keys[0].x, keys[0].x
+		for _, k := range keys {
+			xpos[k] = k.x
+			if k.x < xmin {
+				xmin = k.x
+			}
+			if k.x > xmax {
+				xmax = k.x
+			}
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Y < ymin {
+				ymin = p.Y
+			}
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return fmt.Sprintf("== %s: %s == (no data)\n", f.ID, f.Title)
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, glyph byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		row := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		if grid[row][col] != ' ' && grid[row][col] != glyph {
+			grid[row][col] = '&' // collision marker
+			return
+		}
+		grid[row][col] = glyph
+	}
+	for si, s := range f.Series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		for _, p := range s.Points {
+			plot(xpos[figXKey{p.X, p.Label}], p.Y, g)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	yLabelW := 10
+	for r := 0; r < height; r++ {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%*s |%s\n", yLabelW, trimFloat(yv), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width))
+	if categorical {
+		fmt.Fprintf(&b, "%*s  %s ... %s\n", yLabelW, "", keys[0].label, keys[len(keys)-1].label)
+	} else {
+		fmt.Fprintf(&b, "%*s  %s .. %s (%s)\n", yLabelW, "", trimFloat(xmin), trimFloat(xmax), f.XLabel)
+	}
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	fmt.Fprintf(&b, "  (%s)\n", f.YLabel)
+	return b.String()
+}

@@ -1,0 +1,275 @@
+// Package stats provides the measurement plumbing shared by the
+// experiment harness: counters, running statistics, latency histograms,
+// and labeled series rendered as text tables matching the rows/series the
+// paper's figures report.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Running accumulates count/mean/min/max/variance online (Welford).
+type Running struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe adds one sample.
+func (r *Running) Observe(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the sample count.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 with no samples).
+func (r *Running) Max() float64 { return r.max }
+
+// StdDev returns the sample standard deviation (0 with <2 samples).
+func (r *Running) StdDev() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n-1))
+}
+
+// Histogram is a log2-bucketed latency histogram. Bucket i holds samples
+// in [2^i, 2^(i+1)). It keeps exact min/max/mean alongside the buckets.
+type Histogram struct {
+	buckets [64]uint64
+	run     Running
+}
+
+// Observe records one non-negative sample.
+func (h *Histogram) Observe(x float64) {
+	if x < 0 || math.IsNaN(x) {
+		return
+	}
+	h.run.Observe(x)
+	b := 0
+	if x >= 1 {
+		b = int(math.Log2(x))
+		if b > 63 {
+			b = 63
+		}
+	}
+	h.buckets[b]++
+}
+
+// N returns the sample count.
+func (h *Histogram) N() uint64 { return h.run.N() }
+
+// Mean returns the exact sample mean.
+func (h *Histogram) Mean() float64 { return h.run.Mean() }
+
+// Max returns the exact maximum sample.
+func (h *Histogram) Max() float64 { return h.run.Max() }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1) from
+// the log buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.run.N() == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.run.N())))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			return math.Pow(2, float64(i+1))
+		}
+	}
+	return h.run.Max()
+}
+
+// Point is one (x, y) sample of a labeled series.
+type Point struct {
+	X, Y  float64
+	Label string // optional x label (e.g. "4t, 2 hops")
+}
+
+// Series is a named sequence of points, the unit a figure plots.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// AddLabeled appends a labeled point.
+func (s *Series) AddLabeled(label string, x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Label: label})
+}
+
+// Figure is a set of series plus identifying metadata; the harness's unit
+// of output. Rendered, it prints the same rows/series the paper reports.
+type Figure struct {
+	ID     string // e.g. "fig7"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+	Notes  []string
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(id, title, xlabel, ylabel string) *Figure {
+	return &Figure{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries creates, attaches, and returns a new series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Note attaches a free-text observation to the rendered figure.
+func (f *Figure) Note(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// FindSeries returns the series with the given name, or nil.
+func (f *Figure) FindSeries(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Render prints the figure as an aligned text table: one row per distinct
+// x value, one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+
+	// Collect the union of x values (preserving label text when present).
+	type xkey struct {
+		x     float64
+		label string
+	}
+	seen := map[xkey]bool{}
+	var xs []xkey
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			k := xkey{p.X, p.Label}
+			if !seen[k] {
+				seen[k] = true
+				xs = append(xs, k)
+			}
+		}
+	}
+	sort.SliceStable(xs, func(i, j int) bool {
+		if xs[i].x != xs[j].x {
+			return xs[i].x < xs[j].x
+		}
+		return xs[i].label < xs[j].label
+	})
+
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, k := range xs {
+		label := k.label
+		if label == "" {
+			label = trimFloat(k.x)
+		}
+		row := []string{label}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == k.x && p.Label == k.label {
+					cell = trimFloat(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+			_ = i
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i := range row {
+				b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "(%s)\n", f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,146 @@
+// Package swap implements the remote-swap comparator the paper measures
+// against (and its disk-swap ancestor): page-granularity paging where a
+// touched non-resident page costs an OS trap plus a whole-page transfer,
+// the page then stays resident until LRU eviction, and dirty evictions
+// pay the transfer again on the way out. This is the mechanism behind
+// Equation (1); when the working set outgrows residency, the thrashing
+// the paper's Figures 10 and 11 show falls out by construction.
+package swap
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/params"
+)
+
+// PageCache is an LRU set of resident pages with dirty tracking.
+type PageCache struct {
+	capacity int
+	lru      *list.List               // front = MRU; values are pageIDs
+	pages    map[uint64]*list.Element // pageID -> element
+	dirty    map[uint64]bool
+
+	// Hits, Misses, Evictions, and DirtyEvictions count events.
+	Hits, Misses, Evictions, DirtyEvictions uint64
+}
+
+// NewPageCache builds a cache holding capacity pages.
+func NewPageCache(capacity int) (*PageCache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("swap: page cache capacity %d", capacity)
+	}
+	return &PageCache{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[uint64]*list.Element),
+		dirty:    make(map[uint64]bool),
+	}, nil
+}
+
+// Capacity returns the resident-page limit.
+func (c *PageCache) Capacity() int { return c.capacity }
+
+// Resident returns the current resident-page count.
+func (c *PageCache) Resident() int { return c.lru.Len() }
+
+// IsResident reports whether a page is currently resident.
+func (c *PageCache) IsResident(page uint64) bool {
+	_, ok := c.pages[page]
+	return ok
+}
+
+// TouchResult describes what one page touch did.
+type TouchResult struct {
+	Hit bool
+	// Evicted and EvictedDirty describe the page pushed out, if any.
+	Evicted      uint64
+	DidEvict     bool
+	EvictedDirty bool
+}
+
+// Touch accesses a page, faulting it in if absent and evicting LRU if
+// over capacity. write marks the page dirty.
+func (c *PageCache) Touch(page uint64, write bool) TouchResult {
+	if el, ok := c.pages[page]; ok {
+		c.lru.MoveToFront(el)
+		if write {
+			c.dirty[page] = true
+		}
+		c.Hits++
+		return TouchResult{Hit: true}
+	}
+	c.Misses++
+	var res TouchResult
+	if c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		victim := back.Value.(uint64)
+		c.lru.Remove(back)
+		delete(c.pages, victim)
+		res.Evicted, res.DidEvict = victim, true
+		res.EvictedDirty = c.dirty[victim]
+		delete(c.dirty, victim)
+		c.Evictions++
+		if res.EvictedDirty {
+			c.DirtyEvictions++
+		}
+	}
+	c.pages[page] = c.lru.PushFront(page)
+	if write {
+		c.dirty[page] = true
+	}
+	return res
+}
+
+// Flush drops every resident page, returning how many were dirty.
+func (c *PageCache) Flush() int {
+	dirty := len(c.dirty)
+	c.lru.Init()
+	c.pages = make(map[uint64]*list.Element)
+	c.dirty = make(map[uint64]bool)
+	return dirty
+}
+
+// Device prices a page fault's backing transfer.
+type Device interface {
+	// FaultCost is the cost of bringing one page in.
+	FaultCost() params.Duration
+	// WritebackCost is the cost of pushing one dirty page out.
+	WritebackCost() params.Duration
+	// Name identifies the device in reports.
+	Name() string
+}
+
+// RemoteDevice is remote swap: the page moves over the same fabric the
+// RMC uses, as one DMA'd page transfer plus per-hop latency.
+type RemoteDevice struct {
+	P    params.Params
+	Hops int
+}
+
+// FaultCost implements Device.
+func (d RemoteDevice) FaultCost() params.Duration {
+	return d.P.SwapPageTransfer + 2*params.Duration(d.Hops)*d.P.HopLatency
+}
+
+// WritebackCost implements Device.
+func (d RemoteDevice) WritebackCost() params.Duration {
+	return d.P.SwapPageTransfer + params.Duration(d.Hops)*d.P.HopLatency
+}
+
+// Name implements Device.
+func (d RemoteDevice) Name() string { return "remote-swap" }
+
+// DiskDevice is classic disk swap.
+type DiskDevice struct {
+	P params.Params
+}
+
+// FaultCost implements Device.
+func (d DiskDevice) FaultCost() params.Duration { return d.P.DiskLatency }
+
+// WritebackCost implements Device.
+func (d DiskDevice) WritebackCost() params.Duration { return d.P.DiskLatency }
+
+// Name implements Device.
+func (d DiskDevice) Name() string { return "disk-swap" }

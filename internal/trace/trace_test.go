@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/memmodel"
+	"repro/internal/params"
+)
+
+func roundTrip(t *testing.T, recs []Record) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Addr: 0x1000, Write: false},
+		{Addr: 0x1040, Write: true},
+		{Addr: 0xdeadbeef000, Write: false},
+		{Addr: 0x10, Write: true}, // negative delta
+		{Addr: 0x10, Write: false},
+	}
+	got := roundTrip(t, recs)
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	if got := roundTrip(t, nil); len(got) != 0 {
+		t.Errorf("empty trace read back %d records", len(got))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint64, writes []bool) bool {
+		var recs []Record
+		for i, a := range addrs {
+			recs = append(recs, Record{Addr: a, Write: i < len(writes) && writes[i]})
+		}
+		got := roundTrip(t, recs)
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaCompression(t *testing.T) {
+	// A sequential trace should cost ~2 bytes per record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		w.Add(Record{Addr: uint64(i) * 64})
+	}
+	w.Close()
+	if perRec := float64(buf.Len()-8) / 1000; perRec > 3 {
+		t.Errorf("sequential trace costs %.1f bytes/record", perRec)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("WRONGMAG-extra"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Corrupt flag byte.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(7)
+	buf.WriteByte(0)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("corrupt flags accepted")
+	}
+	// Truncated varint.
+	buf.Reset()
+	buf.Write(magic[:])
+	buf.WriteByte(0)
+	r, _ = NewReader(&buf)
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated record returned %v", err)
+	}
+	// Closed writer rejects appends.
+	var out bytes.Buffer
+	w, _ := NewWriter(&out)
+	w.Close()
+	if err := w.Add(Record{}); err == nil {
+		t.Error("closed writer accepted a record")
+	}
+}
+
+func TestRecordStreamAndReplayStream(t *testing.T) {
+	src := []cpu.Access{
+		{Addr: addr.Phys(0x40).WithNode(2), Write: false},
+		{Addr: addr.Phys(0x80).WithNode(2), Write: true},
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := RecordStream(cpu.NewSliceStream(src), w)
+	for {
+		if _, ok := rec.Next(); !ok {
+			break
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := r.Stream()
+	for i := range src {
+		a, ok := replay.Next()
+		if !ok || a != src[i] {
+			t.Fatalf("replay %d = %+v, %v; want %+v", i, a, ok, src[i])
+		}
+	}
+	if _, ok := replay.Next(); ok {
+		t.Error("replay over-produced")
+	}
+}
+
+func TestReplayAgainstAccessor(t *testing.T) {
+	p := params.Default()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	const n = 100
+	for i := 0; i < n; i++ {
+		w.Add(Record{Addr: uint64(i) * 4096})
+	}
+	w.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, count, err := r.Replay(memmodel.Remote{P: p, Hops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Errorf("replayed %d accesses", count)
+	}
+	if total != params.Duration(n)*p.RemoteRoundTrip(2) {
+		t.Errorf("replay time = %d", total)
+	}
+}

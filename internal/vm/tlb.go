@@ -1,0 +1,91 @@
+package vm
+
+import "repro/internal/params"
+
+// TLB is a fully-associative LRU translation cache. The paper's fast
+// path relies on it: after the OS writes a prefixed translation once,
+// every subsequent access translates in the TLB and goes straight to the
+// hardware forwarding path with no software involved.
+type TLB struct {
+	capacity int
+	entries  map[uint64]*tlbEntry
+	clock    uint64
+
+	// Hits and Misses count lookups.
+	Hits, Misses uint64
+}
+
+type tlbEntry struct {
+	pte PTE
+	lru uint64
+}
+
+// DefaultTLBEntries matches an Opteron-era L2 TLB.
+const DefaultTLBEntries = 512
+
+// NewTLB builds a TLB with the given entry count.
+func NewTLB(capacity int) *TLB {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TLB{capacity: capacity, entries: make(map[uint64]*tlbEntry)}
+}
+
+// Lookup returns the cached translation for the page containing va.
+func (t *TLB) Lookup(va Virt) (PTE, bool) {
+	e, ok := t.entries[va.vpn()]
+	if !ok {
+		t.Misses++
+		return PTE{}, false
+	}
+	t.clock++
+	e.lru = t.clock
+	t.Hits++
+	return e.pte, true
+}
+
+// Insert caches a translation, evicting LRU if full.
+func (t *TLB) Insert(va Virt, pte PTE) {
+	vpn := va.vpn()
+	if e, ok := t.entries[vpn]; ok {
+		t.clock++
+		e.pte, e.lru = pte, t.clock
+		return
+	}
+	if len(t.entries) >= t.capacity {
+		var victim uint64
+		best := ^uint64(0)
+		for k, e := range t.entries {
+			if e.lru < best {
+				best, victim = e.lru, k
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.clock++
+	t.entries[vpn] = &tlbEntry{pte: pte, lru: t.clock}
+}
+
+// Invalidate drops the translation for the page containing va.
+func (t *TLB) Invalidate(va Virt) { delete(t.entries, va.vpn()) }
+
+// Flush drops every entry (context switch, unmap of a range).
+func (t *TLB) Flush() { t.entries = make(map[uint64]*tlbEntry) }
+
+// Len returns the resident entry count.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// HitRate returns the fraction of lookups that hit.
+func (t *TLB) HitRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(total)
+}
+
+// PagesFor returns how many pages a byte range spans, a helper shared by
+// OS-level code.
+func PagesFor(size uint64) int {
+	return int((size + params.PageSize - 1) / params.PageSize)
+}

@@ -1,0 +1,144 @@
+// Package vm models the virtual-memory machinery of one node's OS: page
+// tables whose entries can point at *prefixed* physical addresses (the
+// one kernel modification the reservation protocol of Figure 4 needs),
+// a TLB with hit/miss accounting, and page pinning — reserved remote
+// frames must never swap to disk, or the scheme would degenerate into
+// remote swapping.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/params"
+)
+
+// Virt is a virtual address.
+type Virt uint64
+
+// Page returns the address rounded down to its page boundary.
+func (v Virt) Page() Virt { return v &^ (params.PageSize - 1) }
+
+// Offset returns the in-page offset.
+func (v Virt) Offset() uint64 { return uint64(v) & (params.PageSize - 1) }
+
+// vpn returns the virtual page number.
+func (v Virt) vpn() uint64 { return uint64(v) / params.PageSize }
+
+// PTE is one page-table entry. Phys may carry a node prefix: that is the
+// entire trick — once the OS writes a prefixed translation, ordinary
+// loads and stores reach remote memory with no software on the path.
+type PTE struct {
+	Phys    addr.Phys
+	Present bool
+	// Pinned entries may never be evicted or swapped.
+	Pinned bool
+}
+
+// AddressSpace is one process's page table plus a bump allocator for
+// fresh virtual ranges.
+type AddressSpace struct {
+	pages  map[uint64]PTE
+	nextVA Virt
+
+	// Faults counts page-table misses observed via Translate.
+	Faults uint64
+}
+
+// heapBase is where allocated virtual ranges start, clear of the nil
+// page and any text/stack a real process would have.
+const heapBase Virt = 0x0000_1000_0000
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[uint64]PTE), nextVA: heapBase}
+}
+
+// ReserveVirtual carves a fresh, unmapped virtual range of the given
+// byte size (rounded up to pages) and returns its base.
+func (as *AddressSpace) ReserveVirtual(size uint64) (Virt, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("vm: zero-size virtual reservation")
+	}
+	pages := (size + params.PageSize - 1) / params.PageSize
+	base := as.nextVA
+	as.nextVA += Virt(pages * params.PageSize)
+	return base, nil
+}
+
+// MapRange installs translations for npages pages starting at virtual
+// base va, backed by the contiguous physical range starting at pa. pa
+// may be prefixed (a remote reservation); pinned marks the pages
+// unswappable, which remote reservations always are.
+func (as *AddressSpace) MapRange(va Virt, pa addr.Phys, npages int, pinned bool) error {
+	if va.Offset() != 0 || uint64(pa)%params.PageSize != 0 {
+		return fmt.Errorf("vm: unaligned mapping %x -> %v", uint64(va), pa)
+	}
+	if npages <= 0 {
+		return fmt.Errorf("vm: mapping %d pages", npages)
+	}
+	// Reject double-mapping before mutating anything.
+	for i := 0; i < npages; i++ {
+		if _, dup := as.pages[(va + Virt(i)*params.PageSize).vpn()]; dup {
+			return fmt.Errorf("vm: page %x already mapped", uint64(va)+uint64(i)*params.PageSize)
+		}
+	}
+	for i := 0; i < npages; i++ {
+		v := va + Virt(i)*params.PageSize
+		as.pages[v.vpn()] = PTE{Phys: pa + addr.Phys(i*params.PageSize), Present: true, Pinned: pinned}
+	}
+	return nil
+}
+
+// Unmap removes npages translations starting at va.
+func (as *AddressSpace) Unmap(va Virt, npages int) error {
+	if va.Offset() != 0 || npages <= 0 {
+		return fmt.Errorf("vm: bad unmap %x x%d", uint64(va), npages)
+	}
+	for i := 0; i < npages; i++ {
+		v := va + Virt(i)*params.PageSize
+		if _, ok := as.pages[v.vpn()]; !ok {
+			return fmt.Errorf("vm: unmapping unmapped page %x", uint64(v))
+		}
+	}
+	for i := 0; i < npages; i++ {
+		delete(as.pages, (va + Virt(i)*params.PageSize).vpn())
+	}
+	return nil
+}
+
+// Translate walks the page table for va. A missing translation counts as
+// a fault and returns an error (the OS model decides what a fault means:
+// allocation, swap-in, or a crash).
+func (as *AddressSpace) Translate(va Virt) (addr.Phys, error) {
+	pte, ok := as.pages[va.vpn()]
+	if !ok || !pte.Present {
+		as.Faults++
+		return 0, fmt.Errorf("vm: page fault at %#x", uint64(va))
+	}
+	return pte.Phys + addr.Phys(va.Offset()), nil
+}
+
+// Lookup returns the PTE for the page containing va without fault
+// accounting.
+func (as *AddressSpace) Lookup(va Virt) (PTE, bool) {
+	pte, ok := as.pages[va.vpn()]
+	return pte, ok
+}
+
+// SetPresent flips a page's presence (swap models use this).
+func (as *AddressSpace) SetPresent(va Virt, present bool) error {
+	pte, ok := as.pages[va.vpn()]
+	if !ok {
+		return fmt.Errorf("vm: SetPresent on unmapped page %#x", uint64(va))
+	}
+	if pte.Pinned && !present {
+		return fmt.Errorf("vm: cannot page out pinned page %#x", uint64(va))
+	}
+	pte.Present = present
+	as.pages[va.vpn()] = pte
+	return nil
+}
+
+// MappedPages returns the number of installed translations.
+func (as *AddressSpace) MappedPages() int { return len(as.pages) }

@@ -1,0 +1,218 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/params"
+)
+
+func TestReserveVirtualDisjoint(t *testing.T) {
+	as := NewAddressSpace()
+	a, err := as.ReserveVirtual(10 * params.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := as.ReserveVirtual(1) // rounds to one page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a+10*params.PageSize {
+		t.Errorf("ranges not adjacent/disjoint: %x then %x", uint64(a), uint64(b))
+	}
+	if _, err := as.ReserveVirtual(0); err == nil {
+		t.Error("zero reservation accepted")
+	}
+}
+
+func TestMapTranslateUnmap(t *testing.T) {
+	as := NewAddressSpace()
+	va, _ := as.ReserveVirtual(4 * params.PageSize)
+	pa := addr.Phys(0x41000000).WithNode(3) // a remote reservation
+	if err := as.MapRange(va, pa, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if as.MappedPages() != 4 {
+		t.Errorf("MappedPages = %d", as.MappedPages())
+	}
+	// The paper's worked translation: virtual offset maps to prefixed
+	// physical address with the offset preserved.
+	got, err := as.Translate(va + Virt(params.PageSize) + 0xB0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pa + params.PageSize + 0xB0
+	if got != want {
+		t.Errorf("Translate = %v, want %v", got, want)
+	}
+	if got.Node() != 3 {
+		t.Error("translation lost the node prefix")
+	}
+	if err := as.Unmap(va, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Translate(va); err == nil {
+		t.Error("translation survived unmap")
+	}
+	if as.Faults != 1 {
+		t.Errorf("Faults = %d", as.Faults)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	as := NewAddressSpace()
+	va, _ := as.ReserveVirtual(2 * params.PageSize)
+	if err := as.MapRange(va+1, 0, 1, false); err == nil {
+		t.Error("unaligned va accepted")
+	}
+	if err := as.MapRange(va, 1, 1, false); err == nil {
+		t.Error("unaligned pa accepted")
+	}
+	if err := as.MapRange(va, 0, 0, false); err == nil {
+		t.Error("zero pages accepted")
+	}
+	if err := as.MapRange(va, 0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapRange(va+params.PageSize, 0x10000, 1, false); err == nil {
+		t.Error("double map accepted")
+	}
+	if err := as.Unmap(va, 3); err == nil {
+		t.Error("unmap beyond mapping accepted")
+	}
+	// Failed unmap must not have removed anything.
+	if as.MappedPages() != 2 {
+		t.Errorf("partial unmap happened: %d pages", as.MappedPages())
+	}
+}
+
+func TestPinnedPagesCannotPageOut(t *testing.T) {
+	as := NewAddressSpace()
+	va, _ := as.ReserveVirtual(2 * params.PageSize)
+	if err := as.MapRange(va, addr.Phys(0x1000).WithNode(2), 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapRange(va+params.PageSize, 0x2000, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.SetPresent(va, false); err == nil {
+		t.Error("pinned remote page paged out — this would be remote swap")
+	}
+	if err := as.SetPresent(va+params.PageSize, false); err != nil {
+		t.Errorf("unpinned page refuses to page out: %v", err)
+	}
+	if _, err := as.Translate(va + params.PageSize); err == nil {
+		t.Error("non-present page translated")
+	}
+	if err := as.SetPresent(va+params.PageSize, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Translate(va + params.PageSize); err != nil {
+		t.Error("page-in did not restore translation")
+	}
+	if err := as.SetPresent(va+5*params.PageSize, true); err == nil {
+		t.Error("SetPresent on unmapped page accepted")
+	}
+}
+
+func TestTranslateRoundTripProperty(t *testing.T) {
+	as := NewAddressSpace()
+	va, _ := as.ReserveVirtual(256 * params.PageSize)
+	pa := addr.Phys(0x10000000).WithNode(7)
+	if err := as.MapRange(va, pa, 256, true); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint32) bool {
+		o := uint64(off) % (256 * params.PageSize)
+		got, err := as.Translate(va + Virt(o))
+		return err == nil && got == pa+addr.Phys(o)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(2)
+	va := Virt(0x10000)
+	if _, ok := tlb.Lookup(va); ok {
+		t.Error("empty TLB hit")
+	}
+	tlb.Insert(va, PTE{Phys: 0x5000, Present: true})
+	pte, ok := tlb.Lookup(va)
+	if !ok || pte.Phys != 0x5000 {
+		t.Errorf("lookup = %+v, %v", pte, ok)
+	}
+	if tlb.Hits != 1 || tlb.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d", tlb.Hits, tlb.Misses)
+	}
+	if tlb.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", tlb.HitRate())
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	a, b, c := Virt(0), Virt(params.PageSize), Virt(2*params.PageSize)
+	tlb.Insert(a, PTE{Phys: 1})
+	tlb.Insert(b, PTE{Phys: 2})
+	tlb.Lookup(a)               // a is now MRU
+	tlb.Insert(c, PTE{Phys: 3}) // evicts b
+	if _, ok := tlb.Lookup(b); ok {
+		t.Error("LRU entry survived")
+	}
+	if _, ok := tlb.Lookup(a); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if tlb.Len() != 2 {
+		t.Errorf("Len = %d", tlb.Len())
+	}
+}
+
+func TestTLBUpdateInvalidateFlush(t *testing.T) {
+	tlb := NewTLB(4)
+	va := Virt(0x3000)
+	tlb.Insert(va, PTE{Phys: 1})
+	tlb.Insert(va, PTE{Phys: 2}) // update in place
+	if pte, _ := tlb.Lookup(va); pte.Phys != 2 {
+		t.Error("update did not take")
+	}
+	tlb.Invalidate(va)
+	if _, ok := tlb.Lookup(va); ok {
+		t.Error("invalidated entry hit")
+	}
+	tlb.Insert(va, PTE{Phys: 3})
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Error("flush left entries")
+	}
+}
+
+func TestTLBMinCapacity(t *testing.T) {
+	tlb := NewTLB(0) // clamps to 1
+	tlb.Insert(0, PTE{Phys: 1})
+	tlb.Insert(params.PageSize, PTE{Phys: 2})
+	if tlb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tlb.Len())
+	}
+	if tlb.HitRate() != 0 {
+		t.Error("no lookups but nonzero hit rate")
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	cases := map[uint64]int{1: 1, params.PageSize: 1, params.PageSize + 1: 2, 10 * params.PageSize: 10}
+	for in, want := range cases {
+		if got := PagesFor(in); got != want {
+			t.Errorf("PagesFor(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestVirtHelpers(t *testing.T) {
+	v := Virt(0x12345)
+	if v.Page() != 0x12000 || v.Offset() != 0x345 {
+		t.Errorf("Page/Offset = %x/%x", uint64(v.Page()), v.Offset())
+	}
+}

@@ -1,0 +1,191 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/memmodel"
+	"repro/internal/params"
+)
+
+func TestRandomStreamValidation(t *testing.T) {
+	if _, err := RandomStream(1, nil, 10, 0); err == nil {
+		t.Error("empty ranges accepted")
+	}
+	r := []addr.Range{{Start: addr.NodeBase(2), Size: 1 << 20}}
+	if _, err := RandomStream(1, r, -1, 0); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := RandomStream(1, r, 10, 1.5); err == nil {
+		t.Error("write fraction > 1 accepted")
+	}
+	if _, err := RandomStream(1, []addr.Range{{Start: 0, Size: 8}}, 10, 0); err == nil {
+		t.Error("sub-line range accepted")
+	}
+}
+
+func TestRandomStreamStaysInRanges(t *testing.T) {
+	ranges := []addr.Range{
+		{Start: addr.NodeBase(2), Size: 1 << 20},
+		{Start: addr.NodeBase(5) + 4096, Size: 1 << 16},
+	}
+	s, err := RandomStream(42, ranges, 2000, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, writes := 0, 0
+	for {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+		if a.Write {
+			writes++
+		}
+		if uint64(a.Addr)%params.CacheLineSize != 0 {
+			t.Fatalf("access %v not line-aligned", a.Addr)
+		}
+		in := false
+		for _, r := range ranges {
+			if r.Contains(a.Addr) {
+				in = true
+			}
+		}
+		if !in {
+			t.Fatalf("access %v outside every range", a.Addr)
+		}
+	}
+	if n != 2000 {
+		t.Errorf("stream yielded %d accesses", n)
+	}
+	if writes == 0 || writes == n {
+		t.Errorf("write mix = %d/%d, want a 30%% blend", writes, n)
+	}
+}
+
+func TestRandomStreamDeterministic(t *testing.T) {
+	ranges := []addr.Range{{Start: addr.NodeBase(3), Size: 1 << 20}}
+	collect := func(seed int64) []addr.Phys {
+		s, err := RandomStream(seed, ranges, 100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []addr.Phys
+		for {
+			a, ok := s.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, a.Addr)
+		}
+	}
+	a, b := collect(7), collect(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := collect(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	p := params.Default()
+	for _, k := range ParsecSuite(p) {
+		r1 := k.Run(memmodel.Local{P: p}, 11)
+		r2 := k.Run(memmodel.Local{P: p}, 11)
+		if r1.MemTime != r2.MemTime || r1.Accesses != r2.Accesses {
+			t.Errorf("%s: nondeterministic run", k.Name)
+		}
+		if r1.Accesses != k.Accesses {
+			t.Errorf("%s: ran %d accesses, declared %d", k.Name, r1.Accesses, k.Accesses)
+		}
+		if r1.CompTime != params.Duration(k.Accesses)*k.ComputePerAccess {
+			t.Errorf("%s: compute time wrong", k.Name)
+		}
+		if r1.Total() != r1.MemTime+r1.CompTime {
+			t.Errorf("%s: Total inconsistent", k.Name)
+		}
+	}
+}
+
+func TestKernelFootprintDiscipline(t *testing.T) {
+	// Every generated address stays within the declared footprint.
+	p := params.Default()
+	for _, k := range ParsecSuite(p) {
+		gen := k.gen(k, 3)
+		for i := 0; i < 20000; i++ {
+			a, _ := gen()
+			if a >= k.Footprint {
+				t.Fatalf("%s: address %d beyond footprint %d", k.Name, a, k.Footprint)
+			}
+		}
+	}
+}
+
+func TestSuiteShapesUnderConfigs(t *testing.T) {
+	// The Figure 11 orderings that must hold per kernel.
+	p := params.Default()
+	run := func(k Kernel, cfg memmodel.Config) params.Duration {
+		base, err := memmodel.Build(cfg, p, 1, p.SwapResidentPages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := memmodel.NewLineCached(base, p, memmodel.DefaultCacheLines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k.Run(acc, 5).Total()
+	}
+
+	for _, k := range ParsecSuite(p) {
+		local := run(k, memmodel.ConfigLocal)
+		remote := run(k, memmodel.ConfigRemote)
+		rswap := run(k, memmodel.ConfigRemoteSwap)
+		if remote < local {
+			t.Errorf("%s: remote (%d) beat local (%d)", k.Name, remote, local)
+		}
+		switch k.Name {
+		case "blackscholes", "raytrace":
+			lo, hi := 1.5, 8.0
+			ratio := float64(rswap) / float64(remote)
+			if ratio < lo || ratio > hi {
+				t.Errorf("%s: swap/remote = %.2f, want within [%v,%v] (paper: ~2x)", k.Name, ratio, lo, hi)
+			}
+		case "canneal":
+			if float64(rswap)/float64(remote) < 20 {
+				t.Errorf("canneal: swap/remote = %.2f, should be prohibitive", float64(rswap)/float64(remote))
+			}
+			if float64(remote)/float64(local) < 1.5 {
+				t.Errorf("canneal: remote/local = %.2f, paper shows a noticeable gap", float64(remote)/float64(local))
+			}
+		case "streamcluster":
+			if float64(rswap)/float64(local) > 1.2 {
+				t.Errorf("streamcluster: swap/local = %.2f, should fit locally and tie", float64(rswap)/float64(local))
+			}
+		}
+	}
+}
+
+func TestScaleRef(t *testing.T) {
+	p := params.Default()
+	if got := ScaleRef(p); got != uint64(p.SwapResidentPages)*params.PageSize {
+		t.Errorf("ScaleRef = %d", got)
+	}
+	// Streamcluster fits locally; canneal dwarfs it.
+	if Streamcluster(p).Footprint >= ScaleRef(p) {
+		t.Error("streamcluster should fit in local memory")
+	}
+	if Canneal(p).Footprint <= 8*ScaleRef(p) {
+		t.Error("canneal should dwarf local memory")
+	}
+}

@@ -1,0 +1,292 @@
+// Package ncdsm is the public face of the non-coherent distributed
+// shared-memory library — a reproduction of "Getting Rid of Coherency
+// Overhead for Memory-Hungry Applications" (Montaner, Silla, Fröning,
+// Duato; IEEE CLUSTER 2010).
+//
+// The library models a cluster whose nodes can lend each other physical
+// memory through a Remote Memory Controller (RMC): a process stays on
+// one node's cores and caches (one coherency domain) while its memory
+// region grows with frames reserved on other nodes. Accesses to those
+// frames are plain loads and stores — the 14 most-significant physical-
+// address bits route them through the RMC to the owning node with no
+// software on the path and no inter-node coherency traffic, ever.
+//
+// Quick start:
+//
+//	sys, err := ncdsm.New(ncdsm.DefaultConfig())        // 16-node 4×4 prototype
+//	region, err := sys.Region(1)                         // node 1's memory region
+//	ptr, err := region.Malloc(32 << 30)                  // spills to remote nodes
+//	err = region.Write(ptr, data)                        // functional access
+//	err = region.Access(0, 0, ptr, false, onDone)        // timed access (simulated)
+//
+// The packages under internal/ implement the substrates (HyperTransport
+// and its High Node Count extension, the 2D-mesh fabric, caches, DRAM,
+// the RMC itself, the OS reservation protocol, allocators, the swap and
+// coherent-DSM baselines, and the evaluation harness); ncdsm re-exposes
+// the surface a downstream user needs.
+package ncdsm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/memdir"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Config is the cluster calibration; see DefaultConfig.
+type Config = params.Params
+
+// DefaultConfig returns the paper's 16-node prototype: 4×4 mesh, 16
+// cores and 16 GB per node, 8 GB per node pooled into a 128 GB cluster-
+// wide shared pool, and the FPGA-era RMC timings of DESIGN.md §5.
+func DefaultConfig() Config { return params.Default() }
+
+// NodeID identifies a cluster node (1-based; 0 is reserved).
+type NodeID = addr.NodeID
+
+// Pointer is a virtual address inside a region's process.
+type Pointer = vm.Virt
+
+// Time is simulated time in picoseconds.
+type Time = sim.Time
+
+// Placement selects how a growing region chooses donor nodes.
+type Placement = memdir.Policy
+
+// Placement policies.
+const (
+	// PlacementMostFree borrows from the node with the most free pooled
+	// memory (spreads load).
+	PlacementMostFree = memdir.MostFree
+	// PlacementNearest borrows from the closest node with enough memory
+	// (minimizes access latency).
+	PlacementNearest = memdir.Nearest
+)
+
+// System is an assembled cluster: hardware, per-node OS agents, and the
+// free-memory directory.
+type System struct {
+	inner *core.System
+}
+
+// New builds a system from a configuration.
+func New(cfg Config) (*System, error) {
+	s, err := core.NewSystem(sim.New(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: s}, nil
+}
+
+// Config returns the system's calibration.
+func (s *System) Config() Config { return s.inner.Params() }
+
+// Nodes returns the cluster's node count.
+func (s *System) Nodes() int { return s.inner.Cluster().Nodes() }
+
+// PoolFree returns the free bytes remaining in the cluster-wide pool.
+func (s *System) PoolFree() uint64 { return s.inner.Directory().TotalFree() }
+
+// Region returns the memory region anchored at a node (one per node,
+// created on first use). See Region for what it can do.
+func (s *System) Region(n NodeID) (*Region, error) {
+	r, err := s.inner.Region(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Region{inner: r, sys: s}, nil
+}
+
+// Run advances the simulation until all scheduled work completes and
+// returns the final simulated time. Timed accesses (Region.Access) only
+// complete under Run.
+func (s *System) Run() Time { return s.inner.Engine().Run() }
+
+// Now returns the current simulated time — pass it as the issue time of
+// accesses submitted after a previous Run.
+func (s *System) Now() Time { return s.inner.Engine().Now() }
+
+// Core returns the underlying core.System for advanced use (experiment
+// drivers, direct cluster access). The internal API is not covered by
+// this package's compatibility surface.
+func (s *System) Core() *core.System { return s.inner }
+
+// MemoryMap writes a node's view of the cluster memory map (the paper's
+// Figure 3) to w.
+func (s *System) MemoryMap(n NodeID, w io.Writer) error {
+	node, err := s.inner.Cluster().Node(n)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, node.MemMap().String())
+	return err
+}
+
+// Region is one node's coherency domain plus the memory it aggregates.
+type Region struct {
+	inner *core.Region
+	sys   *System
+}
+
+// Node returns the region's anchor node.
+func (r *Region) Node() NodeID { return r.inner.Node() }
+
+// SetPlacement selects the donor policy for implicit growth.
+func (r *Region) SetPlacement(p Placement) { r.inner.Policy = p }
+
+// SetDonors pins implicit growth to an explicit donor list, in order.
+func (r *Region) SetDonors(donors ...NodeID) { r.inner.Donors = donors }
+
+// Malloc allocates size bytes in the region's heap — locally while the
+// node's private memory lasts, then transparently from remote nodes via
+// the reservation protocol, exactly like the paper's interposed malloc.
+func (r *Region) Malloc(size uint64) (Pointer, error) { return r.inner.Malloc(size) }
+
+// Free releases a Malloc allocation.
+func (r *Region) Free(p Pointer) error { return r.inner.Free(p) }
+
+// Trim returns idle heap arenas to their owners: local frames to the
+// node's private zone, borrowed frames to their donors' pools. This is
+// the hot-remove flow — a region shrinks when a phase's peak passes.
+func (r *Region) Trim() (uint64, error) { return r.inner.Trim() }
+
+// Grow explicitly borrows size bytes from a donor chosen by the
+// placement policy and maps them, returning the virtual base and the
+// donor node.
+func (r *Region) Grow(size uint64) (Pointer, NodeID, error) {
+	rng, err := r.inner.Grow(size)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := r.inner.MapBorrowed(rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, rng.Node(), nil
+}
+
+// GrowFrom is Grow with an explicit donor.
+func (r *Region) GrowFrom(donor NodeID, size uint64) (Pointer, error) {
+	rng, err := r.inner.GrowFrom(donor, size)
+	if err != nil {
+		return 0, err
+	}
+	return r.inner.MapBorrowed(rng)
+}
+
+// BorrowedBytes reports how much remote memory the region holds.
+func (r *Region) BorrowedBytes() uint64 { return r.inner.Agent().BorrowedBytes() }
+
+// EffectiveMemory reports the memory a process in this region can use:
+// the node's private memory plus all borrowings.
+func (r *Region) EffectiveMemory() uint64 { return r.inner.Agent().EffectiveMemory() }
+
+// Write stores data at a pointer (functional path; crosses nodes
+// transparently).
+func (r *Region) Write(p Pointer, data []byte) error { return r.inner.Write(p, data) }
+
+// Read loads len(buf) bytes at a pointer (functional path).
+func (r *Region) Read(p Pointer, buf []byte) error { return r.inner.Read(p, buf) }
+
+// WriteUint64 stores a word.
+func (r *Region) WriteUint64(p Pointer, v uint64) error { return r.inner.WriteUint64(p, v) }
+
+// ReadUint64 loads a word.
+func (r *Region) ReadUint64(p Pointer, v *uint64) error {
+	got, err := r.inner.ReadUint64(p)
+	if err != nil {
+		return err
+	}
+	*v = got
+	return nil
+}
+
+// Access issues one timed load or store at a pointer through the full
+// simulated memory path (TLB, cache hierarchy, BARs, RMC, mesh). done
+// fires at the simulated completion time once System.Run executes.
+func (r *Region) Access(now Time, coreID int, p Pointer, write bool, done func(Time)) error {
+	return r.inner.Access(now, coreID, p, write, done)
+}
+
+// BeginParallelRead flushes the node's caches and enters the read-only
+// parallel phase of paper Section IV-B: any core may then read remote
+// data safely with no inter-node coherency, but writes are rejected
+// until BeginSerial. Returns the number of dirty lines flushed.
+func (r *Region) BeginParallelRead() int {
+	return r.inner.BeginParallelRead(r.sys.Now())
+}
+
+// BeginSerial returns to the single-writer phase, bound to coreID.
+func (r *Region) BeginSerial(coreID int) { r.inner.BeginSerial(coreID) }
+
+// Owner reports which node physically holds the byte behind a pointer.
+func (r *Region) Owner(p Pointer) (NodeID, error) {
+	pa, err := r.inner.Translate(p)
+	if err != nil {
+		return 0, err
+	}
+	if pa.Canonical(r.Node()).IsLocal() {
+		return r.Node(), nil
+	}
+	return pa.Node(), nil
+}
+
+// Experiment regenerates one of the paper's tables/figures ("table1",
+// "fig6".."fig11", "eq", "A", "B", "C") at the given workload scale
+// (1.0 = paper-sized) and returns its rendered text table.
+func Experiment(id string, scale float64) (string, error) {
+	gen, err := experiments.Lookup(id)
+	if err != nil {
+		return "", err
+	}
+	o := experiments.DefaultOptions()
+	if scale > 0 {
+		o.Scale = scale
+	}
+	fig, err := gen(o)
+	if err != nil {
+		return "", err
+	}
+	return fig.Render(), nil
+}
+
+// ExperimentFigure is Experiment returning the structured figure.
+func ExperimentFigure(id string, scale float64) (*stats.Figure, error) {
+	gen, err := experiments.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	o := experiments.DefaultOptions()
+	if scale > 0 {
+		o.Scale = scale
+	}
+	return gen(o)
+}
+
+// Experiments lists the available experiment identifiers in order.
+func Experiments() []string {
+	var ids []string
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// Validate checks a configuration without building a system.
+func Validate(cfg Config) error { return cfg.Validate() }
+
+// Describe returns a one-paragraph summary of the system a config
+// builds, for CLI banners.
+func Describe(cfg Config) string {
+	return fmt.Sprintf("%d-node %dx%d mesh, %d cores and %d GB per node, %d GB pooled (%d GB cluster pool), remote round trip %.2f µs at 1 hop",
+		cfg.Nodes(), cfg.MeshWidth, cfg.MeshHeight, cfg.CoresPerNode,
+		cfg.MemPerNode>>30, cfg.PooledMemPerNode()>>30, cfg.PoolSize()>>30,
+		float64(cfg.RemoteRoundTrip(1))/float64(params.Microsecond))
+}

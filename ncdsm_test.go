@@ -1,0 +1,262 @@
+package ncdsm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes() != 16 || cfg.PoolSize() != 128<<30 {
+		t.Errorf("prototype geometry wrong: %d nodes, %d pool", cfg.Nodes(), cfg.PoolSize())
+	}
+	bad := cfg
+	bad.MeshWidth = 0
+	if Validate(bad) == nil {
+		t.Error("invalid config validated")
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("invalid config built")
+	}
+	if !strings.Contains(Describe(cfg), "16-node") {
+		t.Errorf("Describe = %q", Describe(cfg))
+	}
+}
+
+func TestSystemBasics(t *testing.T) {
+	sys := newSys(t)
+	if sys.Nodes() != 16 {
+		t.Errorf("Nodes = %d", sys.Nodes())
+	}
+	if sys.PoolFree() != 128<<30 {
+		t.Errorf("PoolFree = %d", sys.PoolFree())
+	}
+	if sys.Config().Nodes() != 16 {
+		t.Error("Config lost")
+	}
+	if sys.Core() == nil {
+		t.Error("Core() nil")
+	}
+	var buf bytes.Buffer
+	if err := sys.MemoryMap(3, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "RMC") {
+		t.Error("memory map missing RMC segments")
+	}
+	if err := sys.MemoryMap(0, &buf); err == nil {
+		t.Error("memory map for node 0")
+	}
+}
+
+func TestMallocGrowReadWrite(t *testing.T) {
+	sys := newSys(t)
+	region, err := sys.Region(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region.SetPlacement(PlacementNearest)
+
+	ptr, err := region.Malloc(12 << 30) // forces remote backing
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.BorrowedBytes() == 0 {
+		t.Error("12 GB malloc borrowed nothing")
+	}
+	if region.EffectiveMemory() <= sys.Config().PrivateMemPerNode {
+		t.Error("effective memory did not grow")
+	}
+
+	msg := []byte("hello, remote world")
+	if err := region.Write(ptr+9<<30, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := region.Read(ptr+9<<30, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("read back %q", got)
+	}
+
+	owner, err := region.Owner(ptr + 9<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner == 0 {
+		t.Error("no owner")
+	}
+	if err := region.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitGrow(t *testing.T) {
+	sys := newSys(t)
+	region, err := sys.Region(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region.SetDonors(11)
+	ptr, donor, err := region.Grow(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if donor != 11 {
+		t.Errorf("donor = %d, want 11", donor)
+	}
+	if owner, _ := region.Owner(ptr); owner != 11 {
+		t.Errorf("owner = %d", owner)
+	}
+	ptr2, err := region.GrowFrom(12, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner, _ := region.Owner(ptr2); owner != 12 {
+		t.Errorf("owner = %d, want 12", owner)
+	}
+}
+
+func TestWordAccessors(t *testing.T) {
+	sys := newSys(t)
+	region, _ := sys.Region(1)
+	ptr, err := region.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := region.WriteUint64(ptr, 12345); err != nil {
+		t.Fatal(err)
+	}
+	var v uint64
+	if err := region.ReadUint64(ptr, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v != 12345 {
+		t.Errorf("v = %d", v)
+	}
+}
+
+func TestTimedAccess(t *testing.T) {
+	sys := newSys(t)
+	region, _ := sys.Region(1)
+	ptr, err := region.GrowFrom(2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done Time
+	if err := region.Access(sys.Now(), 0, ptr, false, func(t Time) { done = t }); err != nil {
+		t.Fatal(err)
+	}
+	end := sys.Run()
+	if done == 0 || done > end {
+		t.Errorf("done = %d, end = %d", done, end)
+	}
+	if done < sys.Config().RemoteRoundTrip(1) {
+		t.Errorf("remote access faster than physics: %d", done)
+	}
+	if sys.Now() != end {
+		t.Errorf("Now = %d after Run returned %d", sys.Now(), end)
+	}
+}
+
+func TestExperimentAPI(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 15 {
+		t.Fatalf("Experiments lists %d ids", len(ids))
+	}
+	out, err := Experiment("fig6", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig6") || !strings.Contains(out, "hops") {
+		t.Errorf("experiment output malformed:\n%s", out)
+	}
+	fig, err := ExperimentFigure("eq", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "eq" || len(fig.Series) == 0 {
+		t.Error("structured figure malformed")
+	}
+	if _, err := Experiment("nope", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := ExperimentFigure("nope", 1); err == nil {
+		t.Error("unknown experiment figure accepted")
+	}
+}
+
+func TestPhaseAPIThroughFacade(t *testing.T) {
+	sys := newSys(t)
+	region, _ := sys.Region(1)
+	ptr, err := region.GrowFrom(2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := func(Time) {}
+	if err := region.Access(sys.Now(), 0, ptr, true, noop); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if flushed := region.BeginParallelRead(); flushed == 0 {
+		t.Error("no dirty lines flushed entering the parallel phase")
+	}
+	if err := region.Access(sys.Now(), 5, ptr, false, noop); err != nil {
+		t.Errorf("parallel read rejected: %v", err)
+	}
+	if err := region.Access(sys.Now(), 0, ptr, true, noop); err == nil {
+		t.Error("write accepted in parallel-read phase")
+	}
+	region.BeginSerial(0)
+	if err := region.Access(sys.Now(), 0, ptr, true, noop); err != nil {
+		t.Errorf("serial write rejected: %v", err)
+	}
+	sys.Run()
+}
+
+func TestTrimReturnsMemoryToPool(t *testing.T) {
+	sys := newSys(t)
+	region, _ := sys.Region(1)
+	before := sys.PoolFree()
+	ptr, err := region.Malloc(20 << 30) // all remote beyond private
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.PoolFree() >= before {
+		t.Fatal("malloc did not draw from the pool")
+	}
+	if err := region.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+	released, err := region.Trim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released == 0 {
+		t.Fatal("trim released nothing")
+	}
+	if sys.PoolFree() != before {
+		t.Errorf("pool = %d after trim, want %d restored", sys.PoolFree(), before)
+	}
+	if region.BorrowedBytes() != 0 {
+		t.Errorf("still borrowing %d bytes after trim", region.BorrowedBytes())
+	}
+	// The region still works afterwards.
+	if _, err := region.Malloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+}
