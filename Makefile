@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The harness's concurrency surface: the worker pool itself, the
+# experiment generators that fan out over it, and the engine they drive.
+race:
+	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/sim/
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -7,6 +7,7 @@
 package ncdsm
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -33,6 +34,13 @@ import (
 // them at a larger scale).
 const benchScale = 0.005
 
+// benchParallel bounds concurrent sweep points inside each experiment
+// (0 = all cores). go test claims the bare -parallel spelling for its
+// own test.parallel, so set this one after the -args separator:
+//
+//	go test -bench=. -args -parallel 1
+var benchParallel = flag.Int("parallel", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
+
 // runExperiment is the shared driver for the per-figure benchmarks.
 func runExperiment(b *testing.B, id string, metric func(*stats.Figure) (float64, string)) {
 	b.Helper()
@@ -42,6 +50,7 @@ func runExperiment(b *testing.B, id string, metric func(*stats.Figure) (float64,
 	}
 	o := experiments.DefaultOptions()
 	o.Scale = benchScale
+	o.Parallel = *benchParallel
 	var fig *stats.Figure
 	for i := 0; i < b.N; i++ {
 		fig, err = gen(o)

@@ -9,10 +9,16 @@
 //	ncdsm-bench -fig all -scale 0.05   # everything, scaled down
 //	ncdsm-bench -table 1
 //	ncdsm-bench -fig A                 # coherency ablation
+//	ncdsm-bench -fig all -parallel 1   # serial sweep points (old harness)
 //
 // Scale 1.0 runs paper-sized workloads (10M-key b-trees, 500k searches)
 // and can take many minutes; the default 0.05 preserves every shape in
 // seconds.
+//
+// Sweep points within each experiment run concurrently (-parallel,
+// default all cores). Every sweep point is an independent
+// single-threaded simulation and results merge in submission order, so
+// the output is byte-identical at every -parallel setting.
 package main
 
 import (
@@ -27,13 +33,14 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate: 6..11, eq, A..F, or 'all'")
-		table  = flag.String("table", "", "table to regenerate: 1")
-		scale  = flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized)")
-		seed   = flag.Int64("seed", 1, "deterministic seed")
-		list   = flag.Bool("list", false, "list available experiments")
-		format = flag.String("format", "table", "output format: table, csv, md, chart")
-		sweep  = flag.String("sweep", "", "re-run the experiment per value: Key=v1,v2,... (see -list)")
+		fig      = flag.String("fig", "", "figure to regenerate: 6..11, eq, A..F, or 'all'")
+		table    = flag.String("table", "", "table to regenerate: 1")
+		scale    = flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		list     = flag.Bool("list", false, "list available experiments")
+		format   = flag.String("format", "table", "output format: table, csv, md, chart")
+		sweep    = flag.String("sweep", "", "re-run the experiment per value: Key=v1,v2,... (see -list)")
+		parallel = flag.Int("parallel", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -62,6 +69,7 @@ func main() {
 	base := experiments.DefaultOptions()
 	base.Scale = *scale
 	base.Seed = *seed
+	base.Parallel = *parallel
 
 	var sweepKey string
 	var sweepValues []string

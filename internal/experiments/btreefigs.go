@@ -7,6 +7,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/memmodel"
 	"repro/internal/params"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/swap"
 )
@@ -71,23 +72,33 @@ func Fig9(o Options) (*stats.Figure, error) {
 	searches := o.scaled(500_000, 1_000)
 	resident := btreeResidency(o)
 
-	for _, fanout := range []int{8, 16, 32, 64, 96, 128, 168, 200, 256, 384, 512, 768, 1024} {
+	fanouts := []int{8, 16, 32, 64, 96, 128, 168, 200, 256, 384, 512, 768, 1024}
+	type fanoutPoint struct{ swap, remote float64 }
+	points, err := runner.Map(o.Parallel, len(fanouts), func(i int) (fanoutPoint, error) {
+		fanout := fanouts[i]
 		tr, _, err := buildTree(o, fanout, nKeys)
 		if err != nil {
-			return nil, err
+			return fanoutPoint{}, err
 		}
 		if tr.FootprintBytes() <= uint64(resident)*params.PageSize {
-			return nil, fmt.Errorf("experiments: fig9 tree (%d bytes) fits in residency; raise Scale", tr.FootprintBytes())
+			return fanoutPoint{}, fmt.Errorf("experiments: fig9 tree (%d bytes) fits in residency; raise Scale", tr.FootprintBytes())
 		}
 		sw, err := memmodel.NewSwap(o.P, swap.RemoteDevice{P: o.P, Hops: 1}, resident)
 		if err != nil {
-			return nil, err
+			return fanoutPoint{}, err
 		}
 		keySpace := int64(nKeys) * 4
-		swapSeries.Add(float64(fanout),
-			float64(searchSweep(o, tr, keySpace, searches, sw))/float64(params.Microsecond))
-		remoteSeries.Add(float64(fanout),
-			float64(searchSweep(o, tr, keySpace, searches, memmodel.Remote{P: o.P, Hops: 1}))/float64(params.Microsecond))
+		return fanoutPoint{
+			swap:   float64(searchSweep(o, tr, keySpace, searches, sw)) / float64(params.Microsecond),
+			remote: float64(searchSweep(o, tr, keySpace, searches, memmodel.Remote{P: o.P, Hops: 1})) / float64(params.Microsecond),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, fanout := range fanouts {
+		swapSeries.Add(float64(fanout), points[i].swap)
+		remoteSeries.Add(float64(fanout), points[i].remote)
 	}
 	fig.Note("expected: U-shape for remote swap with minimum near fanout 168 (one node = one page); remote memory nearly flat")
 	return fig, nil
@@ -106,24 +117,37 @@ func Fig10(o Options) (*stats.Figure, error) {
 	searches := o.scaled(500_000, 1_000)
 	resident := btreeResidency(o)
 	base := o.scaled(10_000_000, 20_000)
-	for _, frac := range []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0} {
-		n := int(float64(base) * frac)
+	fracs := []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0}
+	type sizePoint struct {
+		n            int
+		remote, swap float64
+	}
+	points, err := runner.Map(o.Parallel, len(fracs), func(i int) (sizePoint, error) {
+		n := int(float64(base) * fracs[i])
 		if n < 128 {
 			n = 128
 		}
 		tr, _, err := buildTree(o, 168, n)
 		if err != nil {
-			return nil, err
+			return sizePoint{}, err
 		}
 		sw, err := memmodel.NewSwap(o.P, swap.RemoteDevice{P: o.P, Hops: 1}, resident)
 		if err != nil {
-			return nil, err
+			return sizePoint{}, err
 		}
 		keySpace := int64(n) * 4
-		remoteSeries.Add(float64(n),
-			float64(searchSweep(o, tr, keySpace, searches, memmodel.Remote{P: o.P, Hops: 1}))/float64(params.Microsecond))
-		swapSeries.Add(float64(n),
-			float64(searchSweep(o, tr, keySpace, searches, sw))/float64(params.Microsecond))
+		return sizePoint{
+			n:      n,
+			remote: float64(searchSweep(o, tr, keySpace, searches, memmodel.Remote{P: o.P, Hops: 1})) / float64(params.Microsecond),
+			swap:   float64(searchSweep(o, tr, keySpace, searches, sw)) / float64(params.Microsecond),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range points {
+		remoteSeries.Add(float64(pt.n), pt.remote)
+		swapSeries.Add(float64(pt.n), pt.swap)
 	}
 	fig.Note("expected: remote memory grows stepwise with depth; remote swap explodes once the tree outgrows the %d resident pages", resident)
 	return fig, nil
@@ -140,37 +164,44 @@ func Equations(o Options) (*stats.Figure, error) {
 	meas2 := fig.AddSeries("measured remote")
 
 	pages := o.scaled(2000, 100)
-	for _, perPage := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+	perPages := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	type eqPoint struct{ pred1, pred2, meas1, meas2 params.Duration }
+	points, err := runner.Map(o.Parallel, len(perPages), func(i int) (eqPoint, error) {
+		perPage := perPages[i]
 		total := uint64(pages) * uint64(perPage)
 
 		sw, err := memmodel.NewSwap(o.P, swap.RemoteDevice{P: o.P, Hops: 1}, 64)
 		if err != nil {
-			return nil, err
+			return eqPoint{}, err
 		}
-		var swMeasured, rmMeasured params.Duration
+		var pt eqPoint
 		rm := memmodel.Remote{P: o.P, Hops: 1}
 		for pg := 0; pg < pages; pg++ {
-			for i := 0; i < perPage; i++ {
-				a := uint64(pg)*params.PageSize + uint64(i*8)
-				swMeasured += sw.Access(a, false)
-				rmMeasured += rm.Access(a, false)
+			for j := 0; j < perPage; j++ {
+				a := uint64(pg)*params.PageSize + uint64(j*8)
+				pt.meas1 += sw.Access(a, false)
+				pt.meas2 += rm.Access(a, false)
 			}
 		}
 		in := anInputs(o, total, float64(perPage))
-		pred1, err := in.RemoteSwapTime()
-		if err != nil {
-			return nil, err
+		if pt.pred1, err = in.RemoteSwapTime(); err != nil {
+			return eqPoint{}, err
 		}
-		pred2, err := in.RemoteMemoryTime()
-		if err != nil {
-			return nil, err
+		if pt.pred2, err = in.RemoteMemoryTime(); err != nil {
+			return eqPoint{}, err
 		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms := func(d params.Duration) float64 { return float64(d) / float64(params.Millisecond) }
+	for i, perPage := range perPages {
 		x := float64(perPage)
-		ms := func(d params.Duration) float64 { return float64(d) / float64(params.Millisecond) }
-		eq1.Add(x, ms(pred1))
-		eq2.Add(x, ms(pred2))
-		meas1.Add(x, ms(swMeasured))
-		meas2.Add(x, ms(rmMeasured))
+		eq1.Add(x, ms(points[i].pred1))
+		eq2.Add(x, ms(points[i].pred2))
+		meas1.Add(x, ms(points[i].meas1))
+		meas2.Add(x, ms(points[i].meas2))
 	}
 	in := anInputs(o, 1, 1)
 	if x, err := in.CrossoverAPage(); err == nil {

@@ -34,6 +34,14 @@ type Options struct {
 	Scale float64
 	// Seed makes runs deterministic and lets tests vary inputs.
 	Seed int64
+	// Parallel bounds how many sweep points a generator simulates
+	// concurrently: 0 (the default) means all cores, 1 reproduces the
+	// old serial harness. Each sweep point is an independent
+	// single-threaded simulation (fresh engine, system, accessors,
+	// RNGs), and results are merged in submission order, so the
+	// rendered figures are identical at every setting — Parallel only
+	// changes wall-clock time.
+	Parallel int
 }
 
 // DefaultOptions returns the paper-scale configuration.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/params"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -22,27 +23,37 @@ func AblationFabric(o Options) (*stats.Figure, error) {
 	htoeSeries := fig.AddSeries("HT-over-Ethernet (switched)")
 
 	accesses := o.scaled(20000, 400)
-	for h := 1; h <= 6; h++ {
-		servers, err := serversAt(o, 1, h, 1)
+	const maxHops = 6
+	type hopPoint struct{ mesh, htoe float64 }
+	points, err := runner.Map(o.Parallel, maxHops, func(i int) (hopPoint, error) {
+		servers, err := serversAt(o, 1, i+1, 1)
 		if err != nil {
-			return nil, err
+			return hopPoint{}, err
 		}
 
 		meshRun := microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}
 		res, err := meshRun.run(o)
 		if err != nil {
-			return nil, err
+			return hopPoint{}, err
 		}
-		meshSeries.Add(float64(h), res.MeanLatency/float64(params.Microsecond))
+		pt := hopPoint{mesh: res.MeanLatency / float64(params.Microsecond)}
 
 		oh := o
 		oh.P.Fabric = params.FabricHToE
 		htoeRun := microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}
 		res, err = htoeRun.run(oh)
 		if err != nil {
-			return nil, err
+			return hopPoint{}, err
 		}
-		htoeSeries.Add(float64(h), res.MeanLatency/float64(params.Microsecond))
+		pt.htoe = res.MeanLatency / float64(params.Microsecond)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		meshSeries.Add(float64(i+1), pt.mesh)
+		htoeSeries.Add(float64(i+1), pt.htoe)
 	}
 	fig.Note("the switched fabric is distance-blind; the mesh wins while servers sit nearby")
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/params"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -26,7 +27,10 @@ func AblationPrefetch(o Options) (*stats.Figure, error) {
 	localRef := fig.AddSeries("local memory reference")
 
 	lines := o.scaled(40000, 800)
-	for _, depth := range []int{0, 1, 2, 4, 8} {
+	depths := []int{0, 1, 2, 4, 8}
+	type depthPoint struct{ seq, rnd float64 }
+	points, err := runner.Map(o.Parallel, len(depths), func(i int) (depthPoint, error) {
+		depth := depths[i]
 		p := o.P
 		p.PrefetchDepth = depth
 		// Prefetch traffic shares the client RMC with demand traffic;
@@ -39,20 +43,27 @@ func AblationPrefetch(o Options) (*stats.Figure, error) {
 
 		elapsed, err := runSequential(ow, lines)
 		if err != nil {
-			return nil, err
+			return depthPoint{}, err
 		}
-		seq.Add(float64(depth), usPerOp(elapsed, lines))
+		pt := depthPoint{seq: usPerOp(elapsed, lines)}
 
 		servers, err := serversAt(ow, 1, 1, 1)
 		if err != nil {
-			return nil, err
+			return depthPoint{}, err
 		}
 		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: lines}).run(ow)
 		if err != nil {
-			return nil, err
+			return depthPoint{}, err
 		}
-		rnd.Add(float64(depth), usPerOp(res.Elapsed, lines))
-
+		pt.rnd = usPerOp(res.Elapsed, lines)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, depth := range depths {
+		seq.Add(float64(depth), points[i].seq)
+		rnd.Add(float64(depth), points[i].rnd)
 		localRef.Add(float64(depth),
 			float64(o.P.DRAMLatency+o.P.DRAMOccupancy+o.P.L1Latency)/float64(params.Microsecond))
 	}
@@ -120,17 +131,20 @@ func AblationParallelPhase(o Options) (*stats.Figure, error) {
 	ideal := fig.AddSeries("ideal scaling")
 
 	totalReads := o.scaled(60000, 1200)
-	var base float64
-	for _, threads := range []int{1, 2, 4, 8} {
-		elapsed, err := runParallelPhase(o, threads, totalReads)
+	threadCounts := []int{1, 2, 4, 8}
+	times, err := runner.Map(o.Parallel, len(threadCounts), func(i int) (float64, error) {
+		elapsed, err := runParallelPhase(o, threadCounts[i], totalReads)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		ms := float64(elapsed) / float64(params.Millisecond)
-		readPhase.Add(float64(threads), ms)
-		if threads == 1 {
-			base = ms
-		}
+		return float64(elapsed) / float64(params.Millisecond), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := times[0] // the 1-thread phase anchors the ideal-scaling line
+	for i, threads := range threadCounts {
+		readPhase.Add(float64(threads), times[i])
 		ideal.Add(float64(threads), base/float64(threads))
 	}
 	fig.Note("a serial write phase plus cache flush precedes each measurement; scaling saturates at the client RMC like Fig 7")

@@ -6,6 +6,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/memmodel"
 	"repro/internal/params"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/swap"
 )
@@ -32,11 +33,6 @@ func AblationIndexes(o Options) (*stats.Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	h, err := db.NewHashIndex(nKeys)
-	if err != nil {
-		return nil, err
-	}
-	tr.Walk(func(k uint64) { h.Insert(k, k) })
 
 	type config struct {
 		label string
@@ -51,23 +47,53 @@ func AblationIndexes(o Options) (*stats.Figure, error) {
 		}},
 	}
 	keySpace := int64(nKeys) * 4
-	for _, cfg := range configs {
+	// The tree is read-only under Search and safe to share; HashIndex
+	// mutates its probe counters on every lookup, so each task populates
+	// its own and the counters are summed after the merge. The sum over
+	// the three identical sweeps equals the serial accumulation, so the
+	// MeanProbes note matches the old harness exactly.
+	type idxPoint struct {
+		bt, h           float64
+		probes, lookups uint64
+	}
+	points, err := runner.Map(o.Parallel, len(configs), func(i int) (idxPoint, error) {
+		cfg := configs[i]
 		accB, err := cfg.mk()
 		if err != nil {
-			return nil, err
+			return idxPoint{}, err
 		}
-		btSeries.AddLabeled(cfg.label, cfg.x,
-			float64(searchSweep(o, tr, keySpace, searches, accB))/float64(params.Microsecond))
+		var pt idxPoint
+		pt.bt = float64(searchSweep(o, tr, keySpace, searches, accB)) / float64(params.Microsecond)
 
+		h, err := db.NewHashIndex(nKeys)
+		if err != nil {
+			return idxPoint{}, err
+		}
+		tr.Walk(func(k uint64) { h.Insert(k, k) })
 		accH, err := cfg.mk()
 		if err != nil {
-			return nil, err
+			return idxPoint{}, err
 		}
-		hSeries.AddLabeled(cfg.label, cfg.x,
-			float64(hashSweep(o, h, keySpace, searches, accH))/float64(params.Microsecond))
+		pt.h = float64(hashSweep(o, h, keySpace, searches, accH)) / float64(params.Microsecond)
+		pt.probes, pt.lookups = h.Probes, h.Lookups
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumProbes, sumLookups uint64
+	for i, cfg := range configs {
+		btSeries.AddLabeled(cfg.label, cfg.x, points[i].bt)
+		hSeries.AddLabeled(cfg.label, cfg.x, points[i].h)
+		sumProbes += points[i].probes
+		sumLookups += points[i].lookups
 	}
 	fig.Note("in remote memory the hash index wins by ~10x (footnote 3); under swap the structures converge near one fault per lookup")
-	fig.Note("mean hash probes per lookup: %.2f", h.MeanProbes())
+	meanProbes := 0.0
+	if sumLookups > 0 {
+		meanProbes = float64(sumProbes) / float64(sumLookups)
+	}
+	fig.Note("mean hash probes per lookup: %.2f", meanProbes)
 	return fig, nil
 }
 

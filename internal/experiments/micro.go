@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/params"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -50,19 +51,28 @@ func Table1(o Options) (*stats.Figure, error) {
 	// Remote latency at 1 and 6 hops, single thread, unloaded. The p99
 	// shows the unloaded path has no latency tail — every access takes
 	// the same hardware trip, unlike a faulting or OS-mediated path.
-	for i, h := range []int{1, 6} {
-		servers, err := serversAt(o, 1, h, 1)
+	hops := []int{1, 6}
+	type hopPoint struct{ mean, p99 float64 }
+	points, err := runner.Map(o.Parallel, len(hops), func(i int) (hopPoint, error) {
+		servers, err := serversAt(o, 1, hops[i], 1)
 		if err != nil {
-			return nil, err
+			return hopPoint{}, err
 		}
 		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}).run(o)
 		if err != nil {
-			return nil, err
+			return hopPoint{}, err
 		}
-		meas.AddLabeled(fmt.Sprintf("remote access, %d hop(s) (µs)", h), float64(11+2*i),
-			res.MeanLatency/float64(params.Microsecond))
-		meas.AddLabeled(fmt.Sprintf("remote access p99, %d hop(s) (µs)", h), float64(12+2*i),
-			res.Threads[0].Latency.Quantile(0.99)/float64(params.Microsecond))
+		return hopPoint{
+			mean: res.MeanLatency / float64(params.Microsecond),
+			p99:  res.Threads[0].Latency.Quantile(0.99) / float64(params.Microsecond),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range hops {
+		meas.AddLabeled(fmt.Sprintf("remote access, %d hop(s) (µs)", h), float64(11+2*i), points[i].mean)
+		meas.AddLabeled(fmt.Sprintf("remote access p99, %d hop(s) (µs)", h), float64(12+2*i), points[i].p99)
 	}
 	fig.Note("remote/local latency ratio anchors Figures 9-11; analytic 1-hop round trip = %.2f µs",
 		float64(p.RemoteRoundTrip(1))/float64(params.Microsecond))
@@ -100,16 +110,24 @@ func Fig6(o Options) (*stats.Figure, error) {
 	local := fig.AddSeries("local memory")
 
 	accesses := o.scaled(20000, 200)
-	for h := 1; h <= 6; h++ {
-		servers, err := serversAt(o, 1, h, 1)
+	const maxHops = 6
+	means, err := runner.Map(o.Parallel, maxHops, func(i int) (float64, error) {
+		servers, err := serversAt(o, 1, i+1, 1)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}).run(o)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		remote.Add(float64(h), res.MeanLatency/float64(params.Microsecond))
+		return res.MeanLatency / float64(params.Microsecond), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range means {
+		h := i + 1
+		remote.Add(float64(h), m)
 		analytic.Add(float64(h), float64(o.P.RemoteRoundTrip(h))/float64(params.Microsecond))
 		local.Add(float64(h), float64(o.P.DRAMLatency+o.P.DRAMOccupancy+o.P.L1Latency)/float64(params.Microsecond))
 	}
@@ -134,38 +152,35 @@ func Fig7(o Options) (*stats.Figure, error) {
 
 	total := o.scaled(60000, 1200) // total accesses, split across threads
 
-	// Left group: one server one hop away, 1/2/4 threads.
-	for i, threads := range []int{1, 2, 4} {
-		servers, err := serversAt(o, fig7Client, 1, 1)
-		if err != nil {
-			return nil, err
-		}
-		res, err := (microRun{
-			Client: fig7Client, Servers: servers,
-			Threads: threads, AccessesPerThread: total / threads,
-		}).run(o)
-		if err != nil {
-			return nil, err
-		}
-		one.AddLabeled(fmt.Sprintf("%dt, 1 hop", threads), float64(i),
-			float64(res.Elapsed)/float64(params.Millisecond))
+	// All six configurations are independent simulations: the thread
+	// sweep against one server, then the distance sweep at 4 threads.
+	specs := []struct{ threads, hops, servers int }{
+		{1, 1, 1}, {2, 1, 1}, {4, 1, 1},
+		{4, 1, 4}, {4, 2, 4}, {4, 3, 4},
 	}
-
-	// Right group: four servers at 1, 2, 3 hops, 4 threads.
-	for j, hops := range []int{1, 2, 3} {
-		servers, err := serversAt(o, fig7Client, hops, 4)
+	times, err := runner.Map(o.Parallel, len(specs), func(i int) (float64, error) {
+		s := specs[i]
+		servers, err := serversAt(o, fig7Client, s.hops, s.servers)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := (microRun{
 			Client: fig7Client, Servers: servers,
-			Threads: 4, AccessesPerThread: total / 4,
+			Threads: s.threads, AccessesPerThread: total / s.threads,
 		}).run(o)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		four.AddLabeled(fmt.Sprintf("4t, %d hop", hops), float64(3+j),
-			float64(res.Elapsed)/float64(params.Millisecond))
+		return float64(res.Elapsed) / float64(params.Millisecond), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range specs[:3] {
+		one.AddLabeled(fmt.Sprintf("%dt, 1 hop", s.threads), float64(i), times[i])
+	}
+	for j, s := range specs[3:] {
+		four.AddLabeled(fmt.Sprintf("4t, %d hop", s.hops), float64(3+j), times[3+j])
 	}
 	fig.Note("expected: 1t→2t halves time; 2t→4t does not; 4 servers no better; farther servers slightly faster at 4t")
 	return fig, nil
@@ -184,69 +199,80 @@ type fig8Setup struct {
 // not network congestion, because the control traffic never shares mesh
 // links with the stressors.
 func Fig8(o Options) (*stats.Figure, error) {
-	const (
-		server  = addr.NodeID(6)  // (1,1)
-		control = addr.NodeID(16) // (3,3), reaches the server by express link only
-	)
-	stressors := []addr.NodeID{1, 2, 3, 4, 5, 7, 9, 10, 11, 13}
-
 	fig := stats.NewFigure("fig8", "Server-RMC congestion (control thread on private link)",
 		"stressing load", "control-thread time (ms)")
 	ctrl := fig.AddSeries("control thread")
 
 	controlAccesses := o.scaled(20000, 400)
 	setups := []fig8Setup{{0, 0}, {1, 1}, {1, 2}, {1, 4}, {2, 4}, {3, 4}, {4, 4}, {5, 4}, {6, 4}}
+	times, err := runner.Map(o.Parallel, len(setups), func(i int) (float64, error) {
+		return fig8Point(o, setups[i], controlAccesses)
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, s := range setups {
-		sys, err := core.NewSystem(sim.New(), o.P)
-		if err != nil {
-			return nil, err
-		}
-		meshFab, err := sys.Cluster().MeshFabric()
-		if err != nil {
-			return nil, err
-		}
-		if err := meshFab.AddExpressLink(control, server); err != nil {
-			return nil, err
-		}
-		// Control thread: express-routed loads against the server. The
-		// run ends the moment it finishes; the stressors exist only to
-		// load the server while it runs.
-		eng := sys.Engine()
-		ctrlRun := microRun{
-			Client: control, Servers: []addr.NodeID{server},
-			Threads: 1, AccessesPerThread: controlAccesses, Express: true,
-			OnThreadDone: func(*cpu.Thread, sim.Time) { eng.Stop() },
-		}
-		ctrlThreads, err := ctrlRun.launch(sys, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		// Stressing clients: effectively endless streams against the same
-		// server over the mesh; the run ends when the control finishes.
-		for n := 0; n < s.Nodes; n++ {
-			stress := microRun{
-				Client: stressors[n], Servers: []addr.NodeID{server},
-				Threads: s.ThreadsPer, AccessesPerThread: controlAccesses * 50,
-			}
-			if _, err := stress.launch(sys, o.Seed+int64(100*(n+1))); err != nil {
-				return nil, err
-			}
-		}
-		for !ctrlThreads[0].Done {
-			if eng.Pending() == 0 {
-				return nil, fmt.Errorf("experiments: fig8 run stalled")
-			}
-			eng.Run()
-		}
 		label := "no stressors"
 		if s.Nodes > 0 {
 			label = fmt.Sprintf("%dn x %dt", s.Nodes, s.ThreadsPer)
 		}
-		ctrl.AddLabeled(label, float64(i),
-			float64(ctrlThreads[0].FinishTime)/float64(params.Millisecond))
+		ctrl.AddLabeled(label, float64(i), times[i])
 	}
 	fig.Note("expected: flat through ~3 nodes x 4 threads, then rising as the server RMC saturates")
 	return fig, nil
+}
+
+// fig8Point simulates one load point: the control thread plus s.Nodes
+// stressing clients on a fresh cluster, returning the control time (ms).
+func fig8Point(o Options, s fig8Setup, controlAccesses int) (float64, error) {
+	const (
+		server  = addr.NodeID(6)  // (1,1)
+		control = addr.NodeID(16) // (3,3), reaches the server by express link only
+	)
+	stressors := []addr.NodeID{1, 2, 3, 4, 5, 7, 9, 10, 11, 13}
+
+	sys, err := core.NewSystem(sim.New(), o.P)
+	if err != nil {
+		return 0, err
+	}
+	meshFab, err := sys.Cluster().MeshFabric()
+	if err != nil {
+		return 0, err
+	}
+	if err := meshFab.AddExpressLink(control, server); err != nil {
+		return 0, err
+	}
+	// Control thread: express-routed loads against the server. The
+	// run ends the moment it finishes; the stressors exist only to
+	// load the server while it runs.
+	eng := sys.Engine()
+	ctrlRun := microRun{
+		Client: control, Servers: []addr.NodeID{server},
+		Threads: 1, AccessesPerThread: controlAccesses, Express: true,
+		OnThreadDone: func(*cpu.Thread, sim.Time) { eng.Stop() },
+	}
+	ctrlThreads, err := ctrlRun.launch(sys, o.Seed)
+	if err != nil {
+		return 0, err
+	}
+	// Stressing clients: effectively endless streams against the same
+	// server over the mesh; the run ends when the control finishes.
+	for n := 0; n < s.Nodes; n++ {
+		stress := microRun{
+			Client: stressors[n], Servers: []addr.NodeID{server},
+			Threads: s.ThreadsPer, AccessesPerThread: controlAccesses * 50,
+		}
+		if _, err := stress.launch(sys, o.Seed+int64(100*(n+1))); err != nil {
+			return 0, err
+		}
+	}
+	for !ctrlThreads[0].Done {
+		if eng.Pending() == 0 {
+			return 0, fmt.Errorf("experiments: fig8 run stalled")
+		}
+		eng.Run()
+	}
+	return float64(ctrlThreads[0].FinishTime) / float64(params.Millisecond), nil
 }
 
 // AblationWindow sweeps the per-core outstanding-request limit against
@@ -258,7 +284,9 @@ func AblationWindow(o Options) (*stats.Figure, error) {
 		"outstanding remote requests per core", "execution time (ms)")
 	s := fig.AddSeries("1 thread, 1 server, 1 hop")
 	accesses := o.scaled(40000, 800)
-	for _, w := range []int{1, 2, 4, 8} {
+	windows := []int{1, 2, 4, 8}
+	times, err := runner.Map(o.Parallel, len(windows), func(i int) (float64, error) {
+		w := windows[i]
 		p := o.P
 		p.RemoteOutstanding = w
 		// A real memory-controller RMC (the paper's future work) would
@@ -271,13 +299,19 @@ func AblationWindow(o Options) (*stats.Figure, error) {
 		ow.P = p
 		servers, err := serversAt(ow, 1, 1, 1)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}).run(ow)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		s.Add(float64(w), float64(res.Elapsed)/float64(params.Millisecond))
+		return float64(res.Elapsed) / float64(params.Millisecond), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range windows {
+		s.Add(float64(w), times[i])
 	}
 	fig.Note("window 1 is the prototype; widening overlaps round trips until the client RMC occupancy binds")
 	return fig, nil
@@ -293,29 +327,36 @@ func AblationRetry(o Options) (*stats.Figure, error) {
 	near := fig.AddSeries("4 servers, 1 hop")
 	far := fig.AddSeries("4 servers, 3 hops")
 	total := o.scaled(60000, 1200)
-	for _, depth := range []int{1, 2, 4, 8} {
+	depths := []int{1, 2, 4, 8}
+	hops := []int{1, 3}
+	times, err := runner.Map(o.Parallel, len(depths)*len(hops), func(i int) (float64, error) {
+		depth, hop := depths[i/len(hops)], hops[i%len(hops)]
 		p := o.P
 		p.RMCQueueDepth = depth
 		od := o
 		od.P = p
-		for _, hops := range []int{1, 3} {
-			servers, err := serversAt(od, fig7Client, hops, 4)
-			if err != nil {
-				return nil, err
-			}
-			res, err := (microRun{
-				Client: fig7Client, Servers: servers,
-				Threads: 4, AccessesPerThread: total / 4,
-			}).run(od)
-			if err != nil {
-				return nil, err
-			}
-			ms := float64(res.Elapsed) / float64(params.Millisecond)
-			if hops == 1 {
-				near.Add(float64(depth), ms)
-			} else {
-				far.Add(float64(depth), ms)
-			}
+		servers, err := serversAt(od, fig7Client, hop, 4)
+		if err != nil {
+			return 0, err
+		}
+		res, err := (microRun{
+			Client: fig7Client, Servers: servers,
+			Threads: 4, AccessesPerThread: total / 4,
+		}).run(od)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Elapsed) / float64(params.Millisecond), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ms := range times {
+		depth, hop := depths[i/len(hops)], hops[i%len(hops)]
+		if hop == 1 {
+			near.Add(float64(depth), ms)
+		} else {
+			far.Add(float64(depth), ms)
 		}
 	}
 	fig.Note("at depth 1 the near configuration can exceed the far one (retry waste); deeper queues restore near <= far")

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestParallelDeterminism is the harness's core contract: every
+// generator renders byte-identical output whether its sweep points run
+// serially or concurrently, because each point is an independent
+// single-threaded simulation and results merge in submission order.
+func TestParallelDeterminism(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			o := DefaultOptions()
+			o.Scale = 0.005
+
+			o.Parallel = 1
+			serial, err := e.Gen(o)
+			if err != nil {
+				t.Fatalf("Parallel=1: %v", err)
+			}
+			o.Parallel = 8
+			conc, err := e.Gen(o)
+			if err != nil {
+				t.Fatalf("Parallel=8: %v", err)
+			}
+			if got, want := conc.Render(), serial.Render(); got != want {
+				t.Errorf("rendered output differs between Parallel=8 and Parallel=1:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memmodel"
 	"repro/internal/params"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -39,18 +40,28 @@ func Fig11(o Options) (*stats.Figure, error) {
 	for _, cfg := range configs {
 		series[cfg] = fig.AddSeries(cfg.String())
 	}
+	// One task per (kernel, config) pair; Kernel is a pure value and each
+	// task builds its own accessor stack, so tasks share nothing.
+	times, err := runner.Map(o.Parallel, len(suite)*len(configs), func(i int) (float64, error) {
+		k := suite[i/len(configs)]
+		cfg := configs[i%len(configs)]
+		base, err := memmodel.Build(cfg, p, 1, p.SwapResidentPages)
+		if err != nil {
+			return 0, err
+		}
+		acc, err := memmodel.NewLineCached(base, p, memmodel.DefaultCacheLines)
+		if err != nil {
+			return 0, err
+		}
+		res := k.Run(acc, o.Seed)
+		return float64(res.Total()) / float64(params.Millisecond), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, k := range suite {
-		for _, cfg := range configs {
-			base, err := memmodel.Build(cfg, p, 1, p.SwapResidentPages)
-			if err != nil {
-				return nil, err
-			}
-			acc, err := memmodel.NewLineCached(base, p, memmodel.DefaultCacheLines)
-			if err != nil {
-				return nil, err
-			}
-			res := k.Run(acc, o.Seed)
-			series[cfg].AddLabeled(k.Name, float64(i), float64(res.Total())/float64(params.Millisecond))
+		for c, cfg := range configs {
+			series[cfg].AddLabeled(k.Name, float64(i), times[i*len(configs)+c])
 		}
 	}
 	fig.Note("expected: blackscholes/raytrace swap ~2x the prototype; canneal swap prohibitive, prototype slower than local but feasible; streamcluster all equal")
@@ -73,10 +84,13 @@ func AblationCoherency(o Options) (*stats.Figure, error) {
 
 	accesses := o.scaled(40000, 800)
 	const lines = 256
-	for _, sharers := range []int{1, 2, 4, 8, 12, 15} {
+	sharerCounts := []int{1, 2, 4, 8, 12, 15}
+	type sharerPoint struct{ coh, rmc float64 }
+	points, err := runner.Map(o.Parallel, len(sharerCounts), func(i int) (sharerPoint, error) {
+		sharers := sharerCounts[i]
 		m, err := cohdsm.New(o.P, 16)
 		if err != nil {
-			return nil, err
+			return sharerPoint{}, err
 		}
 		// For each line: `sharers` distinct nodes read it, then node 15
 		// (never among the readers) writes it. Average the write cost.
@@ -84,19 +98,19 @@ func AblationCoherency(o Options) (*stats.Figure, error) {
 		for l := uint64(0); l < lines; l++ {
 			for s := 0; s < sharers; s++ {
 				if _, err := m.Access(s, l, false); err != nil {
-					return nil, err
+					return sharerPoint{}, err
 				}
 			}
 			lat, err := m.Access(15, l, true)
 			if err != nil {
-				return nil, err
+				return sharerPoint{}, err
 			}
 			writeTotal += lat
 		}
 		if err := m.CheckInvariants(); err != nil {
-			return nil, err
+			return sharerPoint{}, err
 		}
-		coh.Add(float64(sharers), float64(writeTotal)/float64(lines)/float64(params.Microsecond))
+		pt := sharerPoint{coh: float64(writeTotal) / float64(lines) / float64(params.Microsecond)}
 
 		// RMC side: one node aggregates memory from the same number of
 		// donors and writes it with no coherency traffic at all —
@@ -104,9 +118,17 @@ func AblationCoherency(o Options) (*stats.Figure, error) {
 		// assumed away.
 		rmcLat, err := rmcAggregateLatency(o, sharers+1, accesses)
 		if err != nil {
-			return nil, err
+			return sharerPoint{}, err
 		}
-		rmcFlat.Add(float64(sharers), rmcLat/float64(params.Microsecond))
+		pt.rmc = rmcLat / float64(params.Microsecond)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sharers := range sharerCounts {
+		coh.Add(float64(sharers), points[i].coh)
+		rmcFlat.Add(float64(sharers), points[i].rmc)
 	}
 	fig.Note("coherent-DSM write cost grows with the sharer count; the RMC write cost is the flat remote round trip")
 	return fig, nil

@@ -239,7 +239,11 @@ func Default() Params {
 		RMCServerOccupancy: 110 * Nanosecond,
 		RMCQueueDepth:      1,
 		RMCRetryPenalty:    100 * Nanosecond,
-		RMCRetryWaste:      60 * Nanosecond,
+		// 30 ns: calibrated so NACK storms at the depth-1 client queue
+		// reproduce Fig 7's monotone "farther is slightly faster"
+		// inversion under penalty-aware queue accounting (Penalize holds
+		// the queue slots of delayed requests; see sim.Resource).
+		RMCRetryWaste:      30 * Nanosecond,
 
 		SwapTrapOverhead:  30 * Microsecond,
 		SwapPageTransfer:  170 * Microsecond,

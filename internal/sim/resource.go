@@ -21,9 +21,12 @@ type Resource struct {
 	// one in service). 0 means unbounded.
 	queueDepth int
 
-	// waiting tracks the completion times of queued/in-service requests
-	// so bounded-queue admission can be checked. Entries with completion
-	// <= now are pruned lazily.
+	// waiting tracks when each queued/in-service request releases its
+	// queue slot, so bounded-queue admission can be checked. A slot is
+	// released when the server has actually finished the request:
+	// Penalize pushes pending release times back along with nextFree,
+	// so the queue stays full while the server chews NACK waste.
+	// Entries with release <= now are pruned lazily.
 	waiting []Time
 
 	// Served counts accepted services; Rejected counts bounced arrivals.
@@ -79,7 +82,14 @@ func (r *Resource) Acquire(now Time, occupancy Time) (Time, bool) {
 }
 
 // Penalize consumes service capacity without a completion (e.g. the cost
-// of NACKing a rejected request). It delays all subsequent services.
+// of NACKing a rejected request). It delays all subsequent services and
+// holds the queue slots of still-pending requests for the extra time:
+// the backlogged server has not finished them, so they must keep
+// counting against the bounded queue or a NACK storm would admit more
+// than queueDepth outstanding requests. The completion times already
+// returned to earlier Acquire callers are unchanged — the timeline
+// model fixes a request's completion at admission, a deliberate
+// approximation.
 func (r *Resource) Penalize(now Time, cost Time) {
 	if cost <= 0 {
 		return
@@ -89,6 +99,11 @@ func (r *Resource) Penalize(now Time, cost Time) {
 	}
 	r.nextFree += cost
 	r.Busy += cost
+	for i, w := range r.waiting {
+		if w > now {
+			r.waiting[i] = w + cost
+		}
+	}
 }
 
 // QueueLen returns the number of requests queued or in service at now.

@@ -120,7 +120,9 @@ func (e *Engine) Run() Time {
 }
 
 // RunUntil executes events with timestamps <= deadline (or until the
-// queue drains / Stop). The clock is left at min(deadline, last event).
+// queue drains / Stop). When the queue drains or only later events
+// remain, the clock advances to the deadline; when Stop ends the loop
+// early, the clock stays at the stopping event's time.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
@@ -136,7 +138,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.Processed++
 		ev.fn()
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 	return e.now

@@ -264,3 +264,70 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestRunUntilStopKeepsClock(t *testing.T) {
+	e := New()
+	e.At(5, func() { e.Stop() })
+	e.At(7, func() {})
+	// Stop ends the loop at t=5; the clock must not jump to the deadline
+	// (the documented min(deadline, stop time) contract).
+	if now := e.RunUntil(100); now != 5 {
+		t.Errorf("RunUntil after Stop = %d, want 5", now)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now after stopped RunUntil = %d, want 5", e.Now())
+	}
+	// The remaining event is still pending; resuming runs it and then
+	// advances to the deadline as usual.
+	if now := e.RunUntil(100); now != 100 {
+		t.Errorf("resumed RunUntil = %d, want 100", now)
+	}
+}
+
+func TestResourcePenalizeHoldsQueueSlots(t *testing.T) {
+	e := New()
+	r := NewResource(e, "rmc", 1)
+	// Fill the queue: one in service (completes at 10), one waiting
+	// (completes at 20).
+	if _, ok := r.Acquire(0, 10); !ok {
+		t.Fatal("first acquire rejected")
+	}
+	if _, ok := r.Acquire(0, 10); !ok {
+		t.Fatal("second acquire rejected")
+	}
+	if _, ok := r.Acquire(0, 10); ok {
+		t.Fatal("third acquire admitted into a full queue")
+	}
+	// NACK processing costs the server 15; the backlog now drains at 35,
+	// so the queued requests hold their slots past their original
+	// completion times.
+	r.Penalize(0, 15)
+	if n := r.QueueLen(21); n != 2 {
+		t.Errorf("QueueLen(21) = %d, want 2 (server backlogged until 35)", n)
+	}
+	if _, ok := r.Acquire(21, 10); ok {
+		t.Error("admitted a request while the penalized backlog held the queue full")
+	}
+	// Once the penalized backlog drains, slots free and admission resumes.
+	if n := r.QueueLen(35); n != 0 {
+		t.Errorf("QueueLen(35) = %d, want 0", n)
+	}
+	done, ok := r.Acquire(36, 10)
+	if !ok || done != 46 {
+		t.Errorf("acquire after drain: done=%d ok=%v, want 46", done, ok)
+	}
+}
+
+func TestResourcePenalizeLeavesCompletedAlone(t *testing.T) {
+	e := New()
+	r := NewResource(e, "rmc", 2)
+	r.Acquire(0, 10) // completes at 10
+	// A penalty after the request finished must not resurrect its slot.
+	r.Penalize(20, 5)
+	if n := r.QueueLen(20); n != 0 {
+		t.Errorf("QueueLen(20) = %d, want 0 (completed request resurrected)", n)
+	}
+	if r.NextFree() != 25 {
+		t.Errorf("NextFree = %d, want 25", r.NextFree())
+	}
+}

@@ -2,6 +2,17 @@
 // experiment harness: counters, running statistics, latency histograms,
 // and labeled series rendered as text tables matching the rows/series the
 // paper's figures report.
+//
+// Ownership: none of these collectors are internally synchronized, by
+// design — they sit on simulation hot paths. Each collector is owned by
+// exactly one goroutine at a time. Under the parallel harness
+// (internal/runner) that means: collectors created inside a run
+// (thread latency histograms, resource counters) are owned by the
+// worker executing that run; Figure and Series are owned by the
+// generator goroutine, which appends merged results only after the
+// futures deliver them, in submission order. Workers never touch a
+// Figure directly. Sharing a collector across concurrent runs is a
+// race; give every run its own and merge at the Wait point.
 package stats
 
 import (
@@ -70,8 +81,10 @@ func (r *Running) StdDev() float64 {
 	return math.Sqrt(r.m2 / float64(r.n-1))
 }
 
-// Histogram is a log2-bucketed latency histogram. Bucket i holds samples
-// in [2^i, 2^(i+1)). It keeps exact min/max/mean alongside the buckets.
+// Histogram is a log2-bucketed latency histogram. Bucket 0 holds
+// samples in [0, 1); bucket i (i >= 1) holds samples in [2^(i-1), 2^i);
+// the last bucket also absorbs anything larger. It keeps exact
+// min/max/mean alongside the buckets.
 type Histogram struct {
 	buckets [64]uint64
 	run     Running
@@ -85,7 +98,7 @@ func (h *Histogram) Observe(x float64) {
 	h.run.Observe(x)
 	b := 0
 	if x >= 1 {
-		b = int(math.Log2(x))
+		b = int(math.Log2(x)) + 1
 		if b > 63 {
 			b = 63
 		}
@@ -103,7 +116,7 @@ func (h *Histogram) Mean() float64 { return h.run.Mean() }
 func (h *Histogram) Max() float64 { return h.run.Max() }
 
 // Quantile returns an upper-bound estimate of the q-quantile (0..1) from
-// the log buckets.
+// the log buckets: 2^i for bucket i, each bucket's exclusive upper edge.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.run.N() == 0 {
 		return 0
@@ -122,7 +135,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= target {
-			return math.Pow(2, float64(i+1))
+			return math.Pow(2, float64(i))
 		}
 	}
 	return h.run.Max()

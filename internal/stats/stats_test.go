@@ -264,3 +264,41 @@ func TestChartCategoricalAndEdgeCases(t *testing.T) {
 		t.Error("tiny chart empty")
 	}
 }
+
+func TestHistogramSubUnitBucket(t *testing.T) {
+	var h Histogram
+	// Sub-unit samples file into bucket 0 = [0,1): their quantile upper
+	// bound is 1, not 2 — sub-nanosecond latencies must not inflate
+	// estimates (the doc'd bucket boundary).
+	for i := 0; i < 10; i++ {
+		h.Observe(0.25)
+	}
+	if q := h.Quantile(0.99); q != 1 {
+		t.Errorf("p99 of sub-unit samples = %v, want 1", q)
+	}
+	// Mixing in large samples keeps bucket separation: the median stays
+	// at the sub-unit bound, the tail reflects the large bucket.
+	for i := 0; i < 2; i++ {
+		h.Observe(1000)
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("median = %v, want 1", q)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Errorf("p100 = %v, want >= 1000", q)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	// Each power of two is the *lower* edge of its bucket, so the
+	// quantile upper bound is the next power: Observe(2^k) -> 2^(k+1).
+	for _, c := range []struct{ x, want float64 }{
+		{0, 1}, {0.5, 1}, {1, 2}, {1.5, 2}, {2, 4}, {3, 4}, {4, 8}, {1024, 2048},
+	} {
+		var h Histogram
+		h.Observe(c.x)
+		if q := h.Quantile(1.0); q != c.want {
+			t.Errorf("Quantile after Observe(%v) = %v, want %v", c.x, q, c.want)
+		}
+	}
+}
