@@ -1,14 +1,19 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet fmt test race bench fuzz
 
-check: vet build test race
+check: fmt vet build test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fails if any file needs reformatting (CI runs the same gate).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -20,3 +25,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Short fuzz pass over the trace reader, the only parser of untrusted
+# input; CI runs the same 10-second smoke.
+fuzz:
+	$(GO) test -fuzz=FuzzReader -fuzztime=10s -run='^$$' ./internal/trace

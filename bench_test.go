@@ -172,7 +172,7 @@ func BenchmarkSimRemoteLineRead(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := ptr + Pointer(uint64(i)%(64<<20-64))
-		if err := region.Access(sys.Now(), 0, p, false, func(Time) {}); err != nil {
+		if err := region.Access(AccessRequest{Now: sys.Now(), Pointer: p}); err != nil {
 			b.Fatal(err)
 		}
 		sys.Run()

@@ -10,6 +10,7 @@
 //	ncdsm-bench -table 1
 //	ncdsm-bench -fig A                 # coherency ablation
 //	ncdsm-bench -fig all -parallel 1   # serial sweep points (old harness)
+//	ncdsm-bench -fig 7 -metrics prom   # plus the merged metrics snapshot
 //
 // Scale 1.0 runs paper-sized workloads (10M-key b-trees, 500k searches)
 // and can take many minutes; the default 0.05 preserves every shape in
@@ -18,7 +19,8 @@
 // Sweep points within each experiment run concurrently (-parallel,
 // default all cores). Every sweep point is an independent
 // single-threaded simulation and results merge in submission order, so
-// the output is byte-identical at every -parallel setting.
+// the output — figures and -metrics snapshots alike — is byte-identical
+// at every -parallel setting.
 package main
 
 import (
@@ -29,18 +31,23 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+
+	ncdsm "repro"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure to regenerate: 6..11, eq, A..F, or 'all'")
-		table    = flag.String("table", "", "table to regenerate: 1")
-		scale    = flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized)")
-		seed     = flag.Int64("seed", 1, "deterministic seed")
-		list     = flag.Bool("list", false, "list available experiments")
-		format   = flag.String("format", "table", "output format: table, csv, md, chart")
-		sweep    = flag.String("sweep", "", "re-run the experiment per value: Key=v1,v2,... (see -list)")
-		parallel = flag.Int("parallel", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
+		fig        = flag.String("fig", "", "figure to regenerate: 6..11, eq, A..G, or 'all'")
+		table      = flag.String("table", "", "table to regenerate: 1")
+		scale      = flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized)")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		list       = flag.Bool("list", false, "list available experiments")
+		format     = flag.String("format", "table", "output format: table, csv, md, chart")
+		sweep      = flag.String("sweep", "", "re-run the experiment per value: Key=v1,v2,... (see -list)")
+		parallel   = flag.Int("parallel", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
+		metricsFmt = flag.String("metrics", "", "print the merged metrics snapshot after each experiment: prom or json")
 	)
 	flag.Parse()
 
@@ -55,6 +62,10 @@ func main() {
 		}
 		return
 	}
+	if err := checkMetricsFormat(*metricsFmt); err != nil {
+		fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+		os.Exit(2)
+	}
 
 	ids, err := selectIDs(*fig, *table)
 	if err != nil {
@@ -66,73 +77,110 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *sweep == "" {
+		// Plain runs go through the public ncdsm API, exercising the
+		// surface a downstream user sees.
+		opts := ncdsm.ExperimentOptions{Scale: *scale, Parallel: *parallel, Seed: *seed}
+		for _, id := range ids {
+			start := time.Now()
+			figure, snap, err := ncdsm.RunExperiment(id, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ncdsm-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			printFigure(figure, *format, time.Since(start), *scale)
+			printMetrics(snap, *metricsFmt)
+		}
+		return
+	}
+
+	// Sweeps vary internal calibration knobs, so they drive the internal
+	// harness directly.
 	base := experiments.DefaultOptions()
 	base.Scale = *scale
 	base.Seed = *seed
 	base.Parallel = *parallel
 
-	var sweepKey string
-	var sweepValues []string
-	if *sweep != "" {
-		var err error
-		sweepKey, sweepValues, err = experiments.ParseSweep(*sweep)
-		if err != nil {
+	sweepKey, sweepValues, err := experiments.ParseSweep(*sweep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+		os.Exit(2)
+	}
+	for _, sv := range sweepValues {
+		o := base
+		if err := experiments.ApplyParam(&o.P, sweepKey, sv); err != nil {
 			fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
 			os.Exit(2)
 		}
-	} else {
-		sweepValues = []string{""} // one plain run
-	}
-
-	for _, sv := range sweepValues {
-		o := base
-		if sweepKey != "" {
-			if err := experiments.ApplyParam(&o.P, sweepKey, sv); err != nil {
-				fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
-				os.Exit(2)
-			}
-			fmt.Printf("--- %s = %s ---\n", sweepKey, sv)
-		}
-		runAll(ids, o, *format)
+		fmt.Printf("--- %s = %s ---\n", sweepKey, sv)
+		runAll(ids, o, *format, *metricsFmt)
 	}
 }
 
 // runAll generates and prints each selected experiment under o.
-func runAll(ids []string, o experiments.Options, format string) {
+func runAll(ids []string, o experiments.Options, format, metricsFmt string) {
 	for _, id := range ids {
 		gen, err := experiments.Lookup(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
 			os.Exit(2)
 		}
+		var merged metrics.Merged
+		o.Metrics = &merged
 		start := time.Now()
 		figure, err := gen(o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ncdsm-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		switch format {
-		case "csv":
-			out, err := figure.CSV()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "ncdsm-bench: %s: %v\n", id, err)
-				os.Exit(1)
-			}
-			fmt.Print(out)
-			fmt.Println()
-		case "md":
-			fmt.Println(figure.Markdown())
-		case "chart":
-			fmt.Print(figure.Chart(64, 16))
-			fmt.Println()
-		case "table":
-			fmt.Print(figure.Render())
-			fmt.Printf("[generated in %.1fs at scale %g]\n\n", time.Since(start).Seconds(), o.Scale)
-		default:
-			fmt.Fprintf(os.Stderr, "ncdsm-bench: unknown format %q\n", format)
-			os.Exit(2)
-		}
+		printFigure(figure, format, time.Since(start), o.Scale)
+		printMetrics(merged.Snapshot(), metricsFmt)
 	}
+}
+
+// printFigure renders one figure in the selected format.
+func printFigure(figure *stats.Figure, format string, took time.Duration, scale float64) {
+	switch format {
+	case "csv":
+		out, err := figure.CSV()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ncdsm-bench: %s: %v\n", figure.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Println()
+	case "md":
+		fmt.Println(figure.Markdown())
+	case "chart":
+		fmt.Print(figure.Chart(64, 16))
+		fmt.Println()
+	case "table":
+		fmt.Print(figure.Render())
+		fmt.Printf("[generated in %.1fs at scale %g]\n\n", took.Seconds(), scale)
+	default:
+		fmt.Fprintf(os.Stderr, "ncdsm-bench: unknown format %q\n", format)
+		os.Exit(2)
+	}
+}
+
+// printMetrics renders the experiment's merged snapshot, if asked for.
+func printMetrics(snap metrics.Snapshot, format string) {
+	switch format {
+	case "":
+	case "prom":
+		fmt.Print(snap.Prometheus())
+		fmt.Println()
+	case "json":
+		fmt.Print(snap.JSON())
+	}
+}
+
+func checkMetricsFormat(format string) error {
+	switch format {
+	case "", "prom", "json":
+		return nil
+	}
+	return fmt.Errorf("unknown -metrics format %q (want prom or json)", format)
 }
 
 // selectIDs maps the -fig/-table flags to experiment identifiers.

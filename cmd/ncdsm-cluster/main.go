@@ -8,6 +8,7 @@
 //	ncdsm-cluster -memmap 1          # node 1's view of the address space
 //	ncdsm-cluster -reserve 1:3:4GB   # node 1 reserves 4 GB on node 3
 //	ncdsm-cluster -regions           # demo region layout across the cluster
+//	ncdsm-cluster -stats -metrics prom   # workload + full metrics snapshot
 package main
 
 import (
@@ -27,10 +28,11 @@ import (
 
 func main() {
 	var (
-		memmap  = flag.Int("memmap", 0, "print the memory map seen by this node")
-		reserve = flag.String("reserve", "", "walk a reservation: requester:donor:size (e.g. 1:3:4GB)")
-		regions = flag.Bool("regions", false, "demo a Figure 1 region layout")
-		stats   = flag.Bool("stats", false, "run a sample workload and dump per-component utilization")
+		memmap     = flag.Int("memmap", 0, "print the memory map seen by this node")
+		reserve    = flag.String("reserve", "", "walk a reservation: requester:donor:size (e.g. 1:3:4GB)")
+		regions    = flag.Bool("regions", false, "demo a Figure 1 region layout")
+		stats      = flag.Bool("stats", false, "run a sample workload and dump per-component utilization")
+		metricsFmt = flag.String("metrics", "", "dump the system's metrics snapshot afterwards: prom or json")
 	)
 	flag.Parse()
 
@@ -64,6 +66,18 @@ func main() {
 		did = true
 		if err := dumpStats(sys); err != nil {
 			fatal(err)
+		}
+	}
+	if *metricsFmt != "" {
+		did = true
+		snap := sys.Metrics()
+		switch *metricsFmt {
+		case "prom":
+			fmt.Print(snap.Prometheus())
+		case "json":
+			fmt.Print(snap.JSON())
+		default:
+			fatal(fmt.Errorf("unknown -metrics format %q (want prom or json)", *metricsFmt))
 		}
 	}
 	if !did {

@@ -59,7 +59,8 @@ func ExampleRegion_Access() {
 		log.Fatal(err)
 	}
 	var done ncdsm.Time
-	if err := region.Access(sys.Now(), 0, ptr, false, func(t ncdsm.Time) { done = t }); err != nil {
+	req := ncdsm.AccessRequest{Pointer: ptr, Done: func(t ncdsm.Time) { done = t }}
+	if err := region.Access(req); err != nil {
 		log.Fatal(err)
 	}
 	sys.Run()
@@ -70,7 +71,9 @@ func ExampleRegion_Access() {
 
 // ExampleExperiment regenerates a paper figure programmatically.
 func ExampleExperiment() {
-	fig, err := ncdsm.ExperimentFigure("eq", 0.01)
+	opts := ncdsm.DefaultExperimentOptions()
+	opts.Scale = 0.01
+	fig, err := ncdsm.ExperimentFigure("eq", opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -61,7 +61,8 @@ func main() {
 	measure := func(p ncdsm.Pointer, what string) {
 		start := sys.Now()
 		var done ncdsm.Time
-		if err := region.Access(start, 0, p, false, func(t ncdsm.Time) { done = t }); err != nil {
+		req := ncdsm.AccessRequest{Now: start, Pointer: p, Done: func(t ncdsm.Time) { done = t }}
+		if err := region.Access(req); err != nil {
 			log.Fatal(err)
 		}
 		sys.Run()
@@ -71,4 +72,10 @@ func main() {
 	measure(ptrs[0], "local allocation:")
 	measure(ptrs[2]+6<<30, "borrowed allocation:")
 	fmt.Println("\nthe gap is the fabric round trip — not a page fault, not a syscall.")
+
+	// Everything above left a trail in the metrics layer: per-node RMC
+	// traffic, mesh link frames, cache and DRAM counters.
+	snap := sys.Metrics()
+	fmt.Printf("\ncluster metrics: RMCs observed %d remote request(s)\n",
+		uint64(snap.Total("ncdsm_rmc_requests_total")))
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/htoe"
 	"repro/internal/mem"
 	"repro/internal/mesh"
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/prefetch"
 	"repro/internal/rmc"
@@ -144,8 +145,9 @@ type Node struct {
 	tagseq uint16
 
 	// LocalOps and RemoteOps count issued line operations by
-	// destination; Prefetches counts prefetch fills requested.
-	LocalOps, RemoteOps, Prefetches uint64
+	// destination; Prefetches counts prefetch fills requested;
+	// FlushedDirty counts dirty lines written back by FlushCaches.
+	LocalOps, RemoteOps, Prefetches, FlushedDirty uint64
 }
 
 func newNode(c *Cluster, id addr.NodeID) (*Node, error) {
@@ -196,7 +198,23 @@ func newNode(c *Cluster, id addr.NodeID) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.register(c.eng.Metrics())
 	return n, nil
+}
+
+// register exposes the node's cache and op-mix tallies. The cache
+// hierarchy has no engine reference, so its counters are sampled from
+// here rather than from inside package cache.
+func (n *Node) register(m *metrics.Registry) {
+	ls := metrics.L("node", fmt.Sprintf("%d", n.id))
+	m.CounterFunc(metrics.FamCacheAccesses, "cache hierarchy accesses", ls, func() uint64 { return n.caches.Accesses })
+	m.CounterFunc(metrics.FamCacheHits, "cache hits", ls, func() uint64 { return n.caches.Hits })
+	m.CounterFunc(metrics.FamCacheMisses, "cache misses", ls, func() uint64 { return n.caches.Misses })
+	m.CounterFunc(metrics.FamCacheWritebacks, "dirty lines written back", ls, func() uint64 { return n.caches.Writebacks })
+	m.CounterFunc(metrics.FamCacheFlushedDirty, "dirty lines flushed at phase changes", ls, func() uint64 { return n.FlushedDirty })
+	m.CounterFunc(metrics.FamNodeLocalOps, "line operations served by local memory", ls, func() uint64 { return n.LocalOps })
+	m.CounterFunc(metrics.FamNodeRemoteOps, "line operations forwarded to remote memory", ls, func() uint64 { return n.RemoteOps })
+	m.CounterFunc(metrics.FamNodePrefetches, "prefetch fills requested", ls, func() uint64 { return n.Prefetches })
 }
 
 // ID returns the node identifier.
@@ -234,6 +252,7 @@ func (n *Node) FlushCaches(now sim.Time) int {
 	// the discipline of the paper flushes before the data is re-read,
 	// when that traffic has already drained).
 	dirty := n.caches.FlushAll()
+	n.FlushedDirty += uint64(dirty)
 	for i := 0; i < dirty; i++ {
 		if _, err := n.bank.Access(now, addr.Phys(uint64(i)*params.CacheLineSize%n.p.MemPerNode), true); err != nil {
 			panic(fmt.Sprintf("cluster: node %d flush writeback: %v", n.id, err))

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// TestMetricsInstrumentation drives local, remote, and phase-change
+// traffic through one node and checks every cache/node family registered
+// from the cluster layer reports it.
+func TestMetricsInstrumentation(t *testing.T) {
+	c := build(t)
+	n := c.MustNode(1)
+	noop := func(sim.Time) {}
+
+	n.Issue(0, 0, cpu.Access{Addr: 0x4000}, false, noop) // local miss
+	c.Engine().Run()
+	remote := addr.Phys(0x8000).WithNode(2)
+	n.Issue(c.Engine().Now(), 0, cpu.Access{Addr: remote, Write: true}, false, noop)
+	c.Engine().Run()
+	if flushed := n.FlushCaches(c.Engine().Now()); flushed == 0 {
+		t.Fatal("no dirty lines to flush")
+	}
+
+	snap := c.Engine().Metrics().Snapshot()
+	val := func(name string) float64 {
+		v, _ := snap.Value(name, metrics.L("node", "1"))
+		return v
+	}
+	if val(metrics.FamCacheAccesses) == 0 {
+		t.Error("cache accesses not counted")
+	}
+	if val(metrics.FamCacheMisses) == 0 {
+		t.Error("cache misses not counted")
+	}
+	if val(metrics.FamNodeLocalOps) != 1 {
+		t.Errorf("local ops = %v, want 1", val(metrics.FamNodeLocalOps))
+	}
+	if val(metrics.FamNodeRemoteOps) != 1 {
+		t.Errorf("remote ops = %v, want 1", val(metrics.FamNodeRemoteOps))
+	}
+	if val(metrics.FamCacheFlushedDirty) == 0 {
+		t.Error("flushed dirty lines not counted")
+	}
+	// The per-node rollup view carries the same numbers.
+	var found bool
+	for _, nv := range snap.Nodes() {
+		if nv.Node == 1 {
+			found = true
+			if nv.CacheAccesses == 0 || nv.RemoteOps != 1 {
+				t.Errorf("node view = %+v", nv)
+			}
+		}
+	}
+	if !found {
+		t.Error("node 1 missing from Nodes() view")
+	}
+}

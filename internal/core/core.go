@@ -14,6 +14,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/memdir"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/osmodel"
 	"repro/internal/params"
 	"repro/internal/rmalloc"
@@ -68,6 +69,9 @@ func NewSystem(eng *sim.Engine, p params.Params) (*System, error) {
 			r.SetProtection(a)
 		}
 	}
+	eng.Metrics().GaugeFunc(metrics.FamPoolFreeBytes,
+		"free bytes in the cluster-wide memory pool", nil,
+		func() float64 { return float64(s.dir.TotalFree()) })
 	return s, nil
 }
 
@@ -121,6 +125,10 @@ func (s *System) Region(n addr.NodeID) (*Region, error) {
 		return nil, err
 	}
 	r.heap = heap
+	s.Engine().Metrics().GaugeFunc(metrics.FamRegionBorrowed,
+		"bytes this region has borrowed from other nodes",
+		metrics.L("node", fmt.Sprintf("%d", n)),
+		func() float64 { return float64(r.agent.BorrowedBytes()) })
 	s.regions[n] = r
 	return r, nil
 }

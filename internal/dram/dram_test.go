@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/addr"
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -11,15 +12,15 @@ import (
 func TestControllerLatencyAndQueueing(t *testing.T) {
 	p := params.Default()
 	eng := sim.New()
-	c := NewController(eng, "mc0", p)
+	c := NewController(eng, 1, 0, p)
 
 	// Uncontended access completes after occupancy + latency.
-	done := c.Access(0, false)
+	done := c.Access(0, addr.Phys(0), false)
 	if want := p.DRAMOccupancy + p.DRAMLatency; done != want {
 		t.Errorf("first access done = %d, want %d", done, want)
 	}
 	// A simultaneous second access queues behind the first's occupancy.
-	done2 := c.Access(0, true)
+	done2 := c.Access(0, addr.Phys(64), true)
 	if want := 2*p.DRAMOccupancy + p.DRAMLatency; done2 != want {
 		t.Errorf("queued access done = %d, want %d", done2, want)
 	}
@@ -28,6 +29,46 @@ func TestControllerLatencyAndQueueing(t *testing.T) {
 	}
 	if c.Utilization(2*p.DRAMOccupancy) != 1 {
 		t.Error("controller should be fully occupied")
+	}
+}
+
+func TestRowBufferTracking(t *testing.T) {
+	p := params.Default()
+	c := NewController(sim.New(), 1, 0, p)
+
+	// Same row twice, then a different row, then back: cold, hit,
+	// conflict, conflict.
+	c.Access(0, addr.Phys(0), false)
+	c.Access(0, addr.Phys(64), false)
+	c.Access(0, addr.Phys(RowBytes), false)
+	c.Access(0, addr.Phys(128), false)
+	if c.RowHits != 1 || c.RowConflicts != 2 {
+		t.Errorf("row stats = %d hits / %d conflicts, want 1/2", c.RowHits, c.RowConflicts)
+	}
+	// Tracking must not change timing: completion matches the flat model.
+	done := c.Access(0, addr.Phys(192), false)
+	if want := 5*p.DRAMOccupancy + p.DRAMLatency; done != want {
+		t.Errorf("timed completion = %d, want %d", done, want)
+	}
+}
+
+func TestMetricsInstrumentation(t *testing.T) {
+	p := params.Default()
+	eng := sim.New()
+	c := NewController(eng, 1, 0, p)
+	c.Access(0, addr.Phys(0), false)
+	c.Access(0, addr.Phys(64), true)
+
+	snap := eng.Metrics().Snapshot()
+	ls := metrics.L("node", "1", "mc", "0")
+	for fam, want := range map[string]float64{
+		metrics.FamDRAMReads:   1,
+		metrics.FamDRAMWrites:  1,
+		metrics.FamDRAMRowHits: 1,
+	} {
+		if got, _ := snap.Value(fam, ls); got != want {
+			t.Errorf("%s = %v, want %v", fam, got, want)
+		}
 	}
 }
 

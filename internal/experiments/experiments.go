@@ -19,6 +19,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -42,6 +43,19 @@ type Options struct {
 	// rendered figures are identical at every setting — Parallel only
 	// changes wall-clock time.
 	Parallel int
+	// Metrics, when non-nil, accumulates every simulated run's metrics
+	// snapshot. Generators fold snapshots on their own goroutine in
+	// sweep submission order, so the merged snapshot is byte-identical
+	// at every Parallel setting — the same contract the figures obey.
+	Metrics *metrics.Merged
+}
+
+// addMetrics folds one run's snapshot into the accumulator, if any. Must
+// be called from the generator goroutine in submission order.
+func (o Options) addMetrics(s metrics.Snapshot) {
+	if o.Metrics != nil {
+		o.Metrics.Add(s)
+	}
 }
 
 // DefaultOptions returns the paper-scale configuration.
@@ -127,6 +141,10 @@ type microResult struct {
 	Elapsed     sim.Time
 	MeanLatency float64 // picoseconds per access
 	Threads     []*cpu.Thread
+	// Metrics is the run's registry snapshot, captured on the goroutine
+	// that ran the simulation so lazily-sampled instruments read their
+	// final values.
+	Metrics metrics.Snapshot
 }
 
 // launch prepares the run on an existing system and returns the threads
@@ -190,7 +208,9 @@ func (mr microRun) run(o Options) (microResult, error) {
 		return microResult{}, err
 	}
 	sys.Engine().Run()
-	return collect(threads)
+	res, err := collect(threads)
+	res.Metrics = sys.Engine().Metrics().Snapshot()
+	return res, err
 }
 
 func collect(threads []*cpu.Thread) (microResult, error) {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -24,7 +25,10 @@ func AblationFabric(o Options) (*stats.Figure, error) {
 
 	accesses := o.scaled(20000, 400)
 	const maxHops = 6
-	type hopPoint struct{ mesh, htoe float64 }
+	type hopPoint struct {
+		mesh, htoe         float64
+		meshSnap, htoeSnap metrics.Snapshot
+	}
 	points, err := runner.Map(o.Parallel, maxHops, func(i int) (hopPoint, error) {
 		servers, err := serversAt(o, 1, i+1, 1)
 		if err != nil {
@@ -36,7 +40,7 @@ func AblationFabric(o Options) (*stats.Figure, error) {
 		if err != nil {
 			return hopPoint{}, err
 		}
-		pt := hopPoint{mesh: res.MeanLatency / float64(params.Microsecond)}
+		pt := hopPoint{mesh: res.MeanLatency / float64(params.Microsecond), meshSnap: res.Metrics}
 
 		oh := o
 		oh.P.Fabric = params.FabricHToE
@@ -46,12 +50,15 @@ func AblationFabric(o Options) (*stats.Figure, error) {
 			return hopPoint{}, err
 		}
 		pt.htoe = res.MeanLatency / float64(params.Microsecond)
+		pt.htoeSnap = res.Metrics
 		return pt, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, pt := range points {
+		o.addMetrics(pt.meshSnap)
+		o.addMetrics(pt.htoeSnap)
 		meshSeries.Add(float64(i+1), pt.mesh)
 		htoeSeries.Add(float64(i+1), pt.htoe)
 	}

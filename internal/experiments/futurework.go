@@ -6,6 +6,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -28,7 +29,10 @@ func AblationPrefetch(o Options) (*stats.Figure, error) {
 
 	lines := o.scaled(40000, 800)
 	depths := []int{0, 1, 2, 4, 8}
-	type depthPoint struct{ seq, rnd float64 }
+	type depthPoint struct {
+		seq, rnd         float64
+		seqSnap, rndSnap metrics.Snapshot
+	}
 	points, err := runner.Map(o.Parallel, len(depths), func(i int) (depthPoint, error) {
 		depth := depths[i]
 		p := o.P
@@ -41,11 +45,11 @@ func AblationPrefetch(o Options) (*stats.Figure, error) {
 		ow := o
 		ow.P = p
 
-		elapsed, err := runSequential(ow, lines)
+		elapsed, seqSnap, err := runSequential(ow, lines)
 		if err != nil {
 			return depthPoint{}, err
 		}
-		pt := depthPoint{seq: usPerOp(elapsed, lines)}
+		pt := depthPoint{seq: usPerOp(elapsed, lines), seqSnap: seqSnap}
 
 		servers, err := serversAt(ow, 1, 1, 1)
 		if err != nil {
@@ -56,12 +60,15 @@ func AblationPrefetch(o Options) (*stats.Figure, error) {
 			return depthPoint{}, err
 		}
 		pt.rnd = usPerOp(res.Elapsed, lines)
+		pt.rndSnap = res.Metrics
 		return pt, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, depth := range depths {
+		o.addMetrics(points[i].seqSnap)
+		o.addMetrics(points[i].rndSnap)
 		seq.Add(float64(depth), points[i].seq)
 		rnd.Add(float64(depth), points[i].rnd)
 		localRef.Add(float64(depth),
@@ -73,24 +80,25 @@ func AblationPrefetch(o Options) (*stats.Figure, error) {
 	return fig, nil
 }
 
-// runSequential streams one thread over consecutive remote lines.
-func runSequential(o Options, lines int) (sim.Time, error) {
+// runSequential streams one thread over consecutive remote lines and
+// returns the elapsed time plus the run's metrics snapshot.
+func runSequential(o Options, lines int) (sim.Time, metrics.Snapshot, error) {
 	sys, err := core.NewSystem(sim.New(), o.P)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	region, err := sys.Region(1)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	need := uint64(lines+64) * params.CacheLineSize
 	rng, err := region.GrowFrom(2, need)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	node, err := sys.Cluster().Node(1)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	i := 0
 	stream := cpu.FuncStream(func() (cpu.Access, bool) {
@@ -107,14 +115,14 @@ func runSequential(o Options, lines int) (sim.Time, error) {
 		WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 	})
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	th.Start(0)
 	sys.Engine().Run()
 	if !th.Done {
-		return 0, fmt.Errorf("experiments: sequential stream did not finish")
+		return 0, metrics.Snapshot{}, fmt.Errorf("experiments: sequential stream did not finish")
 	}
-	return th.Elapsed(), nil
+	return th.Elapsed(), sys.Engine().Metrics().Snapshot(), nil
 }
 
 // AblationParallelPhase demonstrates the prototype's concession and its
@@ -132,19 +140,20 @@ func AblationParallelPhase(o Options) (*stats.Figure, error) {
 
 	totalReads := o.scaled(60000, 1200)
 	threadCounts := []int{1, 2, 4, 8}
-	times, err := runner.Map(o.Parallel, len(threadCounts), func(i int) (float64, error) {
-		elapsed, err := runParallelPhase(o, threadCounts[i], totalReads)
+	times, err := runner.Map(o.Parallel, len(threadCounts), func(i int) (timedPoint, error) {
+		elapsed, snap, err := runParallelPhase(o, threadCounts[i], totalReads)
 		if err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
-		return float64(elapsed) / float64(params.Millisecond), nil
+		return timedPoint{float64(elapsed) / float64(params.Millisecond), snap}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	base := times[0] // the 1-thread phase anchors the ideal-scaling line
+	base := times[0].v // the 1-thread phase anchors the ideal-scaling line
 	for i, threads := range threadCounts {
-		readPhase.Add(float64(threads), times[i])
+		o.addMetrics(times[i].snap)
+		readPhase.Add(float64(threads), times[i].v)
 		ideal.Add(float64(threads), base/float64(threads))
 	}
 	fig.Note("a serial write phase plus cache flush precedes each measurement; scaling saturates at the client RMC like Fig 7")
@@ -153,23 +162,23 @@ func AblationParallelPhase(o Options) (*stats.Figure, error) {
 
 // runParallelPhase writes a remote buffer with one thread, flushes the
 // node's caches, then measures a read-only phase with the given number
-// of threads.
-func runParallelPhase(o Options, threads, totalReads int) (sim.Time, error) {
+// of threads. Returns the phase time and the run's metrics snapshot.
+func runParallelPhase(o Options, threads, totalReads int) (sim.Time, metrics.Snapshot, error) {
 	sys, err := core.NewSystem(sim.New(), o.P)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	region, err := sys.Region(1)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	rng, err := region.GrowFrom(2, 64<<20)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	node, err := sys.Cluster().Node(1)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	p := sys.Params()
 	eng := sys.Engine()
@@ -190,12 +199,12 @@ func runParallelPhase(o Options, threads, totalReads int) (sim.Time, error) {
 		WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 	})
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	wt.Start(0)
 	eng.Run()
 	if !wt.Done {
-		return 0, fmt.Errorf("experiments: write phase did not finish")
+		return 0, metrics.Snapshot{}, fmt.Errorf("experiments: write phase did not finish")
 	}
 
 	// Flush: dirty remote lines go home; after this, caching remote data
@@ -208,14 +217,14 @@ func runParallelPhase(o Options, threads, totalReads int) (sim.Time, error) {
 	for t := 0; t < threads; t++ {
 		stream, err := randomReadStream(o.Seed+int64(t)*31, rng, totalReads/threads)
 		if err != nil {
-			return 0, err
+			return 0, metrics.Snapshot{}, err
 		}
 		th, err := cpu.NewThread(cpu.ThreadConfig{
 			Name: fmt.Sprintf("reader%d", t), Engine: eng, Memory: node, Stream: stream,
 			Core: t * (p.CoresPerNode / maxInt(threads, 1)), WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 		})
 		if err != nil {
-			return 0, err
+			return 0, metrics.Snapshot{}, err
 		}
 		th.Start(start)
 		threadsDone = append(threadsDone, th)
@@ -224,13 +233,13 @@ func runParallelPhase(o Options, threads, totalReads int) (sim.Time, error) {
 	var end sim.Time
 	for _, th := range threadsDone {
 		if !th.Done {
-			return 0, fmt.Errorf("experiments: reader did not finish")
+			return 0, metrics.Snapshot{}, fmt.Errorf("experiments: reader did not finish")
 		}
 		if th.FinishTime > end {
 			end = th.FinishTime
 		}
 	}
-	return end - start, nil
+	return end - start, eng.Metrics().Snapshot(), nil
 }
 
 func randomReadStream(seed int64, rng addr.Range, count int) (cpu.Stream, error) {

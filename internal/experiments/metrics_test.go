@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// runMerged regenerates one experiment with a metrics accumulator and
+// returns the merged snapshot.
+func runMerged(t *testing.T, id string, parallel int) metrics.Snapshot {
+	t.Helper()
+	gen, err := Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.Scale = 0.005
+	o.Parallel = parallel
+	var merged metrics.Merged
+	o.Metrics = &merged
+	if _, err := gen(o); err != nil {
+		t.Fatalf("%s at Parallel=%d: %v", id, parallel, err)
+	}
+	return merged.Snapshot()
+}
+
+// TestMetricsDeterminism extends the harness contract to the metrics
+// layer: the merged snapshot renders byte-identical Prometheus text at
+// every worker count, because each sweep point snapshots its own
+// registry and generators fold snapshots in submission order.
+func TestMetricsDeterminism(t *testing.T) {
+	for _, id := range []string{"table1", "fig7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := runMerged(t, id, 1).Prometheus()
+			conc := runMerged(t, id, 8).Prometheus()
+			if serial != conc {
+				t.Errorf("Prometheus text differs between Parallel=8 and Parallel=1:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, conc)
+			}
+			if serial == "" {
+				t.Fatal("empty Prometheus rendering")
+			}
+		})
+	}
+}
+
+// TestMetricsCoverage checks the merged snapshot of a contended run
+// touches every instrumented substrate.
+func TestMetricsCoverage(t *testing.T) {
+	snap := runMerged(t, "fig7", 0)
+	for _, fam := range []string{
+		metrics.FamRMCRequests,
+		metrics.FamRMCLatency,
+		metrics.FamHNCFrames,
+		metrics.FamMeshDelivered,
+		metrics.FamMeshLinkFrames,
+		metrics.FamCacheAccesses,
+		metrics.FamDRAMReads,
+		metrics.FamSimEvents,
+		metrics.FamNodeRemoteOps,
+	} {
+		if snap.Total(fam) == 0 {
+			t.Errorf("family %s is zero after fig7", fam)
+		}
+	}
+	if snap.Total(metrics.FamHNCCRCFailures) != 0 {
+		t.Error("CRC failures on a healthy fabric")
+	}
+	text := snap.Prometheus()
+	for _, fam := range []string{"ncdsm_rmc_", "ncdsm_mesh_", "ncdsm_cache_", "ncdsm_dram_"} {
+		if !strings.Contains(text, fam) {
+			t.Errorf("Prometheus text missing %s* families", fam)
+		}
+	}
+}

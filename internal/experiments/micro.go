@@ -6,11 +6,20 @@ import (
 	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// timedPoint is one sweep point's scalar plus the run's metrics
+// snapshot, carried back so the generator can fold snapshots in
+// submission order.
+type timedPoint struct {
+	v    float64
+	snap metrics.Snapshot
+}
 
 // fig7Client sits at (1,1) of the 4×4 mesh so it has neighbors at one,
 // two, and three hops in all the multiplicities Figure 7 needs.
@@ -46,13 +55,17 @@ func Table1(o Options) (*stats.Figure, error) {
 	if err != nil {
 		return nil, err
 	}
+	o.addMetrics(sys.Engine().Metrics().Snapshot())
 	meas.AddLabeled("local access (µs)", 10, localLat/float64(params.Microsecond))
 
 	// Remote latency at 1 and 6 hops, single thread, unloaded. The p99
 	// shows the unloaded path has no latency tail — every access takes
 	// the same hardware trip, unlike a faulting or OS-mediated path.
 	hops := []int{1, 6}
-	type hopPoint struct{ mean, p99 float64 }
+	type hopPoint struct {
+		mean, p99 float64
+		snap      metrics.Snapshot
+	}
 	points, err := runner.Map(o.Parallel, len(hops), func(i int) (hopPoint, error) {
 		servers, err := serversAt(o, 1, hops[i], 1)
 		if err != nil {
@@ -65,10 +78,14 @@ func Table1(o Options) (*stats.Figure, error) {
 		return hopPoint{
 			mean: res.MeanLatency / float64(params.Microsecond),
 			p99:  res.Threads[0].Latency.Quantile(0.99) / float64(params.Microsecond),
+			snap: res.Metrics,
 		}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, pt := range points {
+		o.addMetrics(pt.snap)
 	}
 	for i, h := range hops {
 		meas.AddLabeled(fmt.Sprintf("remote access, %d hop(s) (µs)", h), float64(11+2*i), points[i].mean)
@@ -111,23 +128,24 @@ func Fig6(o Options) (*stats.Figure, error) {
 
 	accesses := o.scaled(20000, 200)
 	const maxHops = 6
-	means, err := runner.Map(o.Parallel, maxHops, func(i int) (float64, error) {
+	means, err := runner.Map(o.Parallel, maxHops, func(i int) (timedPoint, error) {
 		servers, err := serversAt(o, 1, i+1, 1)
 		if err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
 		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}).run(o)
 		if err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
-		return res.MeanLatency / float64(params.Microsecond), nil
+		return timedPoint{res.MeanLatency / float64(params.Microsecond), res.Metrics}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, m := range means {
+		o.addMetrics(m.snap)
 		h := i + 1
-		remote.Add(float64(h), m)
+		remote.Add(float64(h), m.v)
 		analytic.Add(float64(h), float64(o.P.RemoteRoundTrip(h))/float64(params.Microsecond))
 		local.Add(float64(h), float64(o.P.DRAMLatency+o.P.DRAMOccupancy+o.P.L1Latency)/float64(params.Microsecond))
 	}
@@ -158,29 +176,32 @@ func Fig7(o Options) (*stats.Figure, error) {
 		{1, 1, 1}, {2, 1, 1}, {4, 1, 1},
 		{4, 1, 4}, {4, 2, 4}, {4, 3, 4},
 	}
-	times, err := runner.Map(o.Parallel, len(specs), func(i int) (float64, error) {
+	times, err := runner.Map(o.Parallel, len(specs), func(i int) (timedPoint, error) {
 		s := specs[i]
 		servers, err := serversAt(o, fig7Client, s.hops, s.servers)
 		if err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
 		res, err := (microRun{
 			Client: fig7Client, Servers: servers,
 			Threads: s.threads, AccessesPerThread: total / s.threads,
 		}).run(o)
 		if err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
-		return float64(res.Elapsed) / float64(params.Millisecond), nil
+		return timedPoint{float64(res.Elapsed) / float64(params.Millisecond), res.Metrics}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	for _, pt := range times {
+		o.addMetrics(pt.snap)
+	}
 	for i, s := range specs[:3] {
-		one.AddLabeled(fmt.Sprintf("%dt, 1 hop", s.threads), float64(i), times[i])
+		one.AddLabeled(fmt.Sprintf("%dt, 1 hop", s.threads), float64(i), times[i].v)
 	}
 	for j, s := range specs[3:] {
-		four.AddLabeled(fmt.Sprintf("4t, %d hop", s.hops), float64(3+j), times[3+j])
+		four.AddLabeled(fmt.Sprintf("4t, %d hop", s.hops), float64(3+j), times[3+j].v)
 	}
 	fig.Note("expected: 1t→2t halves time; 2t→4t does not; 4 servers no better; farther servers slightly faster at 4t")
 	return fig, nil
@@ -205,26 +226,30 @@ func Fig8(o Options) (*stats.Figure, error) {
 
 	controlAccesses := o.scaled(20000, 400)
 	setups := []fig8Setup{{0, 0}, {1, 1}, {1, 2}, {1, 4}, {2, 4}, {3, 4}, {4, 4}, {5, 4}, {6, 4}}
-	times, err := runner.Map(o.Parallel, len(setups), func(i int) (float64, error) {
+	times, err := runner.Map(o.Parallel, len(setups), func(i int) (timedPoint, error) {
 		return fig8Point(o, setups[i], controlAccesses)
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, pt := range times {
+		o.addMetrics(pt.snap)
 	}
 	for i, s := range setups {
 		label := "no stressors"
 		if s.Nodes > 0 {
 			label = fmt.Sprintf("%dn x %dt", s.Nodes, s.ThreadsPer)
 		}
-		ctrl.AddLabeled(label, float64(i), times[i])
+		ctrl.AddLabeled(label, float64(i), times[i].v)
 	}
 	fig.Note("expected: flat through ~3 nodes x 4 threads, then rising as the server RMC saturates")
 	return fig, nil
 }
 
 // fig8Point simulates one load point: the control thread plus s.Nodes
-// stressing clients on a fresh cluster, returning the control time (ms).
-func fig8Point(o Options, s fig8Setup, controlAccesses int) (float64, error) {
+// stressing clients on a fresh cluster, returning the control time (ms)
+// and the run's metrics snapshot.
+func fig8Point(o Options, s fig8Setup, controlAccesses int) (timedPoint, error) {
 	const (
 		server  = addr.NodeID(6)  // (1,1)
 		control = addr.NodeID(16) // (3,3), reaches the server by express link only
@@ -233,14 +258,14 @@ func fig8Point(o Options, s fig8Setup, controlAccesses int) (float64, error) {
 
 	sys, err := core.NewSystem(sim.New(), o.P)
 	if err != nil {
-		return 0, err
+		return timedPoint{}, err
 	}
 	meshFab, err := sys.Cluster().MeshFabric()
 	if err != nil {
-		return 0, err
+		return timedPoint{}, err
 	}
 	if err := meshFab.AddExpressLink(control, server); err != nil {
-		return 0, err
+		return timedPoint{}, err
 	}
 	// Control thread: express-routed loads against the server. The
 	// run ends the moment it finishes; the stressors exist only to
@@ -253,7 +278,7 @@ func fig8Point(o Options, s fig8Setup, controlAccesses int) (float64, error) {
 	}
 	ctrlThreads, err := ctrlRun.launch(sys, o.Seed)
 	if err != nil {
-		return 0, err
+		return timedPoint{}, err
 	}
 	// Stressing clients: effectively endless streams against the same
 	// server over the mesh; the run ends when the control finishes.
@@ -263,16 +288,19 @@ func fig8Point(o Options, s fig8Setup, controlAccesses int) (float64, error) {
 			Threads: s.ThreadsPer, AccessesPerThread: controlAccesses * 50,
 		}
 		if _, err := stress.launch(sys, o.Seed+int64(100*(n+1))); err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
 	}
 	for !ctrlThreads[0].Done {
 		if eng.Pending() == 0 {
-			return 0, fmt.Errorf("experiments: fig8 run stalled")
+			return timedPoint{}, fmt.Errorf("experiments: fig8 run stalled")
 		}
 		eng.Run()
 	}
-	return float64(ctrlThreads[0].FinishTime) / float64(params.Millisecond), nil
+	return timedPoint{
+		v:    float64(ctrlThreads[0].FinishTime) / float64(params.Millisecond),
+		snap: eng.Metrics().Snapshot(),
+	}, nil
 }
 
 // AblationWindow sweeps the per-core outstanding-request limit against
@@ -285,7 +313,7 @@ func AblationWindow(o Options) (*stats.Figure, error) {
 	s := fig.AddSeries("1 thread, 1 server, 1 hop")
 	accesses := o.scaled(40000, 800)
 	windows := []int{1, 2, 4, 8}
-	times, err := runner.Map(o.Parallel, len(windows), func(i int) (float64, error) {
+	times, err := runner.Map(o.Parallel, len(windows), func(i int) (timedPoint, error) {
 		w := windows[i]
 		p := o.P
 		p.RemoteOutstanding = w
@@ -299,19 +327,20 @@ func AblationWindow(o Options) (*stats.Figure, error) {
 		ow.P = p
 		servers, err := serversAt(ow, 1, 1, 1)
 		if err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
 		res, err := (microRun{Client: 1, Servers: servers, Threads: 1, AccessesPerThread: accesses}).run(ow)
 		if err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
-		return float64(res.Elapsed) / float64(params.Millisecond), nil
+		return timedPoint{float64(res.Elapsed) / float64(params.Millisecond), res.Metrics}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, w := range windows {
-		s.Add(float64(w), times[i])
+		o.addMetrics(times[i].snap)
+		s.Add(float64(w), times[i].v)
 	}
 	fig.Note("window 1 is the prototype; widening overlaps round trips until the client RMC occupancy binds")
 	return fig, nil
@@ -329,7 +358,7 @@ func AblationRetry(o Options) (*stats.Figure, error) {
 	total := o.scaled(60000, 1200)
 	depths := []int{1, 2, 4, 8}
 	hops := []int{1, 3}
-	times, err := runner.Map(o.Parallel, len(depths)*len(hops), func(i int) (float64, error) {
+	times, err := runner.Map(o.Parallel, len(depths)*len(hops), func(i int) (timedPoint, error) {
 		depth, hop := depths[i/len(hops)], hops[i%len(hops)]
 		p := o.P
 		p.RMCQueueDepth = depth
@@ -337,26 +366,27 @@ func AblationRetry(o Options) (*stats.Figure, error) {
 		od.P = p
 		servers, err := serversAt(od, fig7Client, hop, 4)
 		if err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
 		res, err := (microRun{
 			Client: fig7Client, Servers: servers,
 			Threads: 4, AccessesPerThread: total / 4,
 		}).run(od)
 		if err != nil {
-			return 0, err
+			return timedPoint{}, err
 		}
-		return float64(res.Elapsed) / float64(params.Millisecond), nil
+		return timedPoint{float64(res.Elapsed) / float64(params.Millisecond), res.Metrics}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, ms := range times {
+		o.addMetrics(ms.snap)
 		depth, hop := depths[i/len(hops)], hops[i%len(hops)]
 		if hop == 1 {
-			near.Add(float64(depth), ms)
+			near.Add(float64(depth), ms.v)
 		} else {
-			far.Add(float64(depth), ms)
+			far.Add(float64(depth), ms.v)
 		}
 	}
 	fig.Note("at depth 1 the near configuration can exceed the far one (retry waste); deeper queues restore near <= far")

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cohdsm"
 	"repro/internal/core"
 	"repro/internal/memmodel"
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -85,7 +86,10 @@ func AblationCoherency(o Options) (*stats.Figure, error) {
 	accesses := o.scaled(40000, 800)
 	const lines = 256
 	sharerCounts := []int{1, 2, 4, 8, 12, 15}
-	type sharerPoint struct{ coh, rmc float64 }
+	type sharerPoint struct {
+		coh, rmc float64
+		snap     metrics.Snapshot
+	}
 	points, err := runner.Map(o.Parallel, len(sharerCounts), func(i int) (sharerPoint, error) {
 		sharers := sharerCounts[i]
 		m, err := cohdsm.New(o.P, 16)
@@ -116,17 +120,19 @@ func AblationCoherency(o Options) (*stats.Figure, error) {
 		// donors and writes it with no coherency traffic at all —
 		// measured on the micro layer so congestion effects are not
 		// assumed away.
-		rmcLat, err := rmcAggregateLatency(o, sharers+1, accesses)
+		rmcLat, snap, err := rmcAggregateLatency(o, sharers+1, accesses)
 		if err != nil {
 			return sharerPoint{}, err
 		}
 		pt.rmc = rmcLat / float64(params.Microsecond)
+		pt.snap = snap
 		return pt, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, sharers := range sharerCounts {
+		o.addMetrics(points[i].snap)
 		coh.Add(float64(sharers), points[i].coh)
 		rmcFlat.Add(float64(sharers), points[i].rmc)
 	}
@@ -135,11 +141,12 @@ func AblationCoherency(o Options) (*stats.Figure, error) {
 }
 
 // rmcAggregateLatency measures mean access latency when node 1 spreads
-// its working set over memory borrowed from n-1 donors.
-func rmcAggregateLatency(o Options, nodes, accesses int) (float64, error) {
+// its working set over memory borrowed from n-1 donors. The run's
+// metrics snapshot rides along for the caller to fold.
+func rmcAggregateLatency(o Options, nodes, accesses int) (float64, metrics.Snapshot, error) {
 	sys, err := core.NewSystem(sim.New(), o.P)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	var donors []addr.NodeID
 	for id := addr.NodeID(2); int(id) <= nodes; id++ {
@@ -151,12 +158,12 @@ func rmcAggregateLatency(o Options, nodes, accesses int) (float64, error) {
 	mr := microRun{Client: 1, Servers: donors, Threads: 1, AccessesPerThread: accesses, WriteFrac: 0.25}
 	threads, err := mr.launch(sys, o.Seed)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
 	sys.Engine().Run()
 	res, err := collect(threads)
 	if err != nil {
-		return 0, err
+		return 0, metrics.Snapshot{}, err
 	}
-	return res.MeanLatency, nil
+	return res.MeanLatency, sys.Engine().Metrics().Snapshot(), nil
 }

@@ -47,11 +47,14 @@ func (f Frame) String() string {
 }
 
 // Bridge performs the HT ↔ HNC translation an RMC implements. It is
-// stateless apart from a frame sequence counter; the absence of
-// translation tables is the point of the paper's address scheme.
+// stateless apart from per-destination frame sequence counters; the
+// absence of translation tables is the point of the paper's address
+// scheme. Sequences are per destination so a receiving Verifier sees a
+// dense stream from each peer regardless of how the sender interleaves
+// traffic to other nodes.
 type Bridge struct {
 	self addr.NodeID
-	seq  uint64
+	seq  map[addr.NodeID]uint64
 }
 
 // NewBridge returns a bridge for the given node.
@@ -59,7 +62,7 @@ func NewBridge(self addr.NodeID) (*Bridge, error) {
 	if self == 0 || self > addr.MaxNode {
 		return nil, fmt.Errorf("hnc: invalid node id %d", self)
 	}
-	return &Bridge{self: self}, nil
+	return &Bridge{self: self, seq: make(map[addr.NodeID]uint64)}, nil
 }
 
 // Self returns the bridge's node identifier.
@@ -80,13 +83,10 @@ func (b *Bridge) Outbound(p ht.Packet) (Frame, error) {
 	if dst == 0 {
 		return Frame{}, fmt.Errorf("hnc: address %v is local, nothing to bridge", p.Addr)
 	}
-	if dst == b.self {
-		// Loopback frames are legal on the wire but never produced in
-		// practice (reservation never hands a node its own memory). The
-		// bridge still handles them for completeness.
-		return Frame{Src: b.self, Dst: dst, Seq: b.nextSeq(), Payload: p}, nil
-	}
-	return Frame{Src: b.self, Dst: dst, Seq: b.nextSeq(), Payload: p}, nil
+	// Loopback frames (dst == self) are legal on the wire but never
+	// produced in practice (reservation never hands a node its own
+	// memory). The bridge still handles them for completeness.
+	return Frame{Src: b.self, Dst: dst, Seq: b.nextSeq(dst), Payload: p}, nil
 }
 
 // Inbound decapsulates a frame arriving from the fabric and returns the
@@ -115,14 +115,14 @@ func (b *Bridge) Reply(to addr.NodeID, p ht.Packet) (Frame, error) {
 	if !p.Cmd.IsResponse() {
 		return Frame{}, fmt.Errorf("hnc: reply with non-response %v", p.Cmd)
 	}
-	f := Frame{Src: b.self, Dst: to, Seq: b.nextSeq(), Payload: p}
+	f := Frame{Src: b.self, Dst: to, Seq: b.nextSeq(to), Payload: p}
 	if err := f.Validate(); err != nil {
 		return Frame{}, err
 	}
 	return f, nil
 }
 
-func (b *Bridge) nextSeq() uint64 {
-	b.seq++
-	return b.seq
+func (b *Bridge) nextSeq(dst addr.NodeID) uint64 {
+	b.seq[dst]++
+	return b.seq[dst]
 }

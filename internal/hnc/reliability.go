@@ -101,6 +101,36 @@ func (v *Verifier) Accept(s Sealed) (Frame, error) {
 	return f, nil
 }
 
+// AcceptLoose is the serving-path variant of Accept: checksum and
+// destination failures still error, but sequence anomalies (gaps,
+// regressions) are only counted — the frame is returned and served. A
+// live RMC cannot refuse work because an earlier frame was dropped; the
+// anomaly surfaces through the metrics layer instead.
+func (v *Verifier) AcceptLoose(s Sealed) (Frame, error) {
+	f, err := s.Open()
+	if err != nil {
+		v.Corrupt++
+		return Frame{}, err
+	}
+	if f.Dst != v.self {
+		return Frame{}, fmt.Errorf("hnc: frame for node %d accepted at node %d", f.Dst, v.self)
+	}
+	v.Received++
+	last, seen := v.last[f.Src]
+	switch {
+	case !seen, f.Seq == last+1:
+		// First contact or in order.
+	case f.Seq > last+1:
+		v.Gaps += f.Seq - last - 1
+	default:
+		v.Regressions++
+	}
+	if f.Seq > last {
+		v.last[f.Src] = f.Seq
+	}
+	return f, nil
+}
+
 // Clean reports whether no integrity events have been observed.
 func (v *Verifier) Clean() bool { return v.Gaps == 0 && v.Regressions == 0 && v.Corrupt == 0 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -11,6 +12,14 @@ import (
 // linkKey identifies one directed link.
 type linkKey struct {
 	from, to addr.NodeID
+}
+
+// link is one directed link: its timed occupancy plus traffic tallies
+// the metrics layer samples lazily.
+type link struct {
+	res    *sim.Resource
+	frames uint64
+	bytes  uint64
 }
 
 // Fabric is the timed fabric: every directed mesh link is a FIFO resource
@@ -22,11 +31,13 @@ type Fabric struct {
 	topo    Topology
 	eng     *sim.Engine
 	p       params.Params
-	links   map[linkKey]*sim.Resource
-	express map[linkKey]*sim.Resource
+	links   map[linkKey]*link
+	express map[linkKey]*link
 
-	// Delivered counts frames fully delivered.
+	// Delivered counts frames fully delivered; Hops counts link
+	// traversals (mesh only — an express crossing is not a mesh hop).
 	Delivered uint64
+	Hops      uint64
 }
 
 // NewFabric builds the timed mesh over the engine with the given
@@ -36,16 +47,41 @@ func NewFabric(eng *sim.Engine, topo Topology, p params.Params) *Fabric {
 		topo:    topo,
 		eng:     eng,
 		p:       p,
-		links:   make(map[linkKey]*sim.Resource),
-		express: make(map[linkKey]*sim.Resource),
+		links:   make(map[linkKey]*link),
+		express: make(map[linkKey]*link),
 	}
 	for id := addr.NodeID(1); int(id) <= topo.Nodes(); id++ {
 		for _, nb := range topo.Neighbors(id) {
 			k := linkKey{id, nb}
-			f.links[k] = sim.NewResource(eng, fmt.Sprintf("link %d->%d", id, nb), 0)
+			f.links[k] = f.newLink(k, "mesh", 0)
 		}
 	}
+	m := eng.Metrics()
+	m.CounterFunc(metrics.FamMeshDelivered, "frames fully delivered by the fabric", nil,
+		func() uint64 { return f.Delivered })
+	m.CounterFunc(metrics.FamMeshHops, "mesh link traversals", nil,
+		func() uint64 { return f.Hops })
 	return f
+}
+
+// newLink builds a directed link and registers its traffic counters.
+func (f *Fabric) newLink(k linkKey, class string, queue int) *link {
+	name := fmt.Sprintf("link %d->%d", k.from, k.to)
+	if class == "express" {
+		name = fmt.Sprintf("express %d->%d", k.from, k.to)
+	}
+	l := &link{res: sim.NewResource(f.eng, name, queue)}
+	ls := metrics.L(
+		"from", fmt.Sprintf("%d", k.from),
+		"to", fmt.Sprintf("%d", k.to),
+		"class", class,
+	)
+	m := f.eng.Metrics()
+	m.CounterFunc(metrics.FamMeshLinkFrames, "frames carried by this directed link", ls,
+		func() uint64 { return l.frames })
+	m.CounterFunc(metrics.FamMeshLinkBytes, "wire bytes carried by this directed link", ls,
+		func() uint64 { return l.bytes })
+	return l
 }
 
 // Topology returns the fabric's geometry.
@@ -62,7 +98,7 @@ func (f *Fabric) AddExpressLink(a, b addr.NodeID) error {
 		if _, dup := f.express[k]; dup {
 			return fmt.Errorf("mesh: express link %d->%d already exists", k.from, k.to)
 		}
-		f.express[k] = sim.NewResource(f.eng, fmt.Sprintf("express %d->%d", k.from, k.to), 0)
+		f.express[k] = f.newLink(k, "express", 0)
 	}
 	return nil
 }
@@ -92,8 +128,11 @@ func (f *Fabric) Deliver(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim
 	occ := f.occupancy(wireBytes)
 	for i := 0; i+1 < len(path); i++ {
 		k := linkKey{path[i], path[i+1]}
-		res := f.links[k]
-		done, _ := res.Acquire(t, occ) // mesh links have unbounded queues
+		l := f.links[k]
+		done, _ := l.res.Acquire(t, occ) // mesh links have unbounded queues
+		l.frames++
+		l.bytes += uint64(wireBytes)
+		f.Hops++
 		t = done + f.p.HopLatency
 	}
 	f.Delivered++
@@ -103,11 +142,13 @@ func (f *Fabric) Deliver(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim
 // DeliverExpress sends a frame over a dedicated express link. It fails if
 // no such link exists.
 func (f *Fabric) DeliverExpress(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim.Time, error) {
-	res, ok := f.express[linkKey{src, dst}]
+	l, ok := f.express[linkKey{src, dst}]
 	if !ok {
 		return 0, fmt.Errorf("mesh: no express link %d->%d", src, dst)
 	}
-	done, _ := res.Acquire(now, f.occupancy(wireBytes))
+	done, _ := l.res.Acquire(now, f.occupancy(wireBytes))
+	l.frames++
+	l.bytes += uint64(wireBytes)
 	f.Delivered++
 	return done + f.p.HopLatency, nil
 }
@@ -115,11 +156,11 @@ func (f *Fabric) DeliverExpress(now sim.Time, src, dst addr.NodeID, wireBytes in
 // LinkUtilization returns the utilization of the directed mesh link
 // from->to over elapsed time, for diagnostics.
 func (f *Fabric) LinkUtilization(from, to addr.NodeID, elapsed sim.Time) (float64, error) {
-	res, ok := f.links[linkKey{from, to}]
+	l, ok := f.links[linkKey{from, to}]
 	if !ok {
 		return 0, fmt.Errorf("mesh: no link %d->%d", from, to)
 	}
-	return res.Utilization(elapsed), nil
+	return l.res.Utilization(elapsed), nil
 }
 
 // Links returns the number of directed mesh links.

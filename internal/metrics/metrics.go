@@ -1,0 +1,315 @@
+// Package metrics is the cluster-wide observability layer: a registry of
+// counters, gauges, and fixed-bucket histograms that every simulated
+// substrate (RMC, mesh, caches, DRAM, the event engine itself) reports
+// into, and a deterministic Snapshot type the public API exposes.
+//
+// Two properties drive the design:
+//
+//   - Cheap on the hot path. Substrates that already keep raw uint64
+//     tallies register *sampling functions* (CounterFunc/GaugeFunc) that
+//     are only evaluated when a snapshot is taken — instrumenting an
+//     existing counter costs nothing per event. Only histograms pay a
+//     per-observation cost (one bucket scan over a fixed bound slice).
+//
+//   - Deterministic output. A Registry belongs to exactly one simulated
+//     System (it hangs off the sim.Engine, like everything else shared),
+//     snapshots order families by name and samples by label signature,
+//     and Snapshot.Merge combines run snapshots pairwise in submission
+//     order — so the experiment harness produces byte-identical metrics
+//     at any -parallel worker count, the same contract the figures obey.
+//
+// Ownership follows the harness rule (see internal/stats): a Registry is
+// not internally synchronized; it is owned by the goroutine running its
+// simulation, and only immutable Snapshots cross goroutines.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is one name/value pair attached to a sample.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Labels identifies a sample within a family. Order does not matter at
+// registration; labels are sorted by key internally.
+type Labels []Label
+
+// L builds a Labels from alternating key/value strings:
+// L("node", "3", "mc", "0").
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("metrics: L called with an odd number of strings")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return ls
+}
+
+// Get returns the value of the named label ("" when absent).
+func (ls Labels) Get(key string) string {
+	for _, l := range ls {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// signature is the canonical sorted key=value form used as a map key and
+// as the deterministic sample sort order.
+func (ls Labels) signature() string {
+	s := make([]string, len(ls))
+	sorted := append(Labels(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for i, l := range sorted {
+		s[i] = l.Key + "=" + l.Value
+	}
+	return strings.Join(s, ",")
+}
+
+// sorted returns a copy with labels ordered by key.
+func (ls Labels) sorted() Labels {
+	out := append(Labels(nil), ls...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Kind distinguishes the instrument types.
+type Kind string
+
+// Instrument kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Counter is a monotonically increasing event count owned by the
+// registry. Substrates with existing tallies should prefer CounterFunc.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.v += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous level.
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram is a fixed-bucket distribution of int64 samples (simulated
+// time in picoseconds, by convention). Bounds are inclusive upper edges;
+// samples above the last bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds []int64
+	counts []uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    int64
+	n      uint64
+}
+
+// Observe records one sample. Negative samples are clamped to zero (the
+// simulator never produces them; clamping keeps the sum meaningful if a
+// model bug does).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.n++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// N returns the sample count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// TimeBuckets are the default latency bounds in picoseconds: 100 ns to
+// 10 ms in a 1-2-5 progression, spanning a cache hit to a congested
+// remote round trip with headroom for swap-path ablations.
+func TimeBuckets() []int64 {
+	const ns = int64(1000)
+	return []int64{
+		100 * ns, 200 * ns, 500 * ns,
+		1000 * ns, 2000 * ns, 5000 * ns,
+		10_000 * ns, 20_000 * ns, 50_000 * ns,
+		100_000 * ns, 1_000_000 * ns, 10_000_000 * ns,
+	}
+}
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels  Labels
+	ctr     *Counter
+	ctrFn   func() uint64
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// family groups series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []int64
+	series map[string]*series
+}
+
+// Registry holds one simulation's instruments. Create with NewRegistry;
+// the zero value is not usable.
+type Registry struct {
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind Kind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: family %s re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name, help string, ls Labels) *Counter {
+	f := r.family(name, help, KindCounter)
+	sig := ls.signature()
+	if s, ok := f.series[sig]; ok && s.ctr != nil {
+		return s.ctr
+	}
+	c := &Counter{}
+	f.series[sig] = &series{labels: ls.sorted(), ctr: c}
+	return c
+}
+
+// CounterFunc registers a sampling function for name+labels: fn is read
+// only when a snapshot is taken, so instrumenting an existing tally has
+// no hot-path cost. Re-registering replaces the function (last wins).
+func (r *Registry) CounterFunc(name, help string, ls Labels, fn func() uint64) {
+	f := r.family(name, help, KindCounter)
+	f.series[ls.signature()] = &series{labels: ls.sorted(), ctrFn: fn}
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, ls Labels) *Gauge {
+	f := r.family(name, help, KindGauge)
+	sig := ls.signature()
+	if s, ok := f.series[sig]; ok && s.gauge != nil {
+		return s.gauge
+	}
+	g := &Gauge{}
+	f.series[sig] = &series{labels: ls.sorted(), gauge: g}
+	return g
+}
+
+// GaugeFunc registers a sampling function evaluated at snapshot time.
+func (r *Registry) GaugeFunc(name, help string, ls Labels, fn func() float64) {
+	f := r.family(name, help, KindGauge)
+	f.series[ls.signature()] = &series{labels: ls.sorted(), gaugeFn: fn}
+}
+
+// Histogram returns the histogram for name+labels with the given bounds,
+// creating it on first use. Bounds must be sorted ascending; every
+// series of a family shares the family's bounds (the first registration
+// fixes them).
+func (r *Registry) Histogram(name, help string, ls Labels, bounds []int64) *Histogram {
+	f := r.family(name, help, KindHistogram)
+	if f.bounds == nil {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("metrics: %s bounds not ascending at %d", name, i))
+			}
+		}
+		f.bounds = append([]int64(nil), bounds...)
+	}
+	sig := ls.signature()
+	if s, ok := f.series[sig]; ok && s.hist != nil {
+		return s.hist
+	}
+	h := &Histogram{bounds: f.bounds, counts: make([]uint64, len(f.bounds)+1)}
+	f.series[sig] = &series{labels: ls.sorted(), hist: h}
+	return h
+}
+
+// Snapshot materializes every instrument into an immutable, fully
+// ordered Snapshot: families sorted by name, samples by label
+// signature. Sampling functions are evaluated here.
+func (r *Registry) Snapshot() Snapshot {
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	snap := Snapshot{Families: make([]Family, 0, len(names))}
+	for _, n := range names {
+		f := r.families[n]
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		out := Family{Name: f.name, Help: f.help, Kind: f.kind}
+		for _, sig := range sigs {
+			s := f.series[sig]
+			sample := Sample{Labels: s.labels}
+			switch {
+			case s.ctr != nil:
+				sample.Value = float64(s.ctr.Value())
+			case s.ctrFn != nil:
+				sample.Value = float64(s.ctrFn())
+			case s.gauge != nil:
+				sample.Value = s.gauge.Value()
+			case s.gaugeFn != nil:
+				sample.Value = s.gaugeFn()
+			case s.hist != nil:
+				sample.Buckets = make([]Bucket, len(s.hist.bounds)+1)
+				for i, b := range s.hist.bounds {
+					sample.Buckets[i] = Bucket{Le: b, Count: s.hist.counts[i]}
+				}
+				sample.Buckets[len(s.hist.bounds)] = Bucket{Le: BucketInf, Count: s.hist.counts[len(s.hist.bounds)]}
+				sample.Sum = s.hist.sum
+				sample.Count = s.hist.n
+			}
+			out.Samples = append(out.Samples, sample)
+		}
+		snap.Families = append(snap.Families, out)
+	}
+	return snap
+}

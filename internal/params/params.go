@@ -243,7 +243,7 @@ func Default() Params {
 		// reproduce Fig 7's monotone "farther is slightly faster"
 		// inversion under penalty-aware queue accounting (Penalize holds
 		// the queue slots of delayed requests; see sim.Resource).
-		RMCRetryWaste:      30 * Nanosecond,
+		RMCRetryWaste: 30 * Nanosecond,
 
 		SwapTrapOverhead:  30 * Microsecond,
 		SwapPageTransfer:  170 * Microsecond,

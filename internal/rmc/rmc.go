@@ -28,6 +28,7 @@ import (
 	"repro/internal/hnc"
 	"repro/internal/ht"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -74,7 +75,13 @@ type RMC struct {
 	// are answered with Target Abort instead of data.
 	protection Protection
 
+	// verif tracks frame integrity (CRC + per-peer sequencing) for
+	// traffic arriving at this node; lat records remote round trips.
+	verif *hnc.Verifier
+	lat   *metrics.Histogram
+
 	// Stats.
+	Requests    uint64 // remote requests submitted at this node
 	Forwarded   uint64 // requests bridged out of this node
 	Retries     uint64 // NACKed admissions at the client queue
 	ServedHere  uint64 // requests served by this node's memory
@@ -114,7 +121,7 @@ func New(c Config) (*RMC, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RMC{
+	r := &RMC{
 		self:   c.Self,
 		eng:    c.Engine,
 		p:      c.Params,
@@ -125,7 +132,32 @@ func New(c Config) (*RMC, error) {
 		server: sim.NewResource(c.Engine, fmt.Sprintf("rmc%d/server", c.Self), 0),
 		bank:   c.Bank,
 		store:  c.Store,
-	}, nil
+		verif:  hnc.NewVerifier(c.Self),
+	}
+	r.register(c.Engine.Metrics())
+	return r, nil
+}
+
+// register exposes this RMC's tallies through the engine's registry.
+// Everything is lazily sampled; the only per-event instrument is the
+// round-trip histogram.
+func (r *RMC) register(m *metrics.Registry) {
+	node := metrics.L("node", fmt.Sprintf("%d", r.self))
+	m.CounterFunc(metrics.FamRMCRequests, "remote requests submitted at this node", node, func() uint64 { return r.Requests })
+	m.CounterFunc(metrics.FamRMCRetries, "NACKed admissions at the client queue", node, func() uint64 { return r.Retries })
+	m.CounterFunc(metrics.FamRMCForwarded, "requests bridged out of this node", node, func() uint64 { return r.Forwarded })
+	m.CounterFunc(metrics.FamRMCServedLocal, "requests served by this node's memory", node, func() uint64 { return r.ServedHere })
+	m.CounterFunc(metrics.FamRMCLoopback, "loopback-mode operations", node, func() uint64 { return r.LoopbackOps })
+	m.CounterFunc(metrics.FamRMCAborted, "requests denied by the protection check", node, func() uint64 { return r.Aborted })
+	m.GaugeFunc(metrics.FamRMCClientUtil, "client-role occupancy fraction", node,
+		func() float64 { return r.client.Utilization(r.eng.Now()) })
+	m.GaugeFunc(metrics.FamRMCServerUtil, "server-role occupancy fraction", node,
+		func() float64 { return r.server.Utilization(r.eng.Now()) })
+	m.CounterFunc(metrics.FamHNCFrames, "sealed frames accepted at this node", node, func() uint64 { return r.verif.Received })
+	m.CounterFunc(metrics.FamHNCSeqGaps, "dropped-frame gaps observed", node, func() uint64 { return r.verif.Gaps })
+	m.CounterFunc(metrics.FamHNCRegressions, "reordered or replayed frames observed", node, func() uint64 { return r.verif.Regressions })
+	m.CounterFunc(metrics.FamHNCCRCFailures, "frames failing the CRC check", node, func() uint64 { return r.verif.Corrupt })
+	r.lat = m.Histogram(metrics.FamRMCLatency, "remote request round-trip time", node, metrics.TimeBuckets())
 }
 
 // Self returns the RMC's node identifier.
@@ -156,7 +188,12 @@ func (r *RMC) Request(now sim.Time, pkt ht.Packet, express bool, done func(sim.T
 	if r.peersCheck(dst) != nil {
 		return r.peersCheck(dst)
 	}
-	r.admit(now, pkt, express, done)
+	r.Requests++
+	issued := now
+	r.admit(now, pkt, express, func(t sim.Time, rsp ht.Packet) {
+		r.lat.Observe(t - issued)
+		done(t, rsp)
+	})
 	return nil
 }
 
@@ -211,13 +248,16 @@ func (r *RMC) launch(now sim.Time, pkt ht.Packet, express bool, done func(sim.Ti
 		// Unreachable for validated packets; surface loudly in sim.
 		panic(fmt.Sprintf("rmc%d: outbound bridge failed: %v", r.self, err))
 	}
+	// Frames travel sealed: the CRC rides in the existing HeaderBytes
+	// budget, so link timing (and the paper calibration) is unchanged.
+	sealed := hnc.Seal(frame)
 	arrive, derr := r.deliver(now, r.self, dst, frame.WireBytes(), express)
 	if derr != nil {
 		panic(fmt.Sprintf("rmc%d: deliver failed: %v", r.self, derr))
 	}
 	peer, _ := r.peers.RMC(dst)
 	r.eng.At(arrive, func() {
-		peer.serve(arrive, frame, express, done)
+		peer.serve(arrive, sealed, express, done)
 	})
 }
 
@@ -229,10 +269,17 @@ func (r *RMC) deliver(now sim.Time, src, dst addr.NodeID, bytes int, express boo
 	return t, nil
 }
 
-// serve handles a frame arriving from the fabric: decapsulate (zero the
-// prefix), queue through the server occupancy, access local memory, and
-// send the response back to the requester.
-func (r *RMC) serve(now sim.Time, frame hnc.Frame, express bool, done func(sim.Time, ht.Packet)) {
+// serve handles a sealed frame arriving from the fabric: verify
+// integrity (loosely — sequence anomalies are counted, not refused),
+// decapsulate (zero the prefix), queue through the server occupancy,
+// access local memory, and send the sealed response back.
+func (r *RMC) serve(now sim.Time, sealed hnc.Sealed, express bool, done func(sim.Time, ht.Packet)) {
+	frame, err := r.verif.AcceptLoose(sealed)
+	if err != nil {
+		// The simulated fabric never corrupts frames; a CRC failure here
+		// is a model bug.
+		panic(fmt.Sprintf("rmc%d: frame integrity failed: %v", r.self, err))
+	}
 	local, err := r.bridge.Inbound(frame)
 	if err != nil {
 		panic(fmt.Sprintf("rmc%d: inbound bridge failed: %v", r.self, err))
@@ -247,11 +294,15 @@ func (r *RMC) serve(now sim.Time, frame hnc.Frame, express bool, done func(sim.T
 				if err != nil {
 					panic(fmt.Sprintf("rmc%d: abort reply bridge failed: %v", r.self, err))
 				}
+				sealedReply := hnc.Seal(reply)
 				back, derr := r.deliver(serviced, r.self, frame.Src, reply.WireBytes(), express)
 				if derr != nil {
 					panic(fmt.Sprintf("rmc%d: abort deliver failed: %v", r.self, derr))
 				}
-				r.eng.At(back, func() { done(back, reply.Payload) })
+				r.eng.At(back, func() {
+					r.acceptReply(frame.Src, sealedReply)
+					done(back, reply.Payload)
+				})
 			})
 			return
 		}
@@ -262,13 +313,29 @@ func (r *RMC) serve(now sim.Time, frame hnc.Frame, express bool, done func(sim.T
 			if err != nil {
 				panic(fmt.Sprintf("rmc%d: reply bridge failed: %v", r.self, err))
 			}
+			sealedReply := hnc.Seal(reply)
 			back, derr := r.deliver(t, r.self, frame.Src, reply.WireBytes(), express)
 			if derr != nil {
 				panic(fmt.Sprintf("rmc%d: reply deliver failed: %v", r.self, derr))
 			}
-			r.eng.At(back, func() { done(back, rsp) })
+			r.eng.At(back, func() {
+				r.acceptReply(frame.Src, sealedReply)
+				done(back, rsp)
+			})
 		})
 	})
+}
+
+// acceptReply runs the requester-side integrity check on a sealed
+// response arriving back from a server.
+func (r *RMC) acceptReply(requester addr.NodeID, s hnc.Sealed) {
+	req, err := r.peers.RMC(requester)
+	if err != nil {
+		panic(fmt.Sprintf("rmc%d: requester node %d vanished: %v", r.self, requester, err))
+	}
+	if _, err := req.verif.AcceptLoose(s); err != nil {
+		panic(fmt.Sprintf("rmc%d: reply integrity failed: %v", r.self, err))
+	}
 }
 
 // serveLocal runs the server path without the fabric (loopback).

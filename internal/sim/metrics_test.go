@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestEngineMetrics(t *testing.T) {
+	eng := New()
+	for i := 0; i < 5; i++ {
+		eng.At(Time(i)*1000, func() {})
+	}
+	eng.Run()
+	snap := eng.Metrics().Snapshot()
+	if got := snap.Total(metrics.FamSimEvents); got != 5 {
+		t.Errorf("%s = %v, want 5", metrics.FamSimEvents, got)
+	}
+	if got := snap.Total(metrics.FamSimPending); got != 0 {
+		t.Errorf("%s = %v, want 0 after Run", metrics.FamSimPending, got)
+	}
+	f := snap.Family(metrics.FamSimDelay)
+	if f == nil || len(f.Samples) == 0 {
+		t.Fatalf("%s missing", metrics.FamSimDelay)
+	}
+	if f.Samples[0].Count != 5 {
+		t.Errorf("delay histogram count = %d, want 5", f.Samples[0].Count)
+	}
+	if got, ok := snap.Value(metrics.FamSimNow, nil); !ok || got != 4000.0/1e12 {
+		t.Errorf("%s = %v (ok=%v), want 4e-9", metrics.FamSimNow, got, ok)
+	}
+}

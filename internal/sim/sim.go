@@ -11,6 +11,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/metrics"
 )
 
 // Time is simulation time in picoseconds.
@@ -61,10 +63,29 @@ type Engine struct {
 	stopped bool
 	// Processed counts executed events, for instrumentation.
 	Processed uint64
+
+	met   *metrics.Registry
+	delay *metrics.Histogram
 }
 
 // New returns an empty engine at time zero.
-func New() *Engine { return &Engine{} }
+func New() *Engine {
+	e := &Engine{met: metrics.NewRegistry()}
+	e.met.CounterFunc(metrics.FamSimEvents, "events executed by the engine", nil,
+		func() uint64 { return e.Processed })
+	e.met.GaugeFunc(metrics.FamSimPending, "live events still queued", nil,
+		func() float64 { return float64(e.Pending()) })
+	e.met.GaugeFunc(metrics.FamSimNow, "current simulated time", nil,
+		func() float64 { return float64(e.now) / 1e12 })
+	e.delay = e.met.Histogram(metrics.FamSimDelay, "scheduling horizon: how far ahead events are placed", nil,
+		metrics.TimeBuckets())
+	return e
+}
+
+// Metrics returns the registry every substrate sharing this engine
+// reports into. One registry per simulated system keeps snapshots
+// deterministic under the parallel harness.
+func (e *Engine) Metrics() *metrics.Registry { return e.met }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -88,6 +109,7 @@ func (e *Engine) At(at Time, fn func()) Handle {
 	}
 	ev := &event{at: at, seq: e.seq, fn: fn}
 	e.seq++
+	e.delay.Observe(at - e.now)
 	heap.Push(&e.queue, ev)
 	return Handle{ev}
 }

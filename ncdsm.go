@@ -17,7 +17,12 @@
 //	region, err := sys.Region(1)                         // node 1's memory region
 //	ptr, err := region.Malloc(32 << 30)                  // spills to remote nodes
 //	err = region.Write(ptr, data)                        // functional access
-//	err = region.Access(0, 0, ptr, false, onDone)        // timed access (simulated)
+//	v, err := region.ReadUint64(ptr)                     // functional load
+//	err = region.Access(ncdsm.AccessRequest{             // timed access (simulated)
+//		Pointer: ptr, Done: onDone,
+//	})
+//	sys.Run()
+//	snap := sys.Metrics()                                // cluster-wide observability
 //
 // The packages under internal/ implement the substrates (HyperTransport
 // and its High Node Count extension, the 2D-mesh fabric, caches, DRAM,
@@ -34,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/memdir"
+	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -118,6 +124,27 @@ func (s *System) Now() Time { return s.inner.Engine().Now() }
 // this package's compatibility surface.
 func (s *System) Core() *core.System { return s.inner }
 
+// Snapshot is a point-in-time copy of every metric the system exposes:
+// counters, gauges, and latency histograms covering the RMCs, the HNC
+// framing layer, the mesh links, the caches, the DRAM controllers, and
+// the event engine itself. Snapshots are plain values — safe to keep,
+// compare, merge, and render (JSON, Prometheus) after the system is
+// gone. Family names are the ncdsm_* constants in internal/metrics.
+type Snapshot = metrics.Snapshot
+
+// NodeMetrics is a per-node rollup extracted from a Snapshot.
+type NodeMetrics = metrics.NodeView
+
+// LinkMetrics is a per-link (from, to, class) rollup extracted from a
+// Snapshot.
+type LinkMetrics = metrics.LinkView
+
+// Metrics captures a snapshot of the system's metrics registry. Every
+// instrument is sampled lazily at snapshot time, so calling it after
+// Run reflects the whole simulation; snapshots taken from the same
+// sequence of operations are byte-identical run to run.
+func (s *System) Metrics() Snapshot { return s.inner.Engine().Metrics().Snapshot() }
+
 // MemoryMap writes a node's view of the cluster memory map (the paper's
 // Figure 3) to w.
 func (s *System) MemoryMap(n NodeID, w io.Writer) error {
@@ -199,20 +226,33 @@ func (r *Region) Read(p Pointer, buf []byte) error { return r.inner.Read(p, buf)
 func (r *Region) WriteUint64(p Pointer, v uint64) error { return r.inner.WriteUint64(p, v) }
 
 // ReadUint64 loads a word.
-func (r *Region) ReadUint64(p Pointer, v *uint64) error {
-	got, err := r.inner.ReadUint64(p)
-	if err != nil {
-		return err
-	}
-	*v = got
-	return nil
+func (r *Region) ReadUint64(p Pointer) (uint64, error) { return r.inner.ReadUint64(p) }
+
+// AccessRequest describes one timed load or store. The zero value of
+// every field but Pointer is meaningful: issue at time 0, from core 0,
+// a read, with no completion callback.
+type AccessRequest struct {
+	// Now is the simulated issue time (use System.Now after a Run).
+	Now Time
+	// Core is the issuing core on the region's anchor node.
+	Core int
+	// Pointer is the virtual address to access.
+	Pointer Pointer
+	// Write selects a store; the default is a load.
+	Write bool
+	// Done, if set, fires at the simulated completion time once
+	// System.Run executes.
+	Done func(Time)
 }
 
-// Access issues one timed load or store at a pointer through the full
-// simulated memory path (TLB, cache hierarchy, BARs, RMC, mesh). done
-// fires at the simulated completion time once System.Run executes.
-func (r *Region) Access(now Time, coreID int, p Pointer, write bool, done func(Time)) error {
-	return r.inner.Access(now, coreID, p, write, done)
+// Access issues one timed access through the full simulated memory path
+// (TLB, cache hierarchy, BARs, RMC, mesh).
+func (r *Region) Access(req AccessRequest) error {
+	done := req.Done
+	if done == nil {
+		done = func(Time) {}
+	}
+	return r.inner.Access(req.Now, req.Core, req.Pointer, req.Write, done)
 }
 
 // BeginParallelRead flushes the node's caches and enters the read-only
@@ -238,19 +278,44 @@ func (r *Region) Owner(p Pointer) (NodeID, error) {
 	return pa.Node(), nil
 }
 
+// ExperimentOptions configures an experiment run. Use
+// DefaultExperimentOptions and override fields; the zero value is
+// invalid (Scale must be positive — there is no sentinel).
+type ExperimentOptions struct {
+	// Scale multiplies workload sizes; 1.0 reproduces the paper-sized
+	// runs, small fractions finish in seconds. Must be > 0.
+	Scale float64
+	// Parallel bounds how many sweep points simulate concurrently: 0
+	// means all cores, 1 is fully serial. Results — figures and metrics
+	// alike — are byte-identical at every setting.
+	Parallel int
+	// Seed varies the deterministic workload inputs (default 1).
+	Seed int64
+}
+
+// DefaultExperimentOptions returns paper-scale, all-cores options.
+func DefaultExperimentOptions() ExperimentOptions {
+	return ExperimentOptions{Scale: 1.0, Parallel: 0, Seed: 1}
+}
+
+func (o ExperimentOptions) internal() (experiments.Options, error) {
+	if o.Scale <= 0 {
+		return experiments.Options{}, fmt.Errorf("ncdsm: ExperimentOptions.Scale must be > 0 (got %v); start from DefaultExperimentOptions", o.Scale)
+	}
+	io := experiments.DefaultOptions()
+	io.Scale = o.Scale
+	io.Parallel = o.Parallel
+	if o.Seed != 0 {
+		io.Seed = o.Seed
+	}
+	return io, nil
+}
+
 // Experiment regenerates one of the paper's tables/figures ("table1",
-// "fig6".."fig11", "eq", "A", "B", "C") at the given workload scale
-// (1.0 = paper-sized) and returns its rendered text table.
-func Experiment(id string, scale float64) (string, error) {
-	gen, err := experiments.Lookup(id)
-	if err != nil {
-		return "", err
-	}
-	o := experiments.DefaultOptions()
-	if scale > 0 {
-		o.Scale = scale
-	}
-	fig, err := gen(o)
+// "fig6".."fig11", "eq", ablations "A".."G") and returns its rendered
+// text table.
+func Experiment(id string, opts ExperimentOptions) (string, error) {
+	fig, _, err := RunExperiment(id, opts)
 	if err != nil {
 		return "", err
 	}
@@ -258,16 +323,33 @@ func Experiment(id string, scale float64) (string, error) {
 }
 
 // ExperimentFigure is Experiment returning the structured figure.
-func ExperimentFigure(id string, scale float64) (*stats.Figure, error) {
+func ExperimentFigure(id string, opts ExperimentOptions) (*stats.Figure, error) {
+	fig, _, err := RunExperiment(id, opts)
+	return fig, err
+}
+
+// RunExperiment regenerates one experiment and returns both its figure
+// and the merged metrics snapshot of every simulation the generator
+// ran. Snapshots are folded in sweep submission order, so the result is
+// byte-identical at every Parallel setting. Macro-layer experiments
+// (fig9–fig11, "eq", "G") run no event-driven simulations and return an
+// empty snapshot.
+func RunExperiment(id string, opts ExperimentOptions) (*stats.Figure, Snapshot, error) {
 	gen, err := experiments.Lookup(id)
 	if err != nil {
-		return nil, err
+		return nil, Snapshot{}, err
 	}
-	o := experiments.DefaultOptions()
-	if scale > 0 {
-		o.Scale = scale
+	o, err := opts.internal()
+	if err != nil {
+		return nil, Snapshot{}, err
 	}
-	return gen(o)
+	var merged metrics.Merged
+	o.Metrics = &merged
+	fig, err := gen(o)
+	if err != nil {
+		return nil, Snapshot{}, err
+	}
+	return fig, merged.Snapshot(), nil
 }
 
 // Experiments lists the available experiment identifiers in order.

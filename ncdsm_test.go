@@ -141,8 +141,8 @@ func TestWordAccessors(t *testing.T) {
 	if err := region.WriteUint64(ptr, 12345); err != nil {
 		t.Fatal(err)
 	}
-	var v uint64
-	if err := region.ReadUint64(ptr, &v); err != nil {
+	v, err := region.ReadUint64(ptr)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if v != 12345 {
@@ -158,7 +158,8 @@ func TestTimedAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 	var done Time
-	if err := region.Access(sys.Now(), 0, ptr, false, func(t Time) { done = t }); err != nil {
+	req := AccessRequest{Now: sys.Now(), Pointer: ptr, Done: func(t Time) { done = t }}
+	if err := region.Access(req); err != nil {
 		t.Fatal(err)
 	}
 	end := sys.Run()
@@ -178,25 +179,71 @@ func TestExperimentAPI(t *testing.T) {
 	if len(ids) != 15 {
 		t.Fatalf("Experiments lists %d ids", len(ids))
 	}
-	out, err := Experiment("fig6", 0.01)
+	opts := DefaultExperimentOptions()
+	opts.Scale = 0.01
+	out, err := Experiment("fig6", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "fig6") || !strings.Contains(out, "hops") {
 		t.Errorf("experiment output malformed:\n%s", out)
 	}
-	fig, err := ExperimentFigure("eq", 0.01)
+	fig, err := ExperimentFigure("eq", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fig.ID != "eq" || len(fig.Series) == 0 {
 		t.Error("structured figure malformed")
 	}
-	if _, err := Experiment("nope", 1); err == nil {
+	if _, err := Experiment("nope", DefaultExperimentOptions()); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if _, err := ExperimentFigure("nope", 1); err == nil {
+	if _, err := ExperimentFigure("nope", DefaultExperimentOptions()); err == nil {
 		t.Error("unknown experiment figure accepted")
+	}
+	if _, err := Experiment("fig6", ExperimentOptions{}); err == nil {
+		t.Error("zero-value options accepted; Scale must be validated")
+	}
+	if _, _, err := RunExperiment("fig6", ExperimentOptions{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestRunExperimentMetrics(t *testing.T) {
+	opts := DefaultExperimentOptions()
+	opts.Scale = 0.005
+	fig, snap, err := RunExperiment("fig6", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig6" {
+		t.Errorf("fig.ID = %q", fig.ID)
+	}
+	if snap.Total("ncdsm_rmc_requests_total") == 0 {
+		t.Error("merged snapshot has no RMC requests after fig6")
+	}
+	if len(snap.Nodes()) == 0 {
+		t.Error("merged snapshot has no per-node views")
+	}
+}
+
+func TestSystemMetricsFacade(t *testing.T) {
+	sys := newSys(t)
+	region, _ := sys.Region(1)
+	ptr, err := region.GrowFrom(2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := region.Access(AccessRequest{Pointer: ptr}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	snap := sys.Metrics()
+	if snap.Total("ncdsm_rmc_requests_total") == 0 {
+		t.Error("no RMC requests in facade snapshot after remote access")
+	}
+	if !strings.Contains(snap.Prometheus(), "ncdsm_rmc_requests_total") {
+		t.Error("Prometheus rendering missing RMC family")
 	}
 }
 
@@ -207,22 +254,21 @@ func TestPhaseAPIThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	noop := func(Time) {}
-	if err := region.Access(sys.Now(), 0, ptr, true, noop); err != nil {
+	if err := region.Access(AccessRequest{Now: sys.Now(), Pointer: ptr, Write: true}); err != nil {
 		t.Fatal(err)
 	}
 	sys.Run()
 	if flushed := region.BeginParallelRead(); flushed == 0 {
 		t.Error("no dirty lines flushed entering the parallel phase")
 	}
-	if err := region.Access(sys.Now(), 5, ptr, false, noop); err != nil {
+	if err := region.Access(AccessRequest{Now: sys.Now(), Core: 5, Pointer: ptr}); err != nil {
 		t.Errorf("parallel read rejected: %v", err)
 	}
-	if err := region.Access(sys.Now(), 0, ptr, true, noop); err == nil {
+	if err := region.Access(AccessRequest{Now: sys.Now(), Pointer: ptr, Write: true}); err == nil {
 		t.Error("write accepted in parallel-read phase")
 	}
 	region.BeginSerial(0)
-	if err := region.Access(sys.Now(), 0, ptr, true, noop); err != nil {
+	if err := region.Access(AccessRequest{Now: sys.Now(), Pointer: ptr, Write: true}); err != nil {
 		t.Errorf("serial write rejected: %v", err)
 	}
 	sys.Run()
