@@ -19,14 +19,18 @@ test:
 	$(GO) test ./...
 
 # The harness's concurrency surface: the worker pool itself, the
-# experiment generators that fan out over it, and the engine they drive.
+# experiment generators that fan out over it (including the chaos tests,
+# which run fault-plan sweeps at -parallel 8), and the engine they drive.
 race:
-	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/sim/
+	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/sim/ ./internal/faults/
 
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Short fuzz pass over the trace reader, the only parser of untrusted
-# input; CI runs the same 10-second smoke.
+# Short fuzz passes over the parsers of untrusted input: the trace
+# reader, and the HNC frame integrity check that the fault injector's
+# corrupted frames must never slip past. CI runs the same 10-second
+# smokes.
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s -run='^$$' ./internal/trace
+	$(GO) test -fuzz=FuzzFrameIntegrity -fuzztime=10s -run='^$$' ./internal/hnc

@@ -48,8 +48,15 @@ func main() {
 		sweep      = flag.String("sweep", "", "re-run the experiment per value: Key=v1,v2,... (see -list)")
 		parallel   = flag.Int("parallel", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
 		metricsFmt = flag.String("metrics", "", "print the merged metrics snapshot after each experiment: prom or json")
+		faultSpec  = flag.String("faults", "", "deterministic fault plan, e.g. seed=2,drop=0.01,corrupt=0.001,down=6-7@0:50us")
 	)
 	flag.Parse()
+
+	plan, err := ncdsm.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -80,7 +87,7 @@ func main() {
 	if *sweep == "" {
 		// Plain runs go through the public ncdsm API, exercising the
 		// surface a downstream user sees.
-		opts := ncdsm.ExperimentOptions{Scale: *scale, Parallel: *parallel, Seed: *seed}
+		opts := ncdsm.ExperimentOptions{Scale: *scale, Parallel: *parallel, Seed: *seed, Faults: plan}
 		for _, id := range ids {
 			start := time.Now()
 			figure, snap, err := ncdsm.RunExperiment(id, opts)
@@ -100,6 +107,9 @@ func main() {
 	base.Scale = *scale
 	base.Seed = *seed
 	base.Parallel = *parallel
+	if !plan.Empty() {
+		base.P.Faults = plan
+	}
 
 	sweepKey, sweepValues, err := experiments.ParseSweep(*sweep)
 	if err != nil {

@@ -33,14 +33,26 @@ func main() {
 		regions    = flag.Bool("regions", false, "demo a Figure 1 region layout")
 		stats      = flag.Bool("stats", false, "run a sample workload and dump per-component utilization")
 		metricsFmt = flag.String("metrics", "", "dump the system's metrics snapshot afterwards: prom or json")
+		faultSpec  = flag.String("faults", "", "deterministic fault plan, e.g. seed=2,drop=0.01,down=6-7@0:50us")
 	)
 	flag.Parse()
 
-	sys, err := ncdsmfacade.New(ncdsmfacade.DefaultConfig())
+	cfg := ncdsmfacade.DefaultConfig()
+	plan, err := ncdsmfacade.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if !plan.Empty() {
+		cfg.Faults = plan
+	}
+	sys, err := ncdsmfacade.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(ncdsmfacade.Describe(sys.Config()))
+	if !plan.Empty() {
+		fmt.Printf("fault plan: %s\n", plan)
+	}
 	fmt.Println()
 
 	did := false

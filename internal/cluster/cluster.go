@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/faults"
 	"repro/internal/ht"
 	"repro/internal/htoe"
 	"repro/internal/mem"
@@ -32,6 +33,7 @@ type Cluster struct {
 	topo    mesh.Topology
 	fabric  rmc.Fabric
 	meshFab *mesh.Fabric // non-nil only for the mesh interconnect
+	inj     *faults.Injector
 	nodes   []*Node
 }
 
@@ -45,15 +47,26 @@ func New(eng *sim.Engine, p params.Params) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{p: p, eng: eng, topo: topo}
+	// An empty plan builds no injector at all: the system is then
+	// bit-identical — events, metrics families, figures — to one built
+	// before the fault layer existed.
+	if !p.Faults.Empty() {
+		if err := validatePlanTopology(p.Faults, topo); err != nil {
+			return nil, err
+		}
+		c.inj = faults.NewInjector(p.Faults)
+		c.inj.Register(eng.Metrics())
+	}
 	switch p.Fabric {
 	case params.FabricHToE:
 		f, err := htoe.New(eng, topo.Nodes(), htoe.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
+		f.InjectFaults(c.inj)
 		c.fabric = f
 	default:
-		c.meshFab = mesh.NewFabric(eng, topo, p)
+		c.meshFab = mesh.NewFabric(eng, topo, p, c.inj)
 		c.fabric = c.meshFab
 	}
 	for id := addr.NodeID(1); int(id) <= topo.Nodes(); id++ {
@@ -63,7 +76,40 @@ func New(eng *sim.Engine, p params.Params) (*Cluster, error) {
 		}
 		c.nodes = append(c.nodes, n)
 	}
+	if c.inj != nil {
+		// Stall windows are scheduled events: at each window's start the
+		// node's server RMC loses the window's worth of capacity.
+		for _, w := range p.Faults.Stalls {
+			w := w
+			n := c.nodes[w.Node-1]
+			eng.At(sim.Time(w.Start), func() {
+				n.rmc.StallServer(sim.Time(w.Start), sim.Time(w.End-w.Start))
+			})
+		}
+	}
 	return c, nil
+}
+
+// validatePlanTopology checks the plan's node and link references
+// against the actual geometry — a plan naming a node outside the mesh
+// (or a non-adjacent "link") would otherwise fail silently.
+func validatePlanTopology(plan *faults.Plan, topo mesh.Topology) error {
+	for _, lw := range plan.LinkDowns {
+		if !topo.Contains(lw.From) || !topo.Contains(lw.To) {
+			return fmt.Errorf("cluster: fault plan link %d-%d outside the %dx%d mesh", lw.From, lw.To, topo.W, topo.H)
+		}
+		if topo.Hops(lw.From, lw.To) != 1 {
+			return fmt.Errorf("cluster: fault plan link %d-%d is not a mesh link", lw.From, lw.To)
+		}
+	}
+	for _, set := range [][]faults.NodeWindow{plan.NackStorms, plan.Stalls} {
+		for _, nw := range set {
+			if !topo.Contains(nw.Node) {
+				return fmt.Errorf("cluster: fault plan node %d outside the %dx%d mesh", nw.Node, topo.W, topo.H)
+			}
+		}
+	}
+	return nil
 }
 
 // Params returns the cluster's calibration.
@@ -148,6 +194,11 @@ type Node struct {
 	// destination; Prefetches counts prefetch fills requested;
 	// FlushedDirty counts dirty lines written back by FlushCaches.
 	LocalOps, RemoteOps, Prefetches, FlushedDirty uint64
+
+	// AbandonedOps counts remote operations that failed with an
+	// unreachable destination after the RMC's retransmit budget — only
+	// possible under a fault plan.
+	AbandonedOps uint64
 }
 
 func newNode(c *Cluster, id addr.NodeID) (*Node, error) {
@@ -194,6 +245,7 @@ func newNode(c *Cluster, id addr.NodeID) (*Node, error) {
 		Peers:  c,
 		Bank:   n.bank,
 		Store:  store,
+		Faults: c.inj,
 	})
 	if err != nil {
 		return nil, err
@@ -215,6 +267,9 @@ func (n *Node) register(m *metrics.Registry) {
 	m.CounterFunc(metrics.FamNodeLocalOps, "line operations served by local memory", ls, func() uint64 { return n.LocalOps })
 	m.CounterFunc(metrics.FamNodeRemoteOps, "line operations forwarded to remote memory", ls, func() uint64 { return n.RemoteOps })
 	m.CounterFunc(metrics.FamNodePrefetches, "prefetch fills requested", ls, func() uint64 { return n.Prefetches })
+	if n.cluster.inj != nil {
+		m.CounterFunc(metrics.FamNodeAbandonedOps, "remote operations abandoned as unreachable", ls, func() uint64 { return n.AbandonedOps })
+	}
 }
 
 // ID returns the node identifier.
@@ -324,7 +379,13 @@ func (n *Node) Issue(now sim.Time, core int, a cpu.Access, express bool, done fu
 	if err != nil {
 		panic(fmt.Sprintf("cluster: node %d remote fill: %v", n.id, err))
 	}
-	if err := n.rmc.Request(now+lat, pkt, express, func(t sim.Time, _ ht.Packet) {
+	if err := n.rmc.Request(now+lat, pkt, express, func(t sim.Time, _ ht.Packet, rerr error) {
+		if rerr != nil {
+			// Graceful degradation: the destination stayed unreachable
+			// past the retransmit budget. The op still completes (the
+			// thread would take a machine-check, not hang), counted.
+			n.AbandonedOps++
+		}
 		done(t)
 	}); err != nil {
 		panic(fmt.Sprintf("cluster: node %d RMC request: %v", n.id, err))
@@ -350,8 +411,13 @@ func (n *Node) maybePrefetch(now sim.Time, core int, line addr.Phys) {
 		n.tagseq++
 		req := ht.Packet{Cmd: ht.CmdRdSized, SrcTag: n.tagseq, Addr: pf, Count: int(n.caches.LineSize())}
 		socket := n.socketOf(core)
-		if err := n.rmc.Request(now, req, false, func(t sim.Time, rsp ht.Packet) {
+		if err := n.rmc.Request(now, req, false, func(t sim.Time, rsp ht.Packet, rerr error) {
 			n.pf.Completed(pf)
+			if rerr != nil {
+				// A prefetch that could not reach its donor is simply
+				// lost speculation; the demand stream will retry.
+				return
+			}
 			if rsp.Cmd == ht.CmdTgtAbort {
 				// The stream ran past what this node was granted; the
 				// serving RMC refused the fill. Drop it silently — a
@@ -428,7 +494,9 @@ func (n *Node) writeback(now sim.Time, victim addr.Phys) {
 		panic(fmt.Sprintf("cluster: node %d victim packet: %v", n.id, err))
 	}
 	pkt.Posted = true
-	if err := n.rmc.Request(now, pkt, false, func(sim.Time, ht.Packet) {}); err != nil {
+	// A posted write has no requester waiting; an unreachable owner is
+	// the one place where writeback data can genuinely be lost.
+	if err := n.rmc.Request(now, pkt, false, func(sim.Time, ht.Packet, error) {}); err != nil {
 		panic(fmt.Sprintf("cluster: node %d victim RMC write: %v", n.id, err))
 	}
 }

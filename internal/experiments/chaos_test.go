@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// chaosPlan is a moderate, seeded fault schedule aimed at fig7's hot
+// traffic: node 6 is the client, node 2 its first 1-hop server, so the
+// down window forces detours, the storm hits the client's admissions,
+// and the stall hits the server — all while every link traversal rolls
+// drop/corrupt/delay probabilities.
+func chaosPlan(t *testing.T) *faults.Plan {
+	t.Helper()
+	plan, err := faults.Parse("seed=7,drop=0.01,corrupt=0.002,delayp=0.02,delay=300ns," +
+		"down=2-6@0:50us,storm=6@20us:40us,stall=2@10us:60us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// runChaos regenerates one experiment under the given plan and returns
+// the rendered figure plus the merged metrics snapshot.
+func runChaos(t *testing.T, id string, parallel int, plan *faults.Plan) (*stats.Figure, metrics.Snapshot) {
+	t.Helper()
+	gen, err := Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.Scale = 0.005
+	o.Parallel = parallel
+	if plan != nil {
+		o.P.Faults = plan
+	}
+	var merged metrics.Merged
+	o.Metrics = &merged
+	fig, err := gen(o)
+	if err != nil {
+		t.Fatalf("%s under %v at Parallel=%d: %v", id, plan, parallel, err)
+	}
+	return fig, merged.Snapshot()
+}
+
+// TestChaosDeterminism: the merge-determinism contract survives the
+// fault layer. Each sweep point owns its injector and consumes its
+// seeded stream in event order, so table1 and fig7 under a fault plan
+// render byte-identical metrics at any worker count.
+func TestChaosDeterminism(t *testing.T) {
+	for _, id := range []string{"table1", "fig7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			figSerial, serial := runChaos(t, id, 1, chaosPlan(t))
+			figConc, conc := runChaos(t, id, 8, chaosPlan(t))
+			if got, want := conc.Prometheus(), serial.Prometheus(); got != want {
+				t.Errorf("faulted metrics differ between Parallel=8 and Parallel=1:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+			if got, want := figConc.Render(), figSerial.Render(); got != want {
+				t.Errorf("faulted figures differ between Parallel=8 and Parallel=1:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+			if serial.Prometheus() == "" {
+				t.Fatal("empty Prometheus rendering")
+			}
+		})
+	}
+}
+
+// TestChaosRecoveryCoverage: under the moderate plan the recovery
+// machinery actually fires — faults are injected, frames retransmit,
+// routes detour, storms and stalls hit — and nothing is abandoned,
+// because a 1-2% per-traversal fault rate is far below the retransmit
+// budget.
+func TestChaosRecoveryCoverage(t *testing.T) {
+	_, snap := runChaos(t, "fig7", 0, chaosPlan(t))
+	for _, fam := range []string{
+		metrics.FamFaultDrops,
+		metrics.FamFaultCorruptions,
+		metrics.FamFaultDelays,
+		metrics.FamRMCRetransmits,
+		metrics.FamRMCStormNACKs,
+		metrics.FamRMCStalls,
+		metrics.FamMeshReroutes,
+		metrics.FamMeshDetourHops,
+	} {
+		if snap.Total(fam) == 0 {
+			t.Errorf("family %s is zero under the chaos plan", fam)
+		}
+	}
+	// Zero abandoned requests: recovery absorbed every injected fault.
+	if got := snap.Total(metrics.FamRMCAbandoned); got != 0 {
+		t.Errorf("%g requests abandoned at fault rates below the retry budget", got)
+	}
+	if got := snap.Total(metrics.FamMeshUnreachable); got != 0 {
+		t.Errorf("%g frames unroutable under a single-link outage", got)
+	}
+	// The injected corruption surfaced through the existing CRC family.
+	if snap.Total(metrics.FamHNCCRCFailures) == 0 {
+		t.Error("corruption injected but no CRC failures counted")
+	}
+}
+
+// TestEmptyPlanByteIdentical: an empty plan (only a seed) must leave
+// figures AND metrics byte-identical to a run with no plan at all — the
+// fault layer is provably absent when not armed, down to the absence of
+// its metric families.
+func TestEmptyPlanByteIdentical(t *testing.T) {
+	empty := &faults.Plan{Seed: 99} // non-nil, schedules nothing
+	if !empty.Empty() {
+		t.Fatal("seed-only plan not empty")
+	}
+	figNone, none := runChaos(t, "fig7", 0, nil)
+	figEmpty, withEmpty := runChaos(t, "fig7", 0, empty)
+	if got, want := figEmpty.Render(), figNone.Render(); got != want {
+		t.Errorf("empty plan changed the figure:\n--- no plan ---\n%s\n--- empty plan ---\n%s", want, got)
+	}
+	if got, want := withEmpty.Prometheus(), none.Prometheus(); got != want {
+		t.Errorf("empty plan changed the metrics:\n--- no plan ---\n%s\n--- empty plan ---\n%s", want, got)
+	}
+	if strings.Contains(none.Prometheus(), "ncdsm_fault_") {
+		t.Error("fault families present without a plan")
+	}
+
+	// And the faulted snapshot is the only one carrying fault families.
+	_, chaotic := runChaos(t, "fig7", 0, chaosPlan(t))
+	for _, fam := range []string{metrics.FamFaultDrops, metrics.FamRMCRetransmits, metrics.FamMeshReroutes} {
+		if !strings.Contains(chaotic.Prometheus(), fam) {
+			t.Errorf("faulted snapshot missing %s", fam)
+		}
+	}
+}

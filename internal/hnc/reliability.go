@@ -29,7 +29,13 @@ func (f Frame) Checksum() uint32 {
 	put(0, uint64(f.Src)|uint64(f.Dst)<<16|uint64(f.Payload.Cmd)<<32|uint64(f.Payload.SrcUnit)<<40|uint64(f.Payload.SrcTag)<<48)
 	put(8, f.Seq)
 	put(16, uint64(f.Payload.Addr))
-	put(24, uint64(f.Payload.Count))
+	// The Posted flag shares the Count word: an in-flight flip would
+	// silently change completion semantics, so it must be covered too.
+	cw := uint64(f.Payload.Count)
+	if f.Payload.Posted {
+		cw |= 1 << 63
+	}
+	put(24, cw)
 	h.Write(hdr[:])
 	h.Write(f.Payload.Data)
 	return h.Sum32()
@@ -54,9 +60,10 @@ func (s Sealed) Open() (Frame, error) {
 }
 
 // Verifier tracks per-peer frame sequences at a receiving RMC and counts
-// integrity events. It tolerates the benign case (first frame from a
-// peer) and flags gaps (dropped frames) and regressions (reordering or
-// replay).
+// integrity events: gaps (dropped frames) and regressions (reordering or
+// replay). Bridges emit dense sequences starting at 1, so an untouched
+// peer window sits at 0 and a first frame above 1 counts the frames
+// dropped ahead of it.
 type Verifier struct {
 	self addr.NodeID
 	last map[addr.NodeID]uint64
@@ -70,10 +77,9 @@ func NewVerifier(self addr.NodeID) *Verifier {
 	return &Verifier{self: self, last: make(map[addr.NodeID]uint64)}
 }
 
-// Accept verifies a sealed frame end to end: checksum, destination, and
-// per-source sequencing. It returns the frame when clean; integrity
-// failures return errors and bump the counters.
-func (v *Verifier) Accept(s Sealed) (Frame, error) {
+// open runs the checks shared by both acceptance paths: checksum and
+// destination. Failures there are hard errors on every path.
+func (v *Verifier) open(s Sealed) (Frame, error) {
 	f, err := s.Open()
 	if err != nil {
 		v.Corrupt++
@@ -82,21 +88,46 @@ func (v *Verifier) Accept(s Sealed) (Frame, error) {
 	if f.Dst != v.self {
 		return Frame{}, fmt.Errorf("hnc: frame for node %d accepted at node %d", f.Dst, v.self)
 	}
-	v.Received++
-	last, seen := v.last[f.Src]
+	return f, nil
+}
+
+// note applies the sequencing rules, shared by both paths so their
+// windows can never diverge. In-order and gap arrivals advance the peer
+// window and count as received; a regression never touches the window
+// (a replayed max-seq frame must not poison it). The paths differ only
+// in what a regression yields: strict refuses the frame (not received),
+// loose serves it (received, counted).
+func (v *Verifier) note(src addr.NodeID, seq uint64, strict bool) error {
+	last := v.last[src]
 	switch {
-	case !seen:
-		// First contact with this peer.
-	case f.Seq == last+1:
+	case seq == last+1:
 		// In order.
-	case f.Seq > last+1:
-		v.Gaps += f.Seq - last - 1
+	case seq > last+1:
+		v.Gaps += seq - last - 1
 	default:
 		v.Regressions++
-		return Frame{}, fmt.Errorf("hnc: frame %d from node %d after %d (reorder or replay)", f.Seq, f.Src, last)
+		if strict {
+			return fmt.Errorf("hnc: frame %d from node %d after %d (reorder or replay)", seq, src, last)
+		}
+		v.Received++
+		return nil
 	}
-	if f.Seq > last {
-		v.last[f.Src] = f.Seq
+	v.Received++
+	v.last[src] = seq
+	return nil
+}
+
+// Accept verifies a sealed frame end to end: checksum, destination, and
+// per-source sequencing. It returns the frame when clean; integrity
+// failures return errors and bump the counters. Refused frames leave
+// the peer window untouched, so one replay cannot wedge a stream.
+func (v *Verifier) Accept(s Sealed) (Frame, error) {
+	f, err := v.open(s)
+	if err != nil {
+		return Frame{}, err
+	}
+	if err := v.note(f.Src, f.Seq, true); err != nil {
+		return Frame{}, err
 	}
 	return f, nil
 }
@@ -107,27 +138,11 @@ func (v *Verifier) Accept(s Sealed) (Frame, error) {
 // live RMC cannot refuse work because an earlier frame was dropped; the
 // anomaly surfaces through the metrics layer instead.
 func (v *Verifier) AcceptLoose(s Sealed) (Frame, error) {
-	f, err := s.Open()
+	f, err := v.open(s)
 	if err != nil {
-		v.Corrupt++
 		return Frame{}, err
 	}
-	if f.Dst != v.self {
-		return Frame{}, fmt.Errorf("hnc: frame for node %d accepted at node %d", f.Dst, v.self)
-	}
-	v.Received++
-	last, seen := v.last[f.Src]
-	switch {
-	case !seen, f.Seq == last+1:
-		// First contact or in order.
-	case f.Seq > last+1:
-		v.Gaps += f.Seq - last - 1
-	default:
-		v.Regressions++
-	}
-	if f.Seq > last {
-		v.last[f.Src] = f.Seq
-	}
+	v.note(f.Src, f.Seq, false)
 	return f, nil
 }
 

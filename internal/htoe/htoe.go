@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/faults"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -73,6 +74,7 @@ type Fabric struct {
 	eng   *sim.Engine
 	cfg   Config
 	nodes int
+	inj   *faults.Injector // nil on a fault-free fabric
 
 	up, down map[addr.NodeID]*sim.Resource
 	sw       *sim.Resource
@@ -81,6 +83,12 @@ type Fabric struct {
 	// frames used (> Delivered when segmentation kicks in).
 	Delivered, Frames uint64
 }
+
+// InjectFaults arms the fault plan's probabilistic subset on this
+// fabric. A switched fabric has a single path per pair, so link-down
+// windows cannot reroute here — drops, corruption, and delay apply per
+// HNC frame crossing the switch.
+func (f *Fabric) InjectFaults(inj *faults.Injector) { f.inj = inj }
 
 // New builds the fabric for a cluster of the given node count.
 func New(eng *sim.Engine, nodes int, cfg Config) (*Fabric, error) {
@@ -152,6 +160,28 @@ func (f *Fabric) Deliver(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim
 	t = downDone + f.cfg.WireLatency + f.cfg.NICLatency
 	f.Delivered++
 	return t, 2
+}
+
+// DeliverOutcome is Deliver under the fault plan: the frame consumes the
+// same NIC/switch/link capacity, then rolls the plan's delay, drop, and
+// corruption probabilities once for its switch crossing. Without an
+// injector it is exactly Deliver.
+func (f *Fabric) DeliverOutcome(now sim.Time, src, dst addr.NodeID, wireBytes int) faults.Outcome {
+	t, hops := f.Deliver(now, src, dst, wireBytes)
+	if f.inj == nil || src == dst {
+		return faults.Outcome{Arrive: int64(t), Hops: hops, Status: faults.Delivered}
+	}
+	if d, ok := f.inj.RollDelay(); ok {
+		t += sim.Time(d)
+	}
+	if f.inj.RollDrop() {
+		return faults.Outcome{Arrive: int64(t), Hops: hops, Status: faults.Dropped}
+	}
+	st := faults.Delivered
+	if f.inj.RollCorrupt() {
+		st = faults.Corrupted
+	}
+	return faults.Outcome{Arrive: int64(t), Hops: hops, Status: st}
 }
 
 // DeliverExpress implements rmc.Fabric: a switched fabric has no spare

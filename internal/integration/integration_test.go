@@ -120,7 +120,7 @@ func TestEndToEndDataPath(t *testing.T) {
 	}
 	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: rng.Start, Count: 64}
 	var got []byte
-	if err := reader.Request(sys.Engine().Now(), req, false, func(_ sim.Time, rsp ht.Packet) {
+	if err := reader.Request(sys.Engine().Now(), req, false, func(_ sim.Time, rsp ht.Packet, _ error) {
 		got = rsp.Data
 	}); err != nil {
 		t.Fatal(err)
@@ -403,7 +403,7 @@ func TestProtectionEndToEnd(t *testing.T) {
 		}
 		var cmd ht.Command
 		req := ht.Packet{Cmd: ht.CmdRdSized, Addr: rng.Start, Count: 64}
-		if err := r.Request(sys.Engine().Now(), req, false, func(_ sim.Time, rsp ht.Packet) {
+		if err := r.Request(sys.Engine().Now(), req, false, func(_ sim.Time, rsp ht.Packet, _ error) {
 			cmd = rsp.Cmd
 		}); err != nil {
 			t.Fatal(err)

@@ -2,8 +2,10 @@ package mesh
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/addr"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/sim"
@@ -31,6 +33,7 @@ type Fabric struct {
 	topo    Topology
 	eng     *sim.Engine
 	p       params.Params
+	inj     *faults.Injector // nil on a fault-free fabric
 	links   map[linkKey]*link
 	express map[linkKey]*link
 
@@ -38,15 +41,25 @@ type Fabric struct {
 	// traversals (mesh only — an express crossing is not a mesh hop).
 	Delivered uint64
 	Hops      uint64
+
+	// Reroutes counts hops diverted off the XY route around a down
+	// link; DetourHops counts the extra traversals those diversions
+	// cost; Unreachable counts frames that found no route at all. All
+	// three stay zero (and unregistered) without an injector.
+	Reroutes    uint64
+	DetourHops  uint64
+	Unreachable uint64
 }
 
 // NewFabric builds the timed mesh over the engine with the given
-// calibration.
-func NewFabric(eng *sim.Engine, topo Topology, p params.Params) *Fabric {
+// calibration. A nil injector yields the fault-free fabric: pure XY
+// routes, no drops, and no fault metric families.
+func NewFabric(eng *sim.Engine, topo Topology, p params.Params, inj *faults.Injector) *Fabric {
 	f := &Fabric{
 		topo:    topo,
 		eng:     eng,
 		p:       p,
+		inj:     inj,
 		links:   make(map[linkKey]*link),
 		express: make(map[linkKey]*link),
 	}
@@ -61,6 +74,14 @@ func NewFabric(eng *sim.Engine, topo Topology, p params.Params) *Fabric {
 		func() uint64 { return f.Delivered })
 	m.CounterFunc(metrics.FamMeshHops, "mesh link traversals", nil,
 		func() uint64 { return f.Hops })
+	if inj != nil {
+		m.CounterFunc(metrics.FamMeshReroutes, "hops diverted around down links", nil,
+			func() uint64 { return f.Reroutes })
+		m.CounterFunc(metrics.FamMeshDetourHops, "extra link traversals caused by detours", nil,
+			func() uint64 { return f.DetourHops })
+		m.CounterFunc(metrics.FamMeshUnreachable, "frames that found no route", nil,
+			func() uint64 { return f.Unreachable })
+	}
 	return f
 }
 
@@ -119,28 +140,135 @@ func (f *Fabric) occupancy(wireBytes int) sim.Time {
 // Each hop is store-and-forward: the frame serializes onto the link
 // (waiting behind earlier frames), then takes the hop latency to cross,
 // which is how contention on shared mesh links appears in Figure 8.
+// Deliver is the fault-oblivious entry: callers that must survive drops
+// or outages use DeliverOutcome instead.
 func (f *Fabric) Deliver(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim.Time, int) {
+	out := f.DeliverOutcome(now, src, dst, wireBytes)
+	return sim.Time(out.Arrive), out.Hops
+}
+
+// DeliverOutcome pushes one frame through the (possibly faulty) mesh:
+// hop by hop along the XY route, detouring around links the fault plan
+// has taken down (greedy: the up neighbor closest to the destination
+// that is not an immediate bounce back), rolling the plan's drop,
+// corruption, and delay probabilities on every traversal. Without an
+// injector it is exactly Deliver: same route, same link occupancies,
+// same counters.
+func (f *Fabric) DeliverOutcome(now sim.Time, src, dst addr.NodeID, wireBytes int) faults.Outcome {
 	if src == dst {
-		return now, 0
+		return faults.Outcome{Arrive: int64(now), Status: faults.Delivered}
 	}
-	path := f.topo.Path(src, dst)
-	t := now
 	occ := f.occupancy(wireBytes)
-	for i := 0; i+1 < len(path); i++ {
-		k := linkKey{path[i], path[i+1]}
-		l := f.links[k]
+	t := now
+	cur := src
+	var prev addr.NodeID
+	hops := 0
+	detoured := false
+	corrupted := false
+	// A frame wandering past every possible detour is unroutable; the
+	// cap bounds ping-ponging when outages partition the mesh.
+	maxHops := 4*(f.topo.W+f.topo.H) + 8
+	for cur != dst {
+		if hops >= maxHops {
+			f.Unreachable++
+			return faults.Outcome{Arrive: int64(t), Hops: hops, Status: faults.Unreachable}
+		}
+		next, detour, ok := f.nextHop(cur, prev, dst, t, detoured)
+		if !ok {
+			f.Unreachable++
+			return faults.Outcome{Arrive: int64(t), Hops: hops, Status: faults.Unreachable}
+		}
+		if detour {
+			detoured = true
+			f.Reroutes++
+		}
+		l := f.links[linkKey{cur, next}]
 		done, _ := l.res.Acquire(t, occ) // mesh links have unbounded queues
 		l.frames++
 		l.bytes += uint64(wireBytes)
 		f.Hops++
 		t = done + f.p.HopLatency
+		hops++
+		if f.inj != nil {
+			if d, ok := f.inj.RollDelay(); ok {
+				t += sim.Time(d)
+			}
+			if f.inj.RollDrop() {
+				// The frame occupied every link up to here, then vanished.
+				return faults.Outcome{Arrive: int64(t), Hops: hops, Status: faults.Dropped}
+			}
+			if f.inj.RollCorrupt() {
+				corrupted = true
+			}
+		}
+		prev, cur = cur, next
 	}
 	f.Delivered++
-	return t, len(path) - 1
+	if detoured {
+		if extra := hops - f.topo.Hops(src, dst); extra > 0 {
+			f.DetourHops += uint64(extra)
+		}
+	}
+	st := faults.Delivered
+	if corrupted {
+		st = faults.Corrupted
+	}
+	return faults.Outcome{Arrive: int64(t), Hops: hops, Status: st}
+}
+
+// nextHop picks the next node on the way to dst. On the clean path it is
+// the XY dimension-order neighbor; when that link is down — or once the
+// frame has already detoured (greedy) — it is the live neighbor closest
+// to the destination. The greedy mode matters: strict XY preference at
+// the nodes around an outage steers a detoured frame straight back into
+// the down link forever, whereas distance-greedy routing walks it around
+// the cut. Selection order is deterministic (distance to dst, then
+// identifier), so routes under a fixed fault plan replay exactly.
+func (f *Fabric) nextHop(cur, prev, dst addr.NodeID, at sim.Time, greedy bool) (addr.NodeID, bool, bool) {
+	x, y := f.topo.Coord(cur)
+	bx, by := f.topo.Coord(dst)
+	var pref addr.NodeID
+	if x != bx {
+		pref = f.topo.NodeAt(x+sign(bx-x), y)
+	} else {
+		pref = f.topo.NodeAt(x, y+sign(by-y))
+	}
+	if f.inj == nil {
+		return pref, false, true
+	}
+	if !greedy && !f.inj.LinkDown(cur, pref, int64(at)) {
+		return pref, false, true
+	}
+	nbs := f.topo.Neighbors(cur)
+	sort.Slice(nbs, func(i, j int) bool {
+		di, dj := f.topo.Hops(nbs[i], dst), f.topo.Hops(nbs[j], dst)
+		if di != dj {
+			return di < dj
+		}
+		return nbs[i] < nbs[j]
+	})
+	for _, nb := range nbs {
+		if nb == prev {
+			continue // never an immediate bounce back (loop bait)
+		}
+		if !greedy && nb == pref {
+			continue // the XY link is known down on this path
+		}
+		if !f.inj.LinkDown(cur, nb, int64(at)) {
+			return nb, nb != pref, true
+		}
+	}
+	// Dead end: back out the way we came if that link is still up.
+	if prev != 0 && !f.inj.LinkDown(cur, prev, int64(at)) {
+		return prev, true, true
+	}
+	return 0, false, false
 }
 
 // DeliverExpress sends a frame over a dedicated express link. It fails if
-// no such link exists.
+// no such link exists. Express links are direct point-to-point cables
+// outside the mesh and outside the fault plan: they neither drop nor
+// reroute.
 func (f *Fabric) DeliverExpress(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim.Time, error) {
 	l, ok := f.express[linkKey{src, dst}]
 	if !ok {

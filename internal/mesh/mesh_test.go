@@ -138,7 +138,7 @@ func TestFabricDeliveryLatency(t *testing.T) {
 	p := params.Default()
 	eng := sim.New()
 	topo := topo4x4(t)
-	f := NewFabric(eng, topo, p)
+	f := NewFabric(eng, topo, p, nil)
 
 	if f.Links() != 2*(3*4+4*3) {
 		t.Errorf("Links = %d, want 48 directed links", f.Links())
@@ -157,7 +157,7 @@ func TestFabricDeliveryLatency(t *testing.T) {
 
 func TestFabricSelfDelivery(t *testing.T) {
 	p := params.Default()
-	f := NewFabric(sim.New(), topo4x4(t), p)
+	f := NewFabric(sim.New(), topo4x4(t), p, nil)
 	arrive, hops := f.Deliver(100, 3, 3, 72)
 	if arrive != 100 || hops != 0 {
 		t.Errorf("self delivery = (%d, %d), want (100, 0)", arrive, hops)
@@ -166,7 +166,7 @@ func TestFabricSelfDelivery(t *testing.T) {
 
 func TestFabricContention(t *testing.T) {
 	p := params.Default()
-	f := NewFabric(sim.New(), topo4x4(t), p)
+	f := NewFabric(sim.New(), topo4x4(t), p, nil)
 	topo := f.Topology()
 	src, dst := topo.NodeAt(0, 0), topo.NodeAt(1, 0)
 	// Two simultaneous frames on one link: the second serializes behind
@@ -183,11 +183,11 @@ func TestFabricContention(t *testing.T) {
 
 func TestFabricLargeTransferScalesOccupancy(t *testing.T) {
 	p := params.Default()
-	f := NewFabric(sim.New(), topo4x4(t), p)
+	f := NewFabric(sim.New(), topo4x4(t), p, nil)
 	topo := f.Topology()
 	src, dst := topo.NodeAt(0, 0), topo.NodeAt(1, 0)
 	small, _ := f.Deliver(0, src, dst, 64)
-	f2 := NewFabric(sim.New(), topo, p)
+	f2 := NewFabric(sim.New(), topo, p, nil)
 	big, _ := f2.Deliver(0, src, dst, 4096)
 	if big <= small {
 		t.Errorf("4 KiB frame (%d) not slower than 64 B frame (%d)", big, small)
@@ -199,7 +199,7 @@ func TestFabricLargeTransferScalesOccupancy(t *testing.T) {
 
 func TestExpressLink(t *testing.T) {
 	p := params.Default()
-	f := NewFabric(sim.New(), topo4x4(t), p)
+	f := NewFabric(sim.New(), topo4x4(t), p, nil)
 	if err := f.AddExpressLink(1, 6); err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestExpressLink(t *testing.T) {
 
 func TestLinkUtilization(t *testing.T) {
 	p := params.Default()
-	f := NewFabric(sim.New(), topo4x4(t), p)
+	f := NewFabric(sim.New(), topo4x4(t), p, nil)
 	f.Deliver(0, 1, 2, 64)
 	u, err := f.LinkUtilization(1, 2, p.LinkOccupancy*10)
 	if err != nil {

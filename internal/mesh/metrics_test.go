@@ -12,7 +12,7 @@ import (
 // checks the per-link and fabric-wide counters.
 func TestMetricsInstrumentation(t *testing.T) {
 	eng := sim.New()
-	f := NewFabric(eng, topo4x4(t), params.Default())
+	f := NewFabric(eng, topo4x4(t), params.Default(), nil)
 	// Node 1 -> node 3 is two hops along the first row.
 	_, hops := f.Deliver(0, 1, 3, 72)
 	if hops != 2 {

@@ -57,6 +57,21 @@ const (
 	FamNodePrefetches = "ncdsm_node_prefetches_total"
 	FamPoolFreeBytes  = "ncdsm_pool_free_bytes"
 	FamRegionBorrowed = "ncdsm_region_borrowed_bytes"
+
+	// fault injection and recovery. These families exist only in
+	// systems running a non-empty fault plan, so fault-free snapshots
+	// stay byte-identical to builds without the fault layer.
+	FamFaultDrops       = "ncdsm_fault_drops_injected_total"
+	FamFaultCorruptions = "ncdsm_fault_corruptions_injected_total"
+	FamFaultDelays      = "ncdsm_fault_delays_injected_total"
+	FamRMCRetransmits   = "ncdsm_rmc_retransmits_total"
+	FamRMCAbandoned     = "ncdsm_rmc_abandoned_total"
+	FamRMCStormNACKs    = "ncdsm_rmc_storm_nacks_total"
+	FamRMCStalls        = "ncdsm_rmc_server_stalls_total"
+	FamNodeAbandonedOps = "ncdsm_node_abandoned_ops_total"
+	FamMeshReroutes     = "ncdsm_mesh_reroutes_total"
+	FamMeshDetourHops   = "ncdsm_mesh_detour_hops_total"
+	FamMeshUnreachable  = "ncdsm_mesh_unreachable_total"
 )
 
 // NodeView is the per-node rollup the public API exposes: one row per

@@ -14,6 +14,8 @@ package params
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // Duration values are expressed in picoseconds internally (the simulator
@@ -201,6 +203,31 @@ type Params struct {
 	// DiskLatency is the cost of a disk swap-in (seek-bound HDD).
 	DiskLatency Duration
 
+	// ---- Fault injection and recovery ----
+
+	// Faults, when non-nil and non-empty, schedules deterministic fabric
+	// misbehaviour (see package faults) and arms the recovery machinery:
+	// sender-side retransmission at the RMC, detour routing in the mesh,
+	// and a typed failure after RetransmitBudget is exhausted. A nil or
+	// empty plan leaves every timed path bit-identical to a build
+	// without the fault layer.
+	Faults *faults.Plan
+
+	// RetransmitTimeout is the sender-side wait before a frame that drew
+	// no response outcome (dropped, corrupted, or unroutable) is resent.
+	// Successive retransmissions back off exponentially, capped at
+	// RetransmitTimeout << RetransmitBackoffCap.
+	RetransmitTimeout Duration
+
+	// RetransmitBackoffCap caps the exponential backoff shift.
+	RetransmitBackoffCap uint
+
+	// RetransmitBudget is how many retransmissions the RMC attempts
+	// before abandoning the request with an Unreachable error — the
+	// graceful-degradation bound that keeps the event loop from spinning
+	// on a dead destination forever.
+	RetransmitBudget int
+
 	// ---- Coherent-DSM baseline (ablation) ----
 
 	// CohDirectoryLatency is the home-directory lookup/update cost per
@@ -244,6 +271,13 @@ func Default() Params {
 		// inversion under penalty-aware queue accounting (Penalize holds
 		// the queue slots of delayed requests; see sim.Resource).
 		RMCRetryWaste: 30 * Nanosecond,
+
+		// Retransmission covers one worst-case unloaded round trip (a
+		// 6-hop request + response plus both RMC services is ~2.1 µs),
+		// so a timeout fires only for frames that are genuinely gone.
+		RetransmitTimeout:    3 * Microsecond,
+		RetransmitBackoffCap: 6,
+		RetransmitBudget:     8,
 
 		SwapTrapOverhead:  30 * Microsecond,
 		SwapPageTransfer:  170 * Microsecond,
@@ -307,5 +341,15 @@ func (p Params) Validate() error {
 	case p.Fabric != FabricMesh && p.Fabric != FabricHToE:
 		return fmt.Errorf("params: unknown fabric kind %d", int(p.Fabric))
 	}
-	return nil
+	// The recovery tunables only matter (and are only required) when a
+	// fault plan can actually lose frames.
+	if !p.Faults.Empty() {
+		switch {
+		case p.RetransmitTimeout <= 0:
+			return fmt.Errorf("params: RetransmitTimeout %d must be positive under a fault plan", p.RetransmitTimeout)
+		case p.RetransmitBudget < 1:
+			return fmt.Errorf("params: RetransmitBudget %d < 1 under a fault plan", p.RetransmitBudget)
+		}
+	}
+	return p.Faults.Validate()
 }

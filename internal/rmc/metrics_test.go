@@ -15,7 +15,7 @@ import (
 func TestMetricsInstrumentation(t *testing.T) {
 	r := newRig(t, 4)
 	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x1000).WithNode(2), Count: 64}
-	if err := r.rmcs[1].Request(0, req, false, func(sim.Time, ht.Packet) {}); err != nil {
+	if err := r.rmcs[1].Request(0, req, false, func(sim.Time, ht.Packet, error) {}); err != nil {
 		t.Fatal(err)
 	}
 	r.eng.Run()

@@ -18,6 +18,13 @@
 //     high-rate close-by load this wastes cycles, which is why moving
 //     memory servers *farther away* can slightly *improve* 4-thread
 //     throughput (Figure 7's counterintuitive result).
+//
+// When the system runs a fault plan (package faults), the RMC also
+// carries the recovery half the paper defers: every frame travels under
+// a sender-side retransmission timer with capped exponential backoff,
+// and a destination that stays unreachable past the retransmit budget
+// fails the request with an UnreachableError instead of hanging the
+// event loop.
 package rmc
 
 import (
@@ -25,6 +32,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/dram"
+	"repro/internal/faults"
 	"repro/internal/hnc"
 	"repro/internal/ht"
 	"repro/internal/mem"
@@ -51,6 +59,26 @@ type Fabric interface {
 	DeliverExpress(now sim.Time, src, dst addr.NodeID, wireBytes int) (sim.Time, error)
 }
 
+// OutcomeFabric is the fault-aware extension of Fabric: DeliverOutcome
+// reports what happened to the frame instead of assuming delivery. Both
+// bundled fabrics implement it; the RMC falls back to Deliver when the
+// fabric does not.
+type OutcomeFabric interface {
+	DeliverOutcome(now sim.Time, src, dst addr.NodeID, wireBytes int) faults.Outcome
+}
+
+// UnreachableError reports that a request was abandoned because its
+// destination stayed unreachable past the retransmit budget — the typed
+// graceful-degradation failure of a faulted fabric.
+type UnreachableError struct {
+	Dst      addr.NodeID
+	Attempts int
+}
+
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("rmc: node %d unreachable after %d transmission attempts", e.Dst, e.Attempts)
+}
+
 // RMC is one node's remote memory controller (both roles).
 type RMC struct {
 	self   addr.NodeID
@@ -59,6 +87,7 @@ type RMC struct {
 	bridge *hnc.Bridge
 	fabric Fabric
 	peers  Peers
+	inj    *faults.Injector // nil without a fault plan
 
 	// client is the bounded admission queue + bridging occupancy of the
 	// requester role; server is the FIFO service of the target role.
@@ -87,6 +116,12 @@ type RMC struct {
 	ServedHere  uint64 // requests served by this node's memory
 	LoopbackOps uint64 // loopback-mode operations (legal, normally unused)
 	Aborted     uint64 // requests denied by the protection check
+
+	// Recovery stats (all zero without a fault plan).
+	Retransmits uint64 // frames resent after a drop/corruption/outage
+	Abandoned   uint64 // requests failed after the retransmit budget
+	StormNACKs  uint64 // admissions refused by a scheduled NACK storm
+	Stalls      uint64 // scheduled server-stall windows applied
 }
 
 // Protection decides whether a remote node may touch a local range —
@@ -110,6 +145,10 @@ type Config struct {
 	Peers  Peers
 	Bank   *dram.Bank
 	Store  *mem.Store
+	// Faults, when non-nil, arms the recovery machinery (retransmit,
+	// NACK storms, stall windows). The injector is shared with the
+	// fabric so the whole system replays one fault stream.
+	Faults *faults.Injector
 }
 
 // New builds a node's RMC.
@@ -128,6 +167,7 @@ func New(c Config) (*RMC, error) {
 		bridge: b,
 		fabric: c.Fabric,
 		peers:  c.Peers,
+		inj:    c.Faults,
 		client: sim.NewResource(c.Engine, fmt.Sprintf("rmc%d/client", c.Self), c.Params.RMCQueueDepth),
 		server: sim.NewResource(c.Engine, fmt.Sprintf("rmc%d/server", c.Self), 0),
 		bank:   c.Bank,
@@ -140,7 +180,8 @@ func New(c Config) (*RMC, error) {
 
 // register exposes this RMC's tallies through the engine's registry.
 // Everything is lazily sampled; the only per-event instrument is the
-// round-trip histogram.
+// round-trip histogram. Recovery families register only under a fault
+// plan, so fault-free snapshots are unchanged by the fault layer.
 func (r *RMC) register(m *metrics.Registry) {
 	node := metrics.L("node", fmt.Sprintf("%d", r.self))
 	m.CounterFunc(metrics.FamRMCRequests, "remote requests submitted at this node", node, func() uint64 { return r.Requests })
@@ -157,6 +198,12 @@ func (r *RMC) register(m *metrics.Registry) {
 	m.CounterFunc(metrics.FamHNCSeqGaps, "dropped-frame gaps observed", node, func() uint64 { return r.verif.Gaps })
 	m.CounterFunc(metrics.FamHNCRegressions, "reordered or replayed frames observed", node, func() uint64 { return r.verif.Regressions })
 	m.CounterFunc(metrics.FamHNCCRCFailures, "frames failing the CRC check", node, func() uint64 { return r.verif.Corrupt })
+	if r.inj != nil {
+		m.CounterFunc(metrics.FamRMCRetransmits, "frames resent after a drop, corruption, or outage", node, func() uint64 { return r.Retransmits })
+		m.CounterFunc(metrics.FamRMCAbandoned, "requests abandoned after the retransmit budget", node, func() uint64 { return r.Abandoned })
+		m.CounterFunc(metrics.FamRMCStormNACKs, "admissions refused by a scheduled NACK storm", node, func() uint64 { return r.StormNACKs })
+		m.CounterFunc(metrics.FamRMCStalls, "scheduled server-stall windows applied", node, func() uint64 { return r.Stalls })
+	}
 	r.lat = m.Histogram(metrics.FamRMCLatency, "remote request round-trip time", node, metrics.TimeBuckets())
 }
 
@@ -169,12 +216,22 @@ func (r *RMC) ClientUtilization(elapsed sim.Time) float64 { return r.client.Util
 // ServerUtilization returns the server-role occupancy fraction.
 func (r *RMC) ServerUtilization(elapsed sim.Time) float64 { return r.server.Utilization(elapsed) }
 
+// StallServer consumes the server role's capacity for d — the scheduled
+// node-stall fault. Requests already queued (and any that arrive during
+// the window) wait it out behind the stall.
+func (r *RMC) StallServer(now sim.Time, d sim.Time) {
+	r.Stalls++
+	r.server.Penalize(now, d)
+}
+
 // Request submits a memory request whose address carries a node prefix.
 // done is invoked exactly once, at the simulated completion time, with
-// the response packet (RdResponse with data, or TgtDone). express routes
-// both directions over a dedicated express link (Figure 8's control
-// setup) instead of the mesh.
-func (r *RMC) Request(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet)) error {
+// the response packet (RdResponse with data, or TgtDone). Under a fault
+// plan a request whose destination stays unreachable past the retransmit
+// budget completes with a zero packet and an *UnreachableError; without
+// a plan err is always nil. express routes both directions over a
+// dedicated express link (Figure 8's control setup) instead of the mesh.
+func (r *RMC) Request(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet, error)) error {
 	if err := pkt.Validate(); err != nil {
 		return err
 	}
@@ -190,9 +247,13 @@ func (r *RMC) Request(now sim.Time, pkt ht.Packet, express bool, done func(sim.T
 	}
 	r.Requests++
 	issued := now
-	r.admit(now, pkt, express, func(t sim.Time, rsp ht.Packet) {
-		r.lat.Observe(t - issued)
-		done(t, rsp)
+	r.admit(now, pkt, express, func(t sim.Time, rsp ht.Packet, err error) {
+		if err == nil {
+			// Abandoned requests never round-tripped; only completions
+			// feed the latency histogram.
+			r.lat.Observe(t - issued)
+		}
+		done(t, rsp, err)
 	})
 	return nil
 }
@@ -209,21 +270,22 @@ func (r *RMC) peersCheck(dst addr.NodeID) error {
 // exponential backoff. The backoff matters: a requester retrying at a
 // fixed interval against a full queue would waste RMC capacity faster
 // than the RMC serves, and nothing would ever complete.
-func (r *RMC) admit(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet)) {
+func (r *RMC) admit(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet, error)) {
 	r.admitAttempt(now, pkt, express, 0, done)
 }
 
-func (r *RMC) admitAttempt(now sim.Time, pkt ht.Packet, express bool, attempt uint, done func(sim.Time, ht.Packet)) {
+func (r *RMC) admitAttempt(now sim.Time, pkt ht.Packet, express bool, attempt uint, done func(sim.Time, ht.Packet, error)) {
+	if r.inj.NackStorm(r.self, int64(now)) {
+		// A scheduled NACK storm: the client RMC refuses every admission
+		// as if its queue were wedged full. Same waste, same backoff —
+		// progress resumes when the window closes.
+		r.StormNACKs++
+		r.nack(now, pkt, express, attempt, done)
+		return
+	}
 	serviced, ok := r.client.Acquire(now, r.p.RMCClientOccupancy)
 	if !ok {
-		// Queue full: NACK processing costs the RMC some capacity, the
-		// requester backs off and reissues.
-		r.Retries++
-		r.client.Penalize(now, r.p.RMCRetryWaste)
-		backoff := r.p.RMCRetryPenalty << min(attempt, 8)
-		r.eng.After(backoff, func() {
-			r.admitAttempt(r.eng.Now(), pkt, express, attempt+1, done)
-		})
+		r.nack(now, pkt, express, attempt, done)
 		return
 	}
 	r.Forwarded++
@@ -232,15 +294,25 @@ func (r *RMC) admitAttempt(now sim.Time, pkt ht.Packet, express bool, attempt ui
 	})
 }
 
+// nack charges the NACK-processing waste and schedules the reissue.
+func (r *RMC) nack(now sim.Time, pkt ht.Packet, express bool, attempt uint, done func(sim.Time, ht.Packet, error)) {
+	r.Retries++
+	r.client.Penalize(now, r.p.RMCRetryWaste)
+	backoff := r.p.RMCRetryPenalty << min(attempt, 8)
+	r.eng.After(backoff, func() {
+		r.admitAttempt(r.eng.Now(), pkt, express, attempt+1, done)
+	})
+}
+
 // launch bridges the packet onto the fabric once client service is done.
-func (r *RMC) launch(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet)) {
+func (r *RMC) launch(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet, error)) {
 	dst := pkt.Addr.Node()
 	if dst == r.self {
 		// Loopback mode: the paper notes the overlapped segment exists
 		// but is never used in practice; the hardware would replay the
 		// request into its own local system, so we do.
 		r.LoopbackOps++
-		r.serveLocal(now, pkt, func(t sim.Time, rsp ht.Packet) { done(t, rsp) })
+		r.serveLocal(now, pkt, func(t sim.Time, rsp ht.Packet) { done(t, rsp, nil) })
 		return
 	}
 	frame, err := r.bridge.Outbound(pkt)
@@ -251,33 +323,96 @@ func (r *RMC) launch(now sim.Time, pkt ht.Packet, express bool, done func(sim.Ti
 	// Frames travel sealed: the CRC rides in the existing HeaderBytes
 	// budget, so link timing (and the paper calibration) is unchanged.
 	sealed := hnc.Seal(frame)
-	arrive, derr := r.deliver(now, r.self, dst, frame.WireBytes(), express)
-	if derr != nil {
-		panic(fmt.Sprintf("rmc%d: deliver failed: %v", r.self, derr))
-	}
 	peer, _ := r.peers.RMC(dst)
-	r.eng.At(arrive, func() {
-		peer.serve(arrive, sealed, express, done)
+	r.sendSealed(now, sealed, dst, express,
+		func(t sim.Time, s hnc.Sealed) {
+			peer.serve(t, s, express, done)
+		},
+		func(t sim.Time, attempts int) {
+			done(t, ht.Packet{}, &UnreachableError{Dst: dst, Attempts: attempts})
+		})
+}
+
+// sendSealed pushes one sealed frame toward dst under the retransmission
+// discipline. Delivered and corrupted frames arrive (the latter with a
+// mangled CRC the receiver will reject); every non-clean outcome arms a
+// resend after RetransmitTimeout with capped exponential backoff, until
+// the budget runs out and abandon fires. On a fault-free fabric the
+// frame is simply delivered — one arrival event, exactly as before the
+// fault layer existed.
+func (r *RMC) sendSealed(now sim.Time, s hnc.Sealed, dst addr.NodeID, express bool, deliver func(sim.Time, hnc.Sealed), abandon func(sim.Time, int)) {
+	wire := s.Frame.WireBytes()
+	var attempt func(t sim.Time, n int)
+	attempt = func(t sim.Time, n int) {
+		out := r.deliverOutcome(t, dst, wire, express)
+		switch out.Status {
+		case faults.Delivered:
+			r.eng.At(sim.Time(out.Arrive), func() { deliver(sim.Time(out.Arrive), s) })
+		case faults.Corrupted:
+			// The mangled copy still arrives — the receiver's CRC check
+			// counts and discards it — and the sender, hearing nothing,
+			// retransmits.
+			mangled := hnc.Sealed{Frame: s.Frame, CRC: r.inj.MangleCRC(s.CRC)}
+			r.eng.At(sim.Time(out.Arrive), func() { deliver(sim.Time(out.Arrive), mangled) })
+			r.resend(t, n, attempt, abandon)
+		default: // Dropped, Unreachable
+			r.resend(t, n, attempt, abandon)
+		}
+	}
+	attempt(now, 0)
+}
+
+// resend arms the retransmission timer for attempt n, or abandons once
+// the budget is spent.
+func (r *RMC) resend(now sim.Time, n int, attempt func(sim.Time, int), abandon func(sim.Time, int)) {
+	if n >= r.p.RetransmitBudget {
+		r.Abandoned++
+		abandon(now, n+1)
+		return
+	}
+	r.Retransmits++
+	shift := uint(n)
+	if shift > r.p.RetransmitBackoffCap {
+		shift = r.p.RetransmitBackoffCap
+	}
+	wait := r.p.RetransmitTimeout << shift
+	r.eng.At(now+wait, func() {
+		attempt(r.eng.Now(), n+1)
 	})
 }
 
-func (r *RMC) deliver(now sim.Time, src, dst addr.NodeID, bytes int, express bool) (sim.Time, error) {
+// deliverOutcome routes one frame over the chosen path. Express links
+// are dedicated cables outside the fault plan; mesh/switch traffic goes
+// through the fabric's fault-aware delivery when it has one.
+func (r *RMC) deliverOutcome(now sim.Time, dst addr.NodeID, bytes int, express bool) faults.Outcome {
 	if express {
-		return r.fabric.DeliverExpress(now, src, dst, bytes)
+		t, err := r.fabric.DeliverExpress(now, r.self, dst, bytes)
+		if err != nil {
+			panic(fmt.Sprintf("rmc%d: express deliver failed: %v", r.self, err))
+		}
+		return faults.Outcome{Arrive: int64(t), Status: faults.Delivered}
 	}
-	t, _ := r.fabric.Deliver(now, src, dst, bytes)
-	return t, nil
+	if of, ok := r.fabric.(OutcomeFabric); ok {
+		return of.DeliverOutcome(now, r.self, dst, bytes)
+	}
+	t, hops := r.fabric.Deliver(now, r.self, dst, bytes)
+	return faults.Outcome{Arrive: int64(t), Hops: hops, Status: faults.Delivered}
 }
 
 // serve handles a sealed frame arriving from the fabric: verify
 // integrity (loosely — sequence anomalies are counted, not refused),
 // decapsulate (zero the prefix), queue through the server occupancy,
 // access local memory, and send the sealed response back.
-func (r *RMC) serve(now sim.Time, sealed hnc.Sealed, express bool, done func(sim.Time, ht.Packet)) {
+func (r *RMC) serve(now sim.Time, sealed hnc.Sealed, express bool, done func(sim.Time, ht.Packet, error)) {
 	frame, err := r.verif.AcceptLoose(sealed)
 	if err != nil {
-		// The simulated fabric never corrupts frames; a CRC failure here
-		// is a model bug.
+		if r.inj != nil {
+			// An injected corruption: count it (AcceptLoose already did)
+			// and drop the frame. The sender's retransmission recovers.
+			return
+		}
+		// The fault-free fabric never corrupts frames; a CRC failure
+		// here is a model bug.
 		panic(fmt.Sprintf("rmc%d: frame integrity failed: %v", r.self, err))
 	}
 	local, err := r.bridge.Inbound(frame)
@@ -290,52 +425,58 @@ func (r *RMC) serve(now sim.Time, sealed hnc.Sealed, express bool, done func(sim
 		if !r.protection.Allowed(frame.Src, rng) {
 			r.Aborted++
 			r.eng.At(serviced, func() {
-				reply, err := r.bridge.Reply(frame.Src, local.Abort())
-				if err != nil {
-					panic(fmt.Sprintf("rmc%d: abort reply bridge failed: %v", r.self, err))
-				}
-				sealedReply := hnc.Seal(reply)
-				back, derr := r.deliver(serviced, r.self, frame.Src, reply.WireBytes(), express)
-				if derr != nil {
-					panic(fmt.Sprintf("rmc%d: abort deliver failed: %v", r.self, derr))
-				}
-				r.eng.At(back, func() {
-					r.acceptReply(frame.Src, sealedReply)
-					done(back, reply.Payload)
-				})
+				r.sendReply(serviced, frame.Src, local.Abort(), express, done)
 			})
 			return
 		}
 	}
 	r.eng.At(serviced, func() {
 		r.access(serviced, local, func(t sim.Time, rsp ht.Packet) {
-			reply, err := r.bridge.Reply(frame.Src, rsp)
-			if err != nil {
-				panic(fmt.Sprintf("rmc%d: reply bridge failed: %v", r.self, err))
-			}
-			sealedReply := hnc.Seal(reply)
-			back, derr := r.deliver(t, r.self, frame.Src, reply.WireBytes(), express)
-			if derr != nil {
-				panic(fmt.Sprintf("rmc%d: reply deliver failed: %v", r.self, derr))
-			}
-			r.eng.At(back, func() {
-				r.acceptReply(frame.Src, sealedReply)
-				done(back, rsp)
-			})
+			r.sendReply(t, frame.Src, rsp, express, done)
 		})
 	})
 }
 
+// sendReply seals a response frame back to the requester under the same
+// retransmission discipline as the request leg.
+func (r *RMC) sendReply(now sim.Time, requester addr.NodeID, rsp ht.Packet, express bool, done func(sim.Time, ht.Packet, error)) {
+	reply, err := r.bridge.Reply(requester, rsp)
+	if err != nil {
+		panic(fmt.Sprintf("rmc%d: reply bridge failed: %v", r.self, err))
+	}
+	sealedReply := hnc.Seal(reply)
+	r.sendSealed(now, sealedReply, requester, express,
+		func(t sim.Time, s hnc.Sealed) {
+			if r.acceptReply(requester, s) {
+				done(t, rsp, nil)
+			}
+			// A corrupted arrival is counted and dropped by the
+			// requester's verifier; this sender's retransmission will
+			// complete the request on a later, clean arrival.
+		},
+		func(t sim.Time, attempts int) {
+			// The requester became unreachable for the response. The
+			// server holds the completion, so it can still fail the
+			// request instead of leaving the issuer hanging.
+			done(t, ht.Packet{}, &UnreachableError{Dst: requester, Attempts: attempts})
+		})
+}
+
 // acceptReply runs the requester-side integrity check on a sealed
-// response arriving back from a server.
-func (r *RMC) acceptReply(requester addr.NodeID, s hnc.Sealed) {
+// response arriving back from a server, reporting whether the frame was
+// clean enough to complete the request.
+func (r *RMC) acceptReply(requester addr.NodeID, s hnc.Sealed) bool {
 	req, err := r.peers.RMC(requester)
 	if err != nil {
 		panic(fmt.Sprintf("rmc%d: requester node %d vanished: %v", r.self, requester, err))
 	}
 	if _, err := req.verif.AcceptLoose(s); err != nil {
+		if r.inj != nil {
+			return false
+		}
 		panic(fmt.Sprintf("rmc%d: reply integrity failed: %v", r.self, err))
 	}
+	return true
 }
 
 // serveLocal runs the server path without the fabric (loopback).

@@ -42,7 +42,7 @@ func newRig(t *testing.T, nodes int) *rig {
 	r := &rig{
 		eng:    eng,
 		p:      p,
-		fabric: mesh.NewFabric(eng, topo, p),
+		fabric: mesh.NewFabric(eng, topo, p, nil),
 		rmcs:   map[addr.NodeID]*RMC{},
 		stores: map[addr.NodeID]*mem.Store{},
 	}
@@ -86,7 +86,7 @@ func TestRemoteReadRoundTrip(t *testing.T) {
 	var gotData []byte
 	var doneAt sim.Time
 	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x41000000).WithNode(2), Count: 64}
-	if err := r.rmcs[1].Request(0, req, false, func(ts sim.Time, rsp ht.Packet) {
+	if err := r.rmcs[1].Request(0, req, false, func(ts sim.Time, rsp ht.Packet, _ error) {
 		doneAt, gotData = ts, rsp.Data
 	}); err != nil {
 		t.Fatal(err)
@@ -112,7 +112,7 @@ func TestRemoteWriteRoundTrip(t *testing.T) {
 	payload := bytes.Repeat([]byte{0xA5}, 64)
 	req := ht.Packet{Cmd: ht.CmdWrSized, Addr: addr.Phys(0x100).WithNode(3), Count: 64, Data: payload}
 	var rspCmd ht.Command
-	if err := r.rmcs[1].Request(0, req, false, func(_ sim.Time, rsp ht.Packet) { rspCmd = rsp.Cmd }); err != nil {
+	if err := r.rmcs[1].Request(0, req, false, func(_ sim.Time, rsp ht.Packet, _ error) { rspCmd = rsp.Cmd }); err != nil {
 		t.Fatal(err)
 	}
 	r.eng.Run()
@@ -136,14 +136,14 @@ func TestCrossNodeVisibility(t *testing.T) {
 	buf := make([]byte, 64)
 	copy(buf, payload)
 	wr := ht.Packet{Cmd: ht.CmdWrSized, Addr: addr.Phys(0x2000).WithNode(3), Count: 64, Data: buf}
-	if err := r.rmcs[1].Request(0, wr, false, func(sim.Time, ht.Packet) {}); err != nil {
+	if err := r.rmcs[1].Request(0, wr, false, func(sim.Time, ht.Packet, error) {}); err != nil {
 		t.Fatal(err)
 	}
 	r.eng.Run()
 
 	var got []byte
 	rd := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x2000).WithNode(3), Count: 64}
-	if err := r.rmcs[2].Request(r.eng.Now(), rd, false, func(_ sim.Time, rsp ht.Packet) { got = rsp.Data }); err != nil {
+	if err := r.rmcs[2].Request(r.eng.Now(), rd, false, func(_ sim.Time, rsp ht.Packet, _ error) { got = rsp.Data }); err != nil {
 		t.Fatal(err)
 	}
 	r.eng.Run()
@@ -158,7 +158,7 @@ func TestHopDistanceIncreasesLatency(t *testing.T) {
 		r2 := newRig(t, 16)
 		var done sim.Time
 		req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x100).WithNode(dst), Count: 64}
-		if err := r2.rmcs[1].Request(0, req, false, func(ts sim.Time, _ ht.Packet) { done = ts }); err != nil {
+		if err := r2.rmcs[1].Request(0, req, false, func(ts sim.Time, _ ht.Packet, _ error) { done = ts }); err != nil {
 			t.Fatal(err)
 		}
 		r2.eng.Run()
@@ -184,7 +184,7 @@ func TestLoopbackMode(t *testing.T) {
 	}
 	var got []byte
 	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x500).WithNode(1), Count: 8}
-	if err := r.rmcs[1].Request(0, req, false, func(_ sim.Time, rsp ht.Packet) { got = rsp.Data }); err != nil {
+	if err := r.rmcs[1].Request(0, req, false, func(_ sim.Time, rsp ht.Packet, _ error) { got = rsp.Data }); err != nil {
 		t.Fatal(err)
 	}
 	r.eng.Run()
@@ -201,7 +201,7 @@ func TestLoopbackMode(t *testing.T) {
 
 func TestRequestValidation(t *testing.T) {
 	r := newRig(t, 2)
-	noop := func(sim.Time, ht.Packet) {}
+	noop := func(sim.Time, ht.Packet, error) {}
 	if err := r.rmcs[1].Request(0, ht.Packet{Cmd: ht.CmdRdResponse}, false, noop); err == nil {
 		t.Error("response accepted as request")
 	}
@@ -222,7 +222,7 @@ func TestClientQueueRetries(t *testing.T) {
 	completions := 0
 	for i := 0; i < 16; i++ {
 		req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(uint64(i) * 64).WithNode(2), Count: 64}
-		if err := r.rmcs[1].Request(0, req, false, func(sim.Time, ht.Packet) { completions++ }); err != nil {
+		if err := r.rmcs[1].Request(0, req, false, func(sim.Time, ht.Packet, error) { completions++ }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -246,7 +246,7 @@ func TestRetryWasteSlowsService(t *testing.T) {
 			req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(uint64(i) * 64).WithNode(2), Count: 64}
 			at := sim.Time(i) * stagger
 			r.eng.At(at, func() {
-				if err := r.rmcs[1].Request(r.eng.Now(), req, false, func(ts sim.Time, _ ht.Packet) {
+				if err := r.rmcs[1].Request(r.eng.Now(), req, false, func(ts sim.Time, _ ht.Packet, _ error) {
 					if ts > last {
 						last = ts
 					}
@@ -273,7 +273,7 @@ func TestExpressRouting(t *testing.T) {
 	}
 	var meshDone, expressDone sim.Time
 	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x100).WithNode(16), Count: 64}
-	if err := r.rmcs[1].Request(0, req, false, func(ts sim.Time, _ ht.Packet) { meshDone = ts }); err != nil {
+	if err := r.rmcs[1].Request(0, req, false, func(ts sim.Time, _ ht.Packet, _ error) { meshDone = ts }); err != nil {
 		t.Fatal(err)
 	}
 	r.eng.Run()
@@ -282,7 +282,7 @@ func TestExpressRouting(t *testing.T) {
 	if err := r2.fabric.AddExpressLink(1, 16); err != nil {
 		t.Fatal(err)
 	}
-	if err := r2.rmcs[1].Request(0, req, true, func(ts sim.Time, _ ht.Packet) { expressDone = ts }); err != nil {
+	if err := r2.rmcs[1].Request(0, req, true, func(ts sim.Time, _ ht.Packet, _ error) { expressDone = ts }); err != nil {
 		t.Fatal(err)
 	}
 	r2.eng.Run()
@@ -294,7 +294,7 @@ func TestExpressRouting(t *testing.T) {
 func TestUtilizationReporting(t *testing.T) {
 	r := newRig(t, 4)
 	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: addr.Phys(0x100).WithNode(2), Count: 64}
-	if err := r.rmcs[1].Request(0, req, false, func(sim.Time, ht.Packet) {}); err != nil {
+	if err := r.rmcs[1].Request(0, req, false, func(sim.Time, ht.Packet, error) {}); err != nil {
 		t.Fatal(err)
 	}
 	end := r.eng.Run()
@@ -324,7 +324,7 @@ func TestProtectionAborts(t *testing.T) {
 	ask := func(from addr.NodeID, a addr.Phys) ht.Command {
 		var cmd ht.Command
 		req := ht.Packet{Cmd: ht.CmdRdSized, Addr: a.WithNode(2), Count: 64}
-		if err := r.rmcs[from].Request(r.eng.Now(), req, false, func(_ sim.Time, rsp ht.Packet) {
+		if err := r.rmcs[from].Request(r.eng.Now(), req, false, func(_ sim.Time, rsp ht.Packet, _ error) {
 			cmd = rsp.Cmd
 		}); err != nil {
 			t.Fatal(err)

@@ -38,9 +38,11 @@ import (
 	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/memdir"
 	"repro/internal/metrics"
 	"repro/internal/params"
+	"repro/internal/rmc"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -62,6 +64,31 @@ type Pointer = vm.Virt
 
 // Time is simulated time in picoseconds.
 type Time = sim.Time
+
+// FaultPlan is a seeded, deterministic fault schedule for the fabric:
+// per-traversal drop/corrupt/delay probabilities, link-down windows,
+// NACK storms, and node stalls. Set Config.Faults to arm it; a nil or
+// empty plan leaves the system bit-identical to a fault-free build.
+// Runs with the same plan (same seed) replay the same faults exactly.
+type FaultPlan = faults.Plan
+
+// FaultWindow is a half-open [Start, End) simulated-time interval.
+type FaultWindow = faults.Window
+
+// LinkFault schedules a bidirectional mesh-link outage.
+type LinkFault = faults.LinkWindow
+
+// NodeFault schedules a per-node fault window (storm or stall).
+type NodeFault = faults.NodeWindow
+
+// ParseFaultPlan reads the CLI spec syntax, e.g.
+// "seed=2,drop=0.01,corrupt=0.001,delayp=0.05,delay=300ns,down=6-7@0:50us,storm=6@0:5us,stall=7@1us:2us".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return faults.Parse(spec) }
+
+// UnreachableError is the typed failure a request ends with when its
+// destination stays unreachable past the retransmit budget. Only timed
+// accesses under a fault plan can observe it.
+type UnreachableError = rmc.UnreachableError
 
 // Placement selects how a growing region chooses donor nodes.
 type Placement = memdir.Policy
@@ -291,6 +318,12 @@ type ExperimentOptions struct {
 	Parallel int
 	// Seed varies the deterministic workload inputs (default 1).
 	Seed int64
+	// Faults, when non-nil and non-empty, runs every simulated point of
+	// the experiment under the fault plan. Results stay deterministic:
+	// each sweep point binds the plan to its own injector stream, so
+	// merged figures and metrics are byte-identical at every Parallel
+	// setting.
+	Faults *FaultPlan
 }
 
 // DefaultExperimentOptions returns paper-scale, all-cores options.
@@ -307,6 +340,12 @@ func (o ExperimentOptions) internal() (experiments.Options, error) {
 	io.Parallel = o.Parallel
 	if o.Seed != 0 {
 		io.Seed = o.Seed
+	}
+	if !o.Faults.Empty() {
+		if err := o.Faults.Validate(); err != nil {
+			return experiments.Options{}, err
+		}
+		io.P.Faults = o.Faults
 	}
 	return io, nil
 }
