@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench fuzz
+.PHONY: check build vet fmt test race bench perf-gate fuzz
 
 check: fmt vet build test race
 
@@ -24,8 +24,19 @@ test:
 race:
 	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/sim/ ./internal/faults/
 
+# bench runs the Go micro/macro benchmarks, then refreshes the tracked
+# perf baseline (engine churn, RMC round trip, faulted fig7 sweep) in
+# BENCH_sim.json. Commit the refreshed file when a hot-path change moves
+# the numbers on purpose.
 bench:
 	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/ncdsm-perf -out BENCH_sim.json
+
+# perf-gate re-measures and fails on >20% ns/op regression (after
+# calibration rescaling for host speed) or any allocs/op growth against
+# the committed BENCH_sim.json. CI runs this as the perf-smoke job.
+perf-gate:
+	$(GO) run ./cmd/ncdsm-perf -check BENCH_sim.json
 
 # Short fuzz passes over the parsers of untrusted input: the trace
 # reader, and the HNC frame integrity check that the fault injector's

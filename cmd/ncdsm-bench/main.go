@@ -11,6 +11,7 @@
 //	ncdsm-bench -fig A                 # coherency ablation
 //	ncdsm-bench -fig all -parallel 1   # serial sweep points (old harness)
 //	ncdsm-bench -fig 7 -metrics prom   # plus the merged metrics snapshot
+//	ncdsm-bench -fig 7 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Scale 1.0 runs paper-sized workloads (10M-key b-trees, 500k searches)
 // and can take many minutes; the default 0.05 preserves every shape in
@@ -27,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -49,8 +52,40 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
 		metricsFmt = flag.String("metrics", "", "print the merged metrics snapshot after each experiment: prom or json")
 		faultSpec  = flag.String("faults", "", "deterministic fault plan, e.g. seed=2,drop=0.01,corrupt=0.001,down=6-7@0:50us")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+			}
+		}()
+	}
 
 	plan, err := ncdsm.ParseFaultPlan(*faultSpec)
 	if err != nil {

@@ -190,6 +190,12 @@ type Node struct {
 
 	tagseq uint16
 
+	// issueOps is the free list of reified Issue continuations; one op
+	// carries a single access from issue to completion with its
+	// callbacks prebound, so the steady-state hit/fill/remote paths
+	// schedule without allocating.
+	issueOps []*issueOp
+
 	// LocalOps and RemoteOps count issued line operations by
 	// destination; Prefetches counts prefetch fills requested;
 	// FlushedDirty counts dirty lines written back by FlushCaches.
@@ -339,6 +345,49 @@ func (n *Node) socketOf(core int) int {
 	return s
 }
 
+// issueOp carries one Issue from schedule to completion. Allocated once,
+// callbacks bound once, recycled when the access completes — the RMC
+// invokes done exactly once per request (even under faults), so
+// recycling here is unconditional.
+type issueOp struct {
+	n    *Node
+	done func(sim.Time)
+
+	completeFn func()
+	remoteFn   func(sim.Time, ht.Packet, error)
+}
+
+func (n *Node) getIssueOp() *issueOp {
+	if l := len(n.issueOps); l > 0 {
+		op := n.issueOps[l-1]
+		n.issueOps = n.issueOps[:l-1]
+		return op
+	}
+	op := &issueOp{n: n}
+	op.completeFn = func() {
+		done := op.done
+		op.n.putIssueOp(op)
+		done(op.n.eng.Now())
+	}
+	op.remoteFn = func(t sim.Time, _ ht.Packet, rerr error) {
+		if rerr != nil {
+			// Graceful degradation: the destination stayed unreachable
+			// past the retransmit budget. The op still completes (the
+			// thread would take a machine-check, not hang), counted.
+			op.n.AbandonedOps++
+		}
+		done := op.done
+		op.n.putIssueOp(op)
+		done(t)
+	}
+	return op
+}
+
+func (n *Node) putIssueOp(op *issueOp) {
+	op.done = nil
+	n.issueOps = append(n.issueOps, op)
+}
+
 // Issue implements cpu.MemorySystem. The access runs through the cache
 // hierarchy; a hit completes at probe-adjusted cache latency, a miss
 // fills the line from the owning memory — a local controller or, for
@@ -360,8 +409,10 @@ func (n *Node) Issue(now sim.Time, core int, a cpu.Access, express bool, done fu
 		// stream alive and the prefetcher running ahead of it.
 		n.maybePrefetch(now+lat, core, line)
 	}
+	op := n.getIssueOp()
+	op.done = done
 	if res.Hit {
-		n.eng.At(now+lat, func() { done(n.eng.Now()) })
+		n.eng.At(now+lat, op.completeFn)
 		return
 	}
 	if !n.IsRemote(line) {
@@ -370,7 +421,7 @@ func (n *Node) Issue(now sim.Time, core int, a cpu.Access, express bool, done fu
 		if err != nil {
 			panic(fmt.Sprintf("cluster: node %d local fill: %v", n.id, err))
 		}
-		n.eng.At(memDone, func() { done(n.eng.Now()) })
+		n.eng.At(memDone, op.completeFn)
 		return
 	}
 
@@ -379,15 +430,7 @@ func (n *Node) Issue(now sim.Time, core int, a cpu.Access, express bool, done fu
 	if err != nil {
 		panic(fmt.Sprintf("cluster: node %d remote fill: %v", n.id, err))
 	}
-	if err := n.rmc.Request(now+lat, pkt, express, func(t sim.Time, _ ht.Packet, rerr error) {
-		if rerr != nil {
-			// Graceful degradation: the destination stayed unreachable
-			// past the retransmit budget. The op still completes (the
-			// thread would take a machine-check, not hang), counted.
-			n.AbandonedOps++
-		}
-		done(t)
-	}); err != nil {
+	if err := n.rmc.Request(now+lat, pkt, express, op.remoteFn); err != nil {
 		panic(fmt.Sprintf("cluster: node %d RMC request: %v", n.id, err))
 	}
 }
@@ -455,7 +498,9 @@ func (n *Node) linePacket(line addr.Phys, write bool) (ht.Packet, error) {
 	if err != nil {
 		return ht.Packet{}, err
 	}
-	data := make([]byte, size)
+	// The buffer comes from the RMC's line pool and returns to it when
+	// the request completes (ownership of pkt.Data transfers on Request).
+	data := n.rmc.LineBuf(size)
 	if err := owner.ReadAt(local, data); err != nil {
 		return ht.Packet{}, err
 	}
@@ -496,9 +541,13 @@ func (n *Node) writeback(now sim.Time, victim addr.Phys) {
 	pkt.Posted = true
 	// A posted write has no requester waiting; an unreachable owner is
 	// the one place where writeback data can genuinely be lost.
-	if err := n.rmc.Request(now, pkt, false, func(sim.Time, ht.Packet, error) {}); err != nil {
+	if err := n.rmc.Request(now, pkt, false, postedDone); err != nil {
 		panic(fmt.Sprintf("cluster: node %d victim RMC write: %v", n.id, err))
 	}
 }
+
+// postedDone is the shared completion for posted writebacks: nothing
+// waits on them, and a top-level func keeps the call allocation-free.
+func postedDone(sim.Time, ht.Packet, error) {}
 
 var _ cpu.MemorySystem = (*Node)(nil)

@@ -80,9 +80,15 @@ type Thread struct {
 	windowRemote int
 	express      bool
 
-	inflight int
-	peeked   *Access
-	started  bool
+	inflight   int
+	peeked     Access
+	havePeeked bool
+	started    bool
+
+	// issueRecs is the free list of in-flight issue records: each holds
+	// its issue time and a prebound completion callback, so the pump
+	// loop issues without allocating a closure per access.
+	issueRecs []*issueRec
 
 	// Issued counts accesses completed; Latency aggregates per-access
 	// round-trip times in picoseconds.
@@ -145,14 +151,15 @@ func (t *Thread) Start(at sim.Time) {
 
 // peek returns the next access without consuming it.
 func (t *Thread) peek() (Access, bool) {
-	if t.peeked == nil {
+	if !t.havePeeked {
 		a, ok := t.stream.Next()
 		if !ok {
 			return Access{}, false
 		}
-		t.peeked = &a
+		t.peeked = a
+		t.havePeeked = true
 	}
-	return *t.peeked, true
+	return t.peeked, true
 }
 
 func (t *Thread) windowFor(a Access) int {
@@ -160,6 +167,32 @@ func (t *Thread) windowFor(a Access) int {
 		return t.windowRemote
 	}
 	return t.windowLocal
+}
+
+// issueRec tracks one in-flight access. The memory system calls doneFn
+// exactly once, so the record recycles unconditionally on completion.
+type issueRec struct {
+	t       *Thread
+	issueAt sim.Time
+	doneFn  func(sim.Time)
+}
+
+func (t *Thread) getIssueRec() *issueRec {
+	if l := len(t.issueRecs); l > 0 {
+		rec := t.issueRecs[l-1]
+		t.issueRecs = t.issueRecs[:l-1]
+		return rec
+	}
+	rec := &issueRec{t: t}
+	rec.doneFn = func(done sim.Time) {
+		th := rec.t
+		th.inflight--
+		th.Issued++
+		th.Latency.Observe(float64(done - rec.issueAt))
+		th.issueRecs = append(th.issueRecs, rec)
+		th.pump()
+	}
+	return rec
 }
 
 // pump issues as many accesses as the window allows.
@@ -175,15 +208,11 @@ func (t *Thread) pump() {
 		if t.inflight >= t.windowFor(a) {
 			return
 		}
-		t.peeked = nil
+		t.havePeeked = false
 		t.inflight++
-		issueAt := t.eng.Now()
-		t.msys.Issue(issueAt, t.core, a, t.express, func(done sim.Time) {
-			t.inflight--
-			t.Issued++
-			t.Latency.Observe(float64(done - issueAt))
-			t.pump()
-		})
+		rec := t.getIssueRec()
+		rec.issueAt = t.eng.Now()
+		t.msys.Issue(rec.issueAt, t.core, a, t.express, rec.doneFn)
 	}
 }
 

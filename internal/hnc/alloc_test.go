@@ -1,0 +1,44 @@
+package hnc
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/ht"
+)
+
+// One pooled frame round-trip — build, seal, verify, decapsulate — must
+// not allocate: frames are values, the CRC runs over a stack buffer, and
+// the verifier only mutates existing per-peer window entries. This is
+// the regression tripwire for the RMC fast path's per-frame cost.
+func TestSealVerifyRoundTripAllocs(t *testing.T) {
+	b, err := NewBridge(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(3)
+	payload := make([]byte, 64)
+	pkt := ht.Packet{Cmd: ht.CmdWrSized, SrcTag: 1, Addr: addr.Phys(0x1000).WithNode(3), Count: 64, Data: payload}
+	// Warm the per-peer sequence windows so the map entries exist.
+	for i := 0; i < 8; i++ {
+		f, err := b.Outbound(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.AcceptLoose(Seal(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		f, err := b.Outbound(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Seal(f)
+		if _, err := v.AcceptLoose(s); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("seal/verify round trip allocates %.2f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,17 @@
+package hnc
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+func TestCrcUpdateMatchesStdlib(t *testing.T) {
+	f := func(a, b []byte) bool {
+		want := crc32.Update(crc32.Update(0, crc32.IEEETable, a), crc32.IEEETable, b)
+		return crcUpdate(crcUpdate(0, a), b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,6 +1,7 @@
 package hnc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 
@@ -17,28 +18,35 @@ import (
 // events rather than silent corruption.
 
 // Checksum computes the frame's integrity word over the routing header
-// and the encapsulated packet's metadata and data.
+// and the encapsulated packet's metadata and data. It is allocation-free
+// (the header image lives on the stack and the CRC runs incrementally),
+// so sealing and verifying pooled frames stays off the GC entirely.
 func (f Frame) Checksum() uint32 {
-	h := crc32.NewIEEE()
 	var hdr [32]byte
-	put := func(off int, v uint64) {
-		for i := 0; i < 8; i++ {
-			hdr[off+i] = byte(v >> (8 * i))
-		}
-	}
-	put(0, uint64(f.Src)|uint64(f.Dst)<<16|uint64(f.Payload.Cmd)<<32|uint64(f.Payload.SrcUnit)<<40|uint64(f.Payload.SrcTag)<<48)
-	put(8, f.Seq)
-	put(16, uint64(f.Payload.Addr))
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(f.Src)|uint64(f.Dst)<<16|uint64(f.Payload.Cmd)<<32|uint64(f.Payload.SrcUnit)<<40|uint64(f.Payload.SrcTag)<<48)
+	binary.LittleEndian.PutUint64(hdr[8:], f.Seq)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(f.Payload.Addr))
 	// The Posted flag shares the Count word: an in-flight flip would
 	// silently change completion semantics, so it must be covered too.
 	cw := uint64(f.Payload.Count)
 	if f.Payload.Posted {
 		cw |= 1 << 63
 	}
-	put(24, cw)
-	h.Write(hdr[:])
-	h.Write(f.Payload.Data)
-	return h.Sum32()
+	binary.LittleEndian.PutUint64(hdr[24:], cw)
+	crc := crcUpdate(0, hdr[:])
+	return crcUpdate(crc, f.Payload.Data)
+}
+
+// crcUpdate is crc32.Update(crc, crc32.IEEETable, p), inlined because
+// the stdlib's internal update leaks its slice parameter to the heap —
+// which would force the stack header image in Checksum to allocate on
+// every seal and verify. Byte-for-byte the same polynomial and value.
+func crcUpdate(crc uint32, p []byte) uint32 {
+	crc = ^crc
+	for _, b := range p {
+		crc = crc32.IEEETable[byte(crc)^b] ^ (crc >> 8)
+	}
+	return ^crc
 }
 
 // Sealed is a frame carrying its checksum, as it travels on an

@@ -25,6 +25,7 @@ package metrics
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -125,6 +126,28 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1; the last is the +Inf bucket
 	sum    int64
 	n      uint64
+	// start[L] is the first bucket a sample of bit length L can land
+	// in; the scan from there touches at most the couple of bounds
+	// sharing that binade, making Observe O(1) on the engine's
+	// every-event hot path.
+	start [65]uint8
+}
+
+// indexBounds precomputes the bit-length jump table for a bound set.
+func (h *Histogram) indexBounds() {
+	for l := 0; l <= 64; l++ {
+		var minv int64
+		if l > 0 && l < 64 {
+			minv = int64(1) << (l - 1)
+		} else if l == 64 {
+			minv = int64(1)<<62 + 1 // bit length 64 exceeds every sane bound
+		}
+		i := 0
+		for i < len(h.bounds) && h.bounds[i] < minv {
+			i++
+		}
+		h.start[l] = uint8(i)
+	}
 }
 
 // Observe records one sample. Negative samples are clamped to zero (the
@@ -136,13 +159,11 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.n++
 	h.sum += v
-	for i, b := range h.bounds {
-		if v <= b {
-			h.counts[i]++
-			return
-		}
+	i := int(h.start[bits.Len64(uint64(v))])
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
 	}
-	h.counts[len(h.bounds)]++
+	h.counts[i]++
 }
 
 // N returns the sample count.
@@ -252,6 +273,9 @@ func (r *Registry) GaugeFunc(name, help string, ls Labels, fn func() float64) {
 func (r *Registry) Histogram(name, help string, ls Labels, bounds []int64) *Histogram {
 	f := r.family(name, help, KindHistogram)
 	if f.bounds == nil {
+		if len(bounds) > 255 {
+			panic(fmt.Sprintf("metrics: %s has %d bounds (max 255)", name, len(bounds)))
+		}
 		for i := 1; i < len(bounds); i++ {
 			if bounds[i] <= bounds[i-1] {
 				panic(fmt.Sprintf("metrics: %s bounds not ascending at %d", name, i))
@@ -264,6 +288,7 @@ func (r *Registry) Histogram(name, help string, ls Labels, bounds []int64) *Hist
 		return s.hist
 	}
 	h := &Histogram{bounds: f.bounds, counts: make([]uint64, len(f.bounds)+1)}
+	h.indexBounds()
 	f.series[sig] = &series{labels: ls.sorted(), hist: h}
 	return h
 }

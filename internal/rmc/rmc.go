@@ -109,6 +109,16 @@ type RMC struct {
 	verif *hnc.Verifier
 	lat   *metrics.Histogram
 
+	// Free lists for the reified request/serve/send continuations and
+	// for line-sized data buffers. Recycling is disabled under a fault
+	// plan (see putClientOp), so the pools stay empty there; on the
+	// fault-free fast path a remote load/store completes without
+	// allocating.
+	clientOps []*clientOp
+	srvOps    []*srvOp
+	sendOps   []*sendOp
+	lineBufs  [][]byte
+
 	// Stats.
 	Requests    uint64 // remote requests submitted at this node
 	Forwarded   uint64 // requests bridged out of this node
@@ -224,13 +234,101 @@ func (r *RMC) StallServer(now sim.Time, d sim.Time) {
 	r.server.Penalize(now, d)
 }
 
+// The three continuation structs below reify what used to be per-access
+// closure chains. Each op is allocated once, its callbacks bound once
+// (the closures capture only the op pointer), and then recycled through
+// a per-RMC free list — so a steady-state remote load/store schedules
+// every event through prebound funcs and completes without allocating.
+//
+// Recycling rule: ops and line buffers return to their pools only on a
+// fault-free system (inj == nil). Under a fault plan, mangled duplicate
+// deliveries can fire an op's callbacks after its request completed;
+// recycling then would let a late arrival read a *reused* op's fields
+// and corrupt another request's bookkeeping. Fault runs therefore keep
+// the old allocate-per-access behavior, bit-for-bit.
+
+// clientOp is the requester role's continuation: admission (with NACK
+// backoff), launch onto the fabric, and final completion.
+type clientOp struct {
+	r        *RMC
+	pkt      ht.Packet
+	express  bool
+	attempt  uint
+	issued   sim.Time
+	serviced sim.Time
+	peer     *RMC
+	done     func(sim.Time, ht.Packet, error)
+
+	retryFn   func()
+	launchFn  func()
+	finishFn  func(sim.Time, ht.Packet, error)
+	deliverFn func(sim.Time, hnc.Sealed)
+	abandonFn func(sim.Time, int)
+}
+
+func (r *RMC) getClientOp() *clientOp {
+	if n := len(r.clientOps); n > 0 {
+		op := r.clientOps[n-1]
+		r.clientOps = r.clientOps[:n-1]
+		return op
+	}
+	op := &clientOp{r: r}
+	op.retryFn = func() { op.r.admitAttempt(op.r.eng.Now(), op) }
+	op.launchFn = func() { op.r.launch(op) }
+	op.finishFn = func(t sim.Time, rsp ht.Packet, err error) { op.finish(t, rsp, err) }
+	op.deliverFn = func(t sim.Time, s hnc.Sealed) { op.peer.serve(t, s, op.express, op.finishFn) }
+	op.abandonFn = func(t sim.Time, attempts int) {
+		op.finish(t, ht.Packet{}, &UnreachableError{Dst: op.pkt.Addr.Node(), Attempts: attempts})
+	}
+	return op
+}
+
+func (r *RMC) putClientOp(op *clientOp) {
+	if r.inj != nil {
+		return
+	}
+	op.pkt = ht.Packet{}
+	op.peer = nil
+	op.done = nil
+	r.clientOps = append(r.clientOps, op)
+}
+
+// finish completes the request: observe the round trip, hand the
+// response to the caller, then reclaim the op and the response buffer.
+func (op *clientOp) finish(t sim.Time, rsp ht.Packet, err error) {
+	r := op.r
+	if err == nil {
+		// Abandoned requests never round-tripped; only completions
+		// feed the latency histogram.
+		r.lat.Observe(t - op.issued)
+	}
+	done, reqData, server := op.done, op.pkt.Data, op.peer
+	if server == nil { // loopback: this RMC served itself
+		server = r
+	}
+	r.putClientOp(op)
+	done(t, rsp, err)
+	// Both buffers are dead once the caller's callback has returned
+	// (see Request's contract): write-request data was consumed by the
+	// server's functional store, and the response buffer came from the
+	// serving RMC's line pool — each returns to the pool it was drawn
+	// from, so neither pool drains across repeated round trips. At most
+	// one of the two is non-nil per request, so a buffer can never
+	// enter a pool twice.
+	r.putLineBuf(reqData)
+	server.putLineBuf(rsp.Data)
+}
+
 // Request submits a memory request whose address carries a node prefix.
 // done is invoked exactly once, at the simulated completion time, with
-// the response packet (RdResponse with data, or TgtDone). Under a fault
-// plan a request whose destination stays unreachable past the retransmit
-// budget completes with a zero packet and an *UnreachableError; without
-// a plan err is always nil. express routes both directions over a
-// dedicated express link (Figure 8's control setup) instead of the mesh.
+// the response packet (RdResponse with data, or TgtDone). Data buffers
+// are pooled: ownership of pkt.Data transfers to the RMC, and rsp.Data
+// is valid only for the duration of the callback — copy it to keep it.
+// Under a fault plan a request whose destination stays
+// unreachable past the retransmit budget completes with a zero packet
+// and an *UnreachableError; without a plan err is always nil. express
+// routes both directions over a dedicated express link (Figure 8's
+// control setup) instead of the mesh.
 func (r *RMC) Request(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet, error)) error {
 	if err := pkt.Validate(); err != nil {
 		return err
@@ -242,19 +340,14 @@ func (r *RMC) Request(now sim.Time, pkt ht.Packet, express bool, done func(sim.T
 	if dst == 0 {
 		return fmt.Errorf("rmc: address %v is local; the BARs should have routed it to a memory controller", pkt.Addr)
 	}
-	if r.peersCheck(dst) != nil {
-		return r.peersCheck(dst)
+	if err := r.peersCheck(dst); err != nil {
+		return err
 	}
 	r.Requests++
-	issued := now
-	r.admit(now, pkt, express, func(t sim.Time, rsp ht.Packet, err error) {
-		if err == nil {
-			// Abandoned requests never round-tripped; only completions
-			// feed the latency histogram.
-			r.lat.Observe(t - issued)
-		}
-		done(t, rsp, err)
-	})
+	op := r.getClientOp()
+	op.pkt, op.express, op.done = pkt, express, done
+	op.attempt, op.issued = 0, now
+	r.admitAttempt(now, op)
 	return nil
 }
 
@@ -266,56 +359,75 @@ func (r *RMC) peersCheck(dst addr.NodeID) error {
 	return err
 }
 
-// admit tries to enter the client queue, retrying on NACK with capped
-// exponential backoff. The backoff matters: a requester retrying at a
-// fixed interval against a full queue would waste RMC capacity faster
-// than the RMC serves, and nothing would ever complete.
-func (r *RMC) admit(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet, error)) {
-	r.admitAttempt(now, pkt, express, 0, done)
+// LineBuf returns a pooled buffer of n bytes for packet data. Callers
+// that build write packets from it get it recycled automatically when
+// the request completes; it may contain stale bytes (every consumer
+// overwrites the full length). Under a fault plan nothing is ever
+// recycled, so this degenerates to make([]byte, n).
+func (r *RMC) LineBuf(n int) []byte { return r.getLineBuf(n) }
+
+func (r *RMC) getLineBuf(n int) []byte {
+	if l := len(r.lineBufs); l > 0 {
+		if b := r.lineBufs[l-1]; cap(b) >= n {
+			r.lineBufs = r.lineBufs[:l-1]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
 }
 
-func (r *RMC) admitAttempt(now sim.Time, pkt ht.Packet, express bool, attempt uint, done func(sim.Time, ht.Packet, error)) {
+func (r *RMC) putLineBuf(b []byte) {
+	if r.inj != nil || cap(b) == 0 {
+		return
+	}
+	r.lineBufs = append(r.lineBufs, b)
+}
+
+// admitAttempt tries to enter the client queue, retrying on NACK with
+// capped exponential backoff. The backoff matters: a requester retrying
+// at a fixed interval against a full queue would waste RMC capacity
+// faster than the RMC serves, and nothing would ever complete.
+func (r *RMC) admitAttempt(now sim.Time, op *clientOp) {
 	if r.inj.NackStorm(r.self, int64(now)) {
 		// A scheduled NACK storm: the client RMC refuses every admission
 		// as if its queue were wedged full. Same waste, same backoff —
 		// progress resumes when the window closes.
 		r.StormNACKs++
-		r.nack(now, pkt, express, attempt, done)
+		r.nack(now, op)
 		return
 	}
 	serviced, ok := r.client.Acquire(now, r.p.RMCClientOccupancy)
 	if !ok {
-		r.nack(now, pkt, express, attempt, done)
+		r.nack(now, op)
 		return
 	}
 	r.Forwarded++
-	r.eng.At(serviced, func() {
-		r.launch(serviced, pkt, express, done)
-	})
+	op.serviced = serviced
+	r.eng.At(serviced, op.launchFn)
 }
 
 // nack charges the NACK-processing waste and schedules the reissue.
-func (r *RMC) nack(now sim.Time, pkt ht.Packet, express bool, attempt uint, done func(sim.Time, ht.Packet, error)) {
+func (r *RMC) nack(now sim.Time, op *clientOp) {
 	r.Retries++
 	r.client.Penalize(now, r.p.RMCRetryWaste)
-	backoff := r.p.RMCRetryPenalty << min(attempt, 8)
-	r.eng.After(backoff, func() {
-		r.admitAttempt(r.eng.Now(), pkt, express, attempt+1, done)
-	})
+	backoff := r.p.RMCRetryPenalty << min(op.attempt, 8)
+	op.attempt++
+	r.eng.After(backoff, op.retryFn)
 }
 
 // launch bridges the packet onto the fabric once client service is done.
-func (r *RMC) launch(now sim.Time, pkt ht.Packet, express bool, done func(sim.Time, ht.Packet, error)) {
-	dst := pkt.Addr.Node()
+func (r *RMC) launch(op *clientOp) {
+	now := op.serviced
+	dst := op.pkt.Addr.Node()
 	if dst == r.self {
 		// Loopback mode: the paper notes the overlapped segment exists
 		// but is never used in practice; the hardware would replay the
 		// request into its own local system, so we do.
 		r.LoopbackOps++
-		r.serveLocal(now, pkt, func(t sim.Time, rsp ht.Packet) { done(t, rsp, nil) })
+		r.serveLocal(now, op.pkt, op.finishFn)
 		return
 	}
-	frame, err := r.bridge.Outbound(pkt)
+	frame, err := r.bridge.Outbound(op.pkt)
 	if err != nil {
 		// Unreachable for validated packets; surface loudly in sim.
 		panic(fmt.Sprintf("rmc%d: outbound bridge failed: %v", r.self, err))
@@ -323,14 +435,51 @@ func (r *RMC) launch(now sim.Time, pkt ht.Packet, express bool, done func(sim.Ti
 	// Frames travel sealed: the CRC rides in the existing HeaderBytes
 	// budget, so link timing (and the paper calibration) is unchanged.
 	sealed := hnc.Seal(frame)
-	peer, _ := r.peers.RMC(dst)
-	r.sendSealed(now, sealed, dst, express,
-		func(t sim.Time, s hnc.Sealed) {
-			peer.serve(t, s, express, done)
-		},
-		func(t sim.Time, attempts int) {
-			done(t, ht.Packet{}, &UnreachableError{Dst: dst, Attempts: attempts})
-		})
+	op.peer, _ = r.peers.RMC(dst)
+	r.sendSealed(now, sealed, dst, op.express, op.deliverFn, op.abandonFn)
+}
+
+// sendOp is one sealed frame's journey under the retransmission
+// discipline: it carries the frame, its attempt count, and the delivery
+// callbacks across timer events without a fresh closure per attempt.
+type sendOp struct {
+	r       *RMC
+	s       hnc.Sealed
+	dst     addr.NodeID
+	express bool
+	wire    int
+	n       int
+	arrive  sim.Time
+	deliver func(sim.Time, hnc.Sealed)
+	abandon func(sim.Time, int)
+
+	attemptFn func()
+	deliverFn func()
+}
+
+func (r *RMC) getSendOp() *sendOp {
+	if n := len(r.sendOps); n > 0 {
+		op := r.sendOps[n-1]
+		r.sendOps = r.sendOps[:n-1]
+		return op
+	}
+	op := &sendOp{r: r}
+	op.attemptFn = func() { op.r.sendAttempt(op.r.eng.Now(), op) }
+	op.deliverFn = func() {
+		deliver, arrive, s := op.deliver, op.arrive, op.s
+		op.r.putSendOp(op)
+		deliver(arrive, s)
+	}
+	return op
+}
+
+func (r *RMC) putSendOp(op *sendOp) {
+	if r.inj != nil {
+		return
+	}
+	op.s = hnc.Sealed{}
+	op.deliver, op.abandon = nil, nil
+	r.sendOps = append(r.sendOps, op)
 }
 
 // sendSealed pushes one sealed frame toward dst under the retransmission
@@ -341,44 +490,52 @@ func (r *RMC) launch(now sim.Time, pkt ht.Packet, express bool, done func(sim.Ti
 // frame is simply delivered — one arrival event, exactly as before the
 // fault layer existed.
 func (r *RMC) sendSealed(now sim.Time, s hnc.Sealed, dst addr.NodeID, express bool, deliver func(sim.Time, hnc.Sealed), abandon func(sim.Time, int)) {
-	wire := s.Frame.WireBytes()
-	var attempt func(t sim.Time, n int)
-	attempt = func(t sim.Time, n int) {
-		out := r.deliverOutcome(t, dst, wire, express)
-		switch out.Status {
-		case faults.Delivered:
-			r.eng.At(sim.Time(out.Arrive), func() { deliver(sim.Time(out.Arrive), s) })
-		case faults.Corrupted:
-			// The mangled copy still arrives — the receiver's CRC check
-			// counts and discards it — and the sender, hearing nothing,
-			// retransmits.
-			mangled := hnc.Sealed{Frame: s.Frame, CRC: r.inj.MangleCRC(s.CRC)}
-			r.eng.At(sim.Time(out.Arrive), func() { deliver(sim.Time(out.Arrive), mangled) })
-			r.resend(t, n, attempt, abandon)
-		default: // Dropped, Unreachable
-			r.resend(t, n, attempt, abandon)
-		}
-	}
-	attempt(now, 0)
+	op := r.getSendOp()
+	op.s, op.dst, op.express, op.wire = s, dst, express, s.Frame.WireBytes()
+	op.n = 0
+	op.deliver, op.abandon = deliver, abandon
+	r.sendAttempt(now, op)
 }
 
-// resend arms the retransmission timer for attempt n, or abandons once
-// the budget is spent.
-func (r *RMC) resend(now sim.Time, n int, attempt func(sim.Time, int), abandon func(sim.Time, int)) {
-	if n >= r.p.RetransmitBudget {
+func (r *RMC) sendAttempt(now sim.Time, op *sendOp) {
+	out := r.deliverOutcome(now, op.dst, op.wire, op.express)
+	switch out.Status {
+	case faults.Delivered:
+		op.arrive = sim.Time(out.Arrive)
+		r.eng.At(op.arrive, op.deliverFn)
+	case faults.Corrupted:
+		// The mangled copy still arrives — the receiver's CRC check
+		// counts and discards it — and the sender, hearing nothing,
+		// retransmits. Fault-only path: the fresh closure captures the
+		// callback by value, so it stays valid however long it lingers.
+		arrive := sim.Time(out.Arrive)
+		mangled := hnc.Sealed{Frame: op.s.Frame, CRC: r.inj.MangleCRC(op.s.CRC)}
+		deliver := op.deliver
+		r.eng.At(arrive, func() { deliver(arrive, mangled) })
+		r.resend(now, op)
+	default: // Dropped, Unreachable
+		r.resend(now, op)
+	}
+}
+
+// resend arms the retransmission timer for the op's current attempt, or
+// abandons once the budget is spent.
+func (r *RMC) resend(now sim.Time, op *sendOp) {
+	if op.n >= r.p.RetransmitBudget {
 		r.Abandoned++
-		abandon(now, n+1)
+		// Abandons happen only under a fault plan, where ops are never
+		// recycled; the op may die with its callbacks in flight.
+		op.abandon(now, op.n+1)
 		return
 	}
 	r.Retransmits++
-	shift := uint(n)
+	shift := uint(op.n)
 	if shift > r.p.RetransmitBackoffCap {
 		shift = r.p.RetransmitBackoffCap
 	}
 	wait := r.p.RetransmitTimeout << shift
-	r.eng.At(now+wait, func() {
-		attempt(r.eng.Now(), n+1)
-	})
+	op.n++
+	r.eng.At(now+wait, op.attemptFn)
 }
 
 // deliverOutcome routes one frame over the chosen path. Express links
@@ -397,6 +554,64 @@ func (r *RMC) deliverOutcome(now sim.Time, dst addr.NodeID, bytes int, express b
 	}
 	t, hops := r.fabric.Deliver(now, r.self, dst, bytes)
 	return faults.Outcome{Arrive: int64(t), Hops: hops, Status: faults.Delivered}
+}
+
+// srvOp is the server role's continuation: protection check, memory
+// access, and the sealed reply leg, across the serviced/memDone events.
+// For loopback ops (src == self, no fabric) respond completes directly.
+type srvOp struct {
+	r        *RMC
+	src      addr.NodeID
+	loopback bool
+	local    ht.Packet
+	express  bool
+	abort    bool
+	serviced sim.Time
+	memDone  sim.Time
+	rsp      ht.Packet
+	done     func(sim.Time, ht.Packet, error)
+
+	serviceFn      func()
+	respondFn      func()
+	replyDeliverFn func(sim.Time, hnc.Sealed)
+	replyAbandonFn func(sim.Time, int)
+}
+
+func (r *RMC) getSrvOp() *srvOp {
+	if n := len(r.srvOps); n > 0 {
+		op := r.srvOps[n-1]
+		r.srvOps = r.srvOps[:n-1]
+		return op
+	}
+	op := &srvOp{r: r}
+	op.serviceFn = func() { op.service() }
+	op.respondFn = func() { op.respond() }
+	op.replyDeliverFn = func(t sim.Time, s hnc.Sealed) {
+		if op.r.acceptReply(op.src, s) {
+			done, rsp := op.done, op.rsp
+			op.r.putSrvOp(op)
+			done(t, rsp, nil)
+		}
+		// A corrupted arrival is counted and dropped by the
+		// requester's verifier; this sender's retransmission will
+		// complete the request on a later, clean arrival.
+	}
+	op.replyAbandonFn = func(t sim.Time, attempts int) {
+		// The requester became unreachable for the response. The
+		// server holds the completion, so it can still fail the
+		// request instead of leaving the issuer hanging.
+		op.done(t, ht.Packet{}, &UnreachableError{Dst: op.src, Attempts: attempts})
+	}
+	return op
+}
+
+func (r *RMC) putSrvOp(op *srvOp) {
+	if r.inj != nil {
+		return
+	}
+	op.local, op.rsp = ht.Packet{}, ht.Packet{}
+	op.done = nil
+	r.srvOps = append(r.srvOps, op)
 }
 
 // serve handles a sealed frame arriving from the fabric: verify
@@ -420,46 +635,51 @@ func (r *RMC) serve(now sim.Time, sealed hnc.Sealed, express bool, done func(sim
 		panic(fmt.Sprintf("rmc%d: inbound bridge failed: %v", r.self, err))
 	}
 	serviced, _ := r.server.Acquire(now, r.p.RMCServerOccupancy)
+	op := r.getSrvOp()
+	op.src, op.loopback, op.local, op.express = frame.Src, false, local, express
+	op.done, op.serviced, op.abort = done, serviced, false
 	if r.protection != nil && local.Cmd.IsRequest() {
 		rng := addr.Range{Start: local.Addr, Size: uint64(local.Count)}
 		if !r.protection.Allowed(frame.Src, rng) {
 			r.Aborted++
-			r.eng.At(serviced, func() {
-				r.sendReply(serviced, frame.Src, local.Abort(), express, done)
-			})
-			return
+			op.abort = true
 		}
 	}
-	r.eng.At(serviced, func() {
-		r.access(serviced, local, func(t sim.Time, rsp ht.Packet) {
-			r.sendReply(t, frame.Src, rsp, express, done)
-		})
-	})
+	r.eng.At(serviced, op.serviceFn)
 }
 
-// sendReply seals a response frame back to the requester under the same
-// retransmission discipline as the request leg.
-func (r *RMC) sendReply(now sim.Time, requester addr.NodeID, rsp ht.Packet, express bool, done func(sim.Time, ht.Packet, error)) {
-	reply, err := r.bridge.Reply(requester, rsp)
+// service runs at the serviced instant: answer a protection denial with
+// Target Abort, otherwise perform the local memory access.
+func (op *srvOp) service() {
+	if op.abort {
+		op.rsp = op.local.Abort()
+		op.r.sendReply(op.serviced, op)
+		return
+	}
+	op.r.access(op)
+}
+
+// respond runs at memDone: complete a loopback op directly, or seal the
+// response back onto the fabric.
+func (op *srvOp) respond() {
+	r := op.r
+	if op.loopback {
+		done, t, rsp := op.done, op.memDone, op.rsp
+		r.putSrvOp(op)
+		done(t, rsp, nil)
+		return
+	}
+	r.sendReply(op.memDone, op)
+}
+
+// sendReply seals the op's response frame back to the requester under
+// the same retransmission discipline as the request leg.
+func (r *RMC) sendReply(now sim.Time, op *srvOp) {
+	reply, err := r.bridge.Reply(op.src, op.rsp)
 	if err != nil {
 		panic(fmt.Sprintf("rmc%d: reply bridge failed: %v", r.self, err))
 	}
-	sealedReply := hnc.Seal(reply)
-	r.sendSealed(now, sealedReply, requester, express,
-		func(t sim.Time, s hnc.Sealed) {
-			if r.acceptReply(requester, s) {
-				done(t, rsp, nil)
-			}
-			// A corrupted arrival is counted and dropped by the
-			// requester's verifier; this sender's retransmission will
-			// complete the request on a later, clean arrival.
-		},
-		func(t sim.Time, attempts int) {
-			// The requester became unreachable for the response. The
-			// server holds the completion, so it can still fail the
-			// request instead of leaving the issuer hanging.
-			done(t, ht.Packet{}, &UnreachableError{Dst: requester, Attempts: attempts})
-		})
+	r.sendSealed(now, hnc.Seal(reply), op.src, op.express, op.replyDeliverFn, op.replyAbandonFn)
 }
 
 // acceptReply runs the requester-side integrity check on a sealed
@@ -480,38 +700,41 @@ func (r *RMC) acceptReply(requester addr.NodeID, s hnc.Sealed) bool {
 }
 
 // serveLocal runs the server path without the fabric (loopback).
-func (r *RMC) serveLocal(now sim.Time, pkt ht.Packet, done func(sim.Time, ht.Packet)) {
+func (r *RMC) serveLocal(now sim.Time, pkt ht.Packet, done func(sim.Time, ht.Packet, error)) {
 	localPkt := pkt
 	localPkt.Addr = pkt.Addr.Local()
 	serviced, _ := r.server.Acquire(now, r.p.RMCServerOccupancy)
-	r.eng.At(serviced, func() {
-		r.access(serviced, localPkt, done)
-	})
+	op := r.getSrvOp()
+	op.src, op.loopback, op.local, op.express = r.self, true, localPkt, false
+	op.done, op.serviced, op.abort = done, serviced, false
+	r.eng.At(serviced, op.serviceFn)
 }
 
 // access performs the functional + timed local memory operation and
-// builds the response.
-func (r *RMC) access(now sim.Time, pkt ht.Packet, done func(sim.Time, ht.Packet)) {
+// builds the response. Read data lands in a pooled buffer; ReadAt fills
+// it end to end (the store zero-fills untouched regions), so stale pool
+// bytes can never leak into a response.
+func (r *RMC) access(op *srvOp) {
 	r.ServedHere++
-	memDone, err := r.bank.Access(now, pkt.Addr, pkt.Cmd == ht.CmdWrSized)
+	memDone, err := r.bank.Access(op.serviced, op.local.Addr, op.local.Cmd == ht.CmdWrSized)
 	if err != nil {
 		panic(fmt.Sprintf("rmc%d: local memory access failed: %v", r.self, err))
 	}
-	var rsp ht.Packet
-	switch pkt.Cmd {
+	switch op.local.Cmd {
 	case ht.CmdRdSized:
-		data := make([]byte, pkt.Count)
-		if err := r.store.ReadAt(pkt.Addr, data); err != nil {
+		data := r.getLineBuf(int(op.local.Count))
+		if err := r.store.ReadAt(op.local.Addr, data); err != nil {
 			panic(fmt.Sprintf("rmc%d: functional read failed: %v", r.self, err))
 		}
-		rsp = pkt.Response(data)
+		op.rsp = op.local.Response(data)
 	case ht.CmdWrSized:
-		if err := r.store.WriteAt(pkt.Addr, pkt.Data); err != nil {
+		if err := r.store.WriteAt(op.local.Addr, op.local.Data); err != nil {
 			panic(fmt.Sprintf("rmc%d: functional write failed: %v", r.self, err))
 		}
-		rsp = pkt.Response(nil)
+		op.rsp = op.local.Response(nil)
 	default:
-		panic(fmt.Sprintf("rmc%d: cannot serve %v", r.self, pkt.Cmd))
+		panic(fmt.Sprintf("rmc%d: cannot serve %v", r.self, op.local.Cmd))
 	}
-	r.eng.At(memDone, func() { done(memDone, rsp) })
+	op.memDone = memDone
+	r.eng.At(memDone, op.respondFn)
 }

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// ---- reference implementation: the original container/heap engine ----
+//
+// The arena engine must replay the exact (time, seq) order the original
+// pointer-based engine produced — that order is what makes every figure
+// byte-identical. The oracle below is the pre-refactor implementation,
+// kept verbatim (minus metrics) as the specification.
+
+type oracleEvent struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+type oracleQueue []*oracleEvent
+
+func (q oracleQueue) Len() int { return len(q) }
+func (q oracleQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q oracleQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *oracleQueue) Push(x any) {
+	e := x.(*oracleEvent)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *oracleQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type oracleEngine struct {
+	now   Time
+	seq   uint64
+	queue oracleQueue
+}
+
+func (e *oracleEngine) At(at Time, fn func()) *oracleEvent {
+	ev := &oracleEvent{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+func (e *oracleEngine) Run() Time {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*oracleEvent)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// ---- the shared random workload ----
+
+// firing is one observed execution: which logical event ran and when.
+type firing struct {
+	id int
+	at Time
+}
+
+// script drives an engine through a seeded random schedule/cancel/fire
+// interleaving via the tiny adapter interface below, logging firings.
+type testEngine interface {
+	schedule(at Time, fn func()) (cancel func())
+	now() Time
+	run()
+}
+
+type arenaAdapter struct{ e *Engine }
+
+func (a arenaAdapter) schedule(at Time, fn func()) func() {
+	h := a.e.At(at, fn)
+	return h.Cancel
+}
+func (a arenaAdapter) now() Time { return a.e.Now() }
+func (a arenaAdapter) run()      { a.e.Run() }
+
+type oracleAdapter struct{ e *oracleEngine }
+
+func (o oracleAdapter) schedule(at Time, fn func()) func() {
+	ev := o.e.At(at, fn)
+	return func() { ev.dead = true }
+}
+func (o oracleAdapter) now() Time { return o.e.now }
+func (o oracleAdapter) run()      { o.e.Run() }
+
+// runScript replays a seeded interleaving: a cascade of events that
+// schedule further events, cancel random outstanding ones (sometimes
+// twice), and occasionally reschedule at the current instant. All
+// decisions come from the seeded source, so both engines see the same
+// logical workload.
+func runScript(seed int64, eng testEngine) []firing {
+	rng := rand.New(rand.NewSource(seed))
+	var log []firing
+	var cancels []func()
+	nextID := 0
+	var spawn func(depth int) // schedules one event; fires transitively
+	spawn = func(depth int) {
+		id := nextID
+		nextID++
+		at := eng.now() + Time(rng.Intn(50))
+		cancel := eng.schedule(at, func() {
+			log = append(log, firing{id: id, at: eng.now()})
+			if depth < 6 {
+				for k := rng.Intn(3); k > 0; k-- {
+					spawn(depth + 1)
+				}
+			}
+			if len(cancels) > 0 && rng.Intn(3) == 0 {
+				c := cancels[rng.Intn(len(cancels))]
+				c()
+				if rng.Intn(2) == 0 {
+					c() // double-cancel must be a no-op
+				}
+			}
+		})
+		cancels = append(cancels, cancel)
+	}
+	for i := 0; i < 20; i++ {
+		spawn(0)
+	}
+	eng.run()
+	return log
+}
+
+// TestArenaMatchesHeapOracle: for many seeds, the arena engine fires the
+// same events at the same times in the same order as the original
+// container/heap implementation, under random schedule/cancel/fire
+// interleavings (the determinism contract, event for event).
+func TestArenaMatchesHeapOracle(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		got := runScript(seed, arenaAdapter{New()})
+		want := runScript(seed, oracleAdapter{&oracleEngine{}})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: arena fired %d events, oracle %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: firing %d diverges: arena %+v, oracle %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHandleNeverCancelsReusedSlot: a Handle kept across its event's
+// firing (or cancellation) must never kill the event that later reuses
+// the slot. Slots recycle LIFO, so scheduling right after a fire reuses
+// the hottest slot — the exact aliasing the generation counter guards.
+func TestHandleNeverCancelsReusedSlot(t *testing.T) {
+	e := New()
+	fired := make(map[int]bool)
+	var stale []Handle
+
+	// Round 1: events that fire (handles go stale at fire time).
+	for i := 0; i < 8; i++ {
+		i := i
+		stale = append(stale, e.At(Time(i), func() { fired[i] = true }))
+	}
+	// One canceled before firing: its slot is also recycled.
+	hc := e.At(3, func() { t.Error("canceled event fired") })
+	hc.Cancel()
+	e.Run()
+
+	// Round 2: new events reuse the freed slots.
+	for i := 100; i < 110; i++ {
+		i := i
+		e.At(e.Now()+Time(i), func() { fired[i] = true })
+	}
+	// Stale handles from round 1 must not touch round 2's events.
+	for _, h := range stale {
+		h.Cancel()
+	}
+	hc.Cancel()
+	if got := e.Pending(); got != 10 {
+		t.Fatalf("stale cancels killed reused slots: Pending = %d, want 10", got)
+	}
+	e.Run()
+	for i := 100; i < 110; i++ {
+		if !fired[i] {
+			t.Errorf("event %d (in a reused slot) never fired", i)
+		}
+	}
+}
+
+// TestHandleSafetyProperty: seeded random interleavings where every
+// handle is canceled again *after* the run. No late cancel may affect
+// events scheduled afterwards, and rerunning the same seed twice is
+// bit-identical.
+func TestHandleSafetyProperty(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var handles []Handle
+		count := 0
+		for i := 0; i < 100; i++ {
+			h := e.At(Time(rng.Intn(1000)), func() { count++ })
+			handles = append(handles, h)
+			if rng.Intn(4) == 0 {
+				handles[rng.Intn(len(handles))].Cancel()
+			}
+		}
+		e.Run()
+		if e.Pending() != 0 {
+			t.Fatalf("seed %d: Pending = %d after drain", seed, e.Pending())
+		}
+		// Late cancels against reused slots.
+		survivors := count
+		next := 0
+		for i := 0; i < 50; i++ {
+			e.At(e.Now()+Time(rng.Intn(100)), func() { next++ })
+			handles[rng.Intn(len(handles))].Cancel()
+		}
+		if e.Pending() != 50 {
+			t.Fatalf("seed %d: stale handles canceled new events (Pending = %d, want 50)", seed, e.Pending())
+		}
+		e.Run()
+		if next != 50 {
+			t.Fatalf("seed %d: %d of 50 post-run events fired", seed, next)
+		}
+		_ = survivors
+	}
+}

@@ -6,10 +6,14 @@
 // Model components schedule closures; shared hardware (links, RMCs,
 // memory controllers) is modeled with Resource, a FIFO single server
 // with an optional bounded queue.
+//
+// The hot path is allocation-free in steady state: events are values in
+// an index-based 4-ary min-heap backed by a free-list arena of event
+// slots, and Handles carry a generation counter so Cancel stays O(1)
+// and safe across slot reuse (see DESIGN.md §11).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/metrics"
@@ -18,40 +22,25 @@ import (
 // Time is simulation time in picoseconds.
 type Time = int64
 
-// Event is a scheduled closure.
-type event struct {
+// entry is one scheduled event's position in the priority queue: its
+// firing time, the global FIFO tie-breaker, and the arena slot holding
+// its closure. Entries are values — sifting moves 24 bytes, never a
+// pointer the GC has to trace.
+type entry struct {
 	at   Time
-	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	seq  uint64
+	slot int32
+}
+
+// slot is one arena cell. While scheduled it holds the event's closure;
+// canceled slots keep their (nil'd) cell until the queue entry pops, so
+// a slot is never reused while an entry still points at it. gen bumps
+// on every release, invalidating stale Handles.
+type slot struct {
 	fn   func()
-	idx  int
-	dead bool
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx, q[j].idx = i, j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	gen  uint32
+	live bool
+	next int32 // free-list link, meaningful only when free
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
@@ -59,7 +48,10 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	queue   []entry
+	arena   []slot
+	free    int32 // head of the slot free list, -1 when empty
+	live    int   // scheduled events not yet fired or canceled
 	stopped bool
 	// Processed counts executed events, for instrumentation.
 	Processed uint64
@@ -70,7 +62,7 @@ type Engine struct {
 
 // New returns an empty engine at time zero.
 func New() *Engine {
-	e := &Engine{met: metrics.NewRegistry()}
+	e := &Engine{free: -1, met: metrics.NewRegistry()}
 	e.met.CounterFunc(metrics.FamSimEvents, "events executed by the engine", nil,
 		func() uint64 { return e.Processed })
 	e.met.GaugeFunc(metrics.FamSimPending, "live events still queued", nil,
@@ -90,15 +82,106 @@ func (e *Engine) Metrics() *metrics.Registry { return e.met }
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
-// Handle identifies a scheduled event so it can be canceled.
-type Handle struct{ ev *event }
+// Handle identifies a scheduled event so it can be canceled. The zero
+// Handle is valid and cancels nothing.
+type Handle struct {
+	eng  *Engine
+	slot int32
+	gen  uint32
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Cancel prevents the event from firing. Canceling an already-fired,
+// already-canceled, or zero Handle is a no-op: the generation check
+// makes a stale Handle harmless even after its slot has been reused.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+	if h.eng == nil {
+		return
 	}
+	s := &h.eng.arena[h.slot]
+	if s.gen != h.gen || !s.live {
+		return
+	}
+	s.live = false
+	s.fn = nil
+	h.eng.live--
+}
+
+// alloc takes a slot from the free list, growing the arena when empty.
+func (e *Engine) alloc(fn func()) int32 {
+	if i := e.free; i >= 0 {
+		s := &e.arena[i]
+		e.free = s.next
+		s.fn = fn
+		s.live = true
+		return i
+	}
+	e.arena = append(e.arena, slot{fn: fn, live: true})
+	return int32(len(e.arena) - 1)
+}
+
+// release returns a slot to the free list, bumping its generation so
+// outstanding Handles to the old occupant go stale.
+func (e *Engine) release(i int32) {
+	s := &e.arena[i]
+	s.fn = nil
+	s.live = false
+	s.gen++
+	s.next = e.free
+	e.free = i
+}
+
+// push inserts an entry, sifting up through the 4-ary heap.
+func (e *Engine) push(at Time, seq uint64, sl int32) {
+	e.queue = append(e.queue, entry{})
+	q := e.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if q[p].at < at || (q[p].at == at && q[p].seq < seq) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = entry{at: at, seq: seq, slot: sl}
+}
+
+// pop removes and returns the minimum entry, sifting the displaced tail
+// down. The 4-ary layout halves tree depth versus binary, and the node's
+// children share cache lines — pops dominate the engine's profile.
+func (e *Engine) pop() entry {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	moved := q[n]
+	e.queue = q[:n]
+	if n > 0 {
+		q = q[:n]
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if q[j].at < q[m].at || (q[j].at == q[m].at && q[j].seq < q[m].seq) {
+					m = j
+				}
+			}
+			if q[m].at > moved.at || (q[m].at == moved.at && q[m].seq > moved.seq) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = moved
+	}
+	return top
 }
 
 // At schedules fn to run at the absolute time at. Scheduling in the past
@@ -107,11 +190,12 @@ func (e *Engine) At(at Time, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
 	e.delay.Observe(at - e.now)
-	heap.Push(&e.queue, ev)
-	return Handle{ev}
+	sl := e.alloc(fn)
+	e.push(at, e.seq, sl)
+	e.seq++
+	e.live++
+	return Handle{eng: e, slot: sl, gen: e.arena[sl].gen}
 }
 
 // After schedules fn to run d picoseconds from now.
@@ -125,18 +209,30 @@ func (e *Engine) After(d Time, fn func()) Handle {
 // Stop makes Run return after the currently executing event.
 func (e *Engine) Stop() { e.stopped = true }
 
+// fire pops the minimum entry and executes it if still live. The slot is
+// released before the closure runs, so an event may reschedule into its
+// own slot; the generation bump keeps its old Handle stale.
+func (e *Engine) fire() {
+	ev := e.pop()
+	s := &e.arena[ev.slot]
+	fn := s.fn
+	wasLive := s.live
+	e.release(ev.slot)
+	if !wasLive {
+		return
+	}
+	e.live--
+	e.now = ev.at
+	e.Processed++
+	fn()
+}
+
 // Run executes events until the queue drains or Stop is called. It
 // returns the final simulation time.
 func (e *Engine) Run() Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
+		e.fire()
 	}
 	return e.now
 }
@@ -152,13 +248,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			e.now = deadline
 			return e.now
 		}
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
+		e.fire()
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline
@@ -166,13 +256,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
-// Pending returns the number of live events still queued.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of live events still queued. It is O(1):
+// the engine maintains the count on schedule, fire, and cancel (the
+// metrics layer samples it on every snapshot).
+func (e *Engine) Pending() int { return e.live }
