@@ -1,8 +1,10 @@
-// Command ncdsm-perf is the tracked perf-regression harness. It runs the
-// three benchmarks the hot-path work is judged by — engine event churn,
-// a full RMC remote-line round trip, and the faulted Figure 7 sweep —
-// and either writes the results to a baseline file (BENCH_sim.json) or
-// checks them against a committed baseline.
+// Command ncdsm-perf is the tracked perf-regression harness. It runs
+// the benchmarks the hot-path work is judged by — engine event churn, a
+// full RMC remote-line round trip, the faulted Figure 7 sweep, and the
+// macro layer's batched access engine (the Figure 9 search hot loop and
+// the LineCached and Swap batch pricing loops) — and either writes the
+// results to a baseline file (BENCH_sim.json) or checks them against a
+// committed baseline.
 //
 //	ncdsm-perf -out BENCH_sim.json          # refresh the baseline
 //	ncdsm-perf -check BENCH_sim.json        # gate: fail on regression
@@ -25,8 +27,12 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/btree"
 	"repro/internal/experiments"
+	"repro/internal/memmodel"
+	"repro/internal/params"
 	"repro/internal/sim"
+	"repro/internal/swap"
 
 	ncdsm "repro"
 )
@@ -130,6 +136,9 @@ func measure() Baseline {
 	run("engine_schedule_run", "1s", func(r testing.BenchmarkResult) float64 { return float64(r.N) }, benchEngineChurn)
 	run("rmc_round_trip", "1s", nil, benchRemoteLineRead)
 	run("fig7_faulted_sweep", "3x", nil, benchFig7Faulted)
+	run("fig9_search_hot_loop", "1s", nil, benchFig9SearchHotLoop)
+	run("linecached_batch_4k", "1s", nil, benchLineCachedBatch)
+	run("swap_batch_4k", "1s", nil, benchSwapBatch)
 	return doc
 }
 
@@ -239,6 +248,100 @@ func benchRemoteLineRead(b *testing.B) {
 			b.Fatal(err)
 		}
 		sys.Run()
+	}
+}
+
+// benchOps builds a deterministic mixed op stream (LCG-fed, ~25%
+// writes) over the given byte span for the batch benchmarks.
+func benchOps(n int, span uint64) []memmodel.AccessOp {
+	ops := make([]memmodel.AccessOp, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range ops {
+		state = state*6364136223846793005 + 1442695040888963407
+		ops[i] = memmodel.AccessOp{Addr: state % span, Write: state>>62 == 0}
+	}
+	return ops
+}
+
+// benchFig9SearchHotLoop is the Figure 9 sweep's inner loop: one
+// batched b-tree search per op against the remote-swap configuration at
+// the paper's optimal fanout. This is the path the paper-scale run
+// spends its time in; it must stay allocation-free.
+func benchFig9SearchHotLoop(b *testing.B) {
+	tr, err := btree.New(168)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]uint64, 200_000)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		b.Fatal(err)
+	}
+	p := params.Default()
+	sw, err := memmodel.NewSwap(p, swap.RemoteDevice{P: p, Hops: 1}, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bt memmodel.Batcher
+	bt.Grow(256)
+	tr.SearchBatch(0, sw, &bt) // warm
+	var key uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key += 7919
+		tr.SearchBatch(key%600_000, sw, &bt)
+	}
+}
+
+// benchLineCachedBatch prices one 4096-op batch per op through the
+// LineCached→Striped composition — the devirtualized macro fast path.
+func benchLineCachedBatch(b *testing.B) {
+	p := params.Default()
+	st, err := memmodel.NewStriped(p, []memmodel.Stripe{
+		{Start: 0, Size: 32 << 20, Acc: memmodel.Local{P: p}},
+		{Start: 32 << 20, Size: 32 << 20, Acc: memmodel.Remote{P: p, Hops: 1}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := memmodel.NewLineCached(st, p, memmodel.DefaultCacheLines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := benchOps(4096, 64<<20)
+	var sink params.Duration
+	sink += memmodel.Batch(c, ops) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += memmodel.Batch(c, ops)
+	}
+	if sink == 0 {
+		b.Fatal("priced nothing")
+	}
+}
+
+// benchSwapBatch prices one 4096-op batch per op through Swap over its
+// page cache — a mix of resident hits, faults, and dirty evictions.
+func benchSwapBatch(b *testing.B) {
+	p := params.Default()
+	sw, err := memmodel.NewSwap(p, swap.RemoteDevice{P: p, Hops: 1}, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := benchOps(4096, 1024*params.PageSize)
+	var sink params.Duration
+	sink += memmodel.Batch(sw, ops) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += memmodel.Batch(sw, ops)
+	}
+	if sink == 0 {
+		b.Fatal("priced nothing")
 	}
 }
 

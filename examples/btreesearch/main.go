@@ -95,11 +95,14 @@ func main() {
 	fmt.Println("Equation (2) has no locality term; Equation (1) is all locality.")
 }
 
+// sweep prices searches through the batched fast path (identical costs
+// to scalar Search; see DESIGN.md §12).
 func sweep(tr *btree.Tree, acc memmodel.Accessor, searches int) params.Duration {
 	rng := rand.New(rand.NewSource(7))
+	var b memmodel.Batcher
 	var total params.Duration
 	for i := 0; i < searches; i++ {
-		_, cost, _ := tr.Search(uint64(rng.Int63n(int64(tr.Size)*4)), acc)
+		_, cost, _ := tr.SearchBatch(uint64(rng.Int63n(int64(tr.Size)*4)), acc, &b)
 		total += cost
 	}
 	return params.Duration(float64(total) / float64(searches))

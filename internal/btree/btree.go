@@ -17,6 +17,7 @@ package btree
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/memmodel"
@@ -205,6 +206,73 @@ func (t *Tree) SearchKV(key uint64, mem memmodel.Accessor) (val uint64, found bo
 	return 0, false, cost, accesses
 }
 
+// SearchBatch is Search pricing through the batched fast path: the walk
+// records every modeled access — one node visit after another — into b
+// and prices the whole op sequence in one memmodel.Batch call, so the
+// accessor sees exactly Search's access sequence without an interface
+// call per access. b is a scratch buffer the caller reuses across
+// searches (it must be empty between calls); results are identical to
+// Search against the same accessor state.
+func (t *Tree) SearchBatch(key uint64, mem memmodel.Accessor, b *memmodel.Batcher) (found bool, cost params.Duration, accesses uint64) {
+	n := t.root
+	for n != nil {
+		b.Read(n.base)
+		lo, hi := 0, len(n.keys)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			b.Read(entryAddr(n, mid))
+			switch {
+			case n.keys[mid] == key:
+				accesses = uint64(b.Len())
+				return true, b.Flush(mem), accesses
+			case n.keys[mid] < key:
+				lo = mid + 1
+			default:
+				hi = mid
+			}
+		}
+		if n.leaf() {
+			accesses = uint64(b.Len())
+			return false, b.Flush(mem), accesses
+		}
+		b.Read(childPtrAddr(n, lo))
+		n = n.children[lo]
+	}
+	accesses = uint64(b.Len())
+	return false, b.Flush(mem), accesses
+}
+
+// SearchKVBatch is SearchKV with SearchBatch's batched pricing.
+func (t *Tree) SearchKVBatch(key uint64, mem memmodel.Accessor, b *memmodel.Batcher) (val uint64, found bool, cost params.Duration, accesses uint64) {
+	n := t.root
+	for n != nil {
+		b.Read(n.base)
+		lo, hi := 0, len(n.keys)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			b.Read(entryAddr(n, mid))
+			switch {
+			case n.keys[mid] == key:
+				b.Read(entryAddr(n, mid) + 16) // payload slot
+				accesses = uint64(b.Len())
+				return n.vals[mid], true, b.Flush(mem), accesses
+			case n.keys[mid] < key:
+				lo = mid + 1
+			default:
+				hi = mid
+			}
+		}
+		if n.leaf() {
+			accesses = uint64(b.Len())
+			return 0, false, b.Flush(mem), accesses
+		}
+		b.Read(childPtrAddr(n, lo))
+		n = n.children[lo]
+	}
+	accesses = uint64(b.Len())
+	return 0, false, b.Flush(mem), accesses
+}
+
 // Lookup returns a key's payload word without charging an accessor.
 func (t *Tree) Lookup(key uint64) (uint64, bool) {
 	n := t.root
@@ -272,6 +340,66 @@ func (t *Tree) RangeScan(lo, hi uint64, mem memmodel.Accessor, fn func(uint64)) 
 		}
 	}
 	rec(t.root)
+	return cost, accesses
+}
+
+// rangeScanFlushThreshold bounds RangeScanBatch's buffered ops so a
+// whole-tree scan doesn't grow the Batcher without limit. Batch
+// boundaries never change costs or accessor state, so the threshold is
+// purely a memory knob.
+const rangeScanFlushThreshold = 4096
+
+// RangeScanBatch is RangeScan pricing through the batched fast path:
+// the identical visit order and access sequence, recorded into b and
+// priced in Batch calls of up to rangeScanFlushThreshold ops. b must be
+// empty between calls.
+func (t *Tree) RangeScanBatch(lo, hi uint64, mem memmodel.Accessor, b *memmodel.Batcher, fn func(uint64)) (cost params.Duration, accesses uint64) {
+	if lo > hi {
+		return 0, 0
+	}
+	read := func(a uint64) {
+		b.Read(a)
+		accesses++
+		if b.Len() >= rangeScanFlushThreshold {
+			cost += b.Flush(mem)
+		}
+	}
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		read(n.base) // header
+		start, hiIdx := 0, len(n.keys)
+		for start < hiIdx {
+			mid := (start + hiIdx) / 2
+			read(entryAddr(n, mid))
+			if n.keys[mid] < lo {
+				start = mid + 1
+			} else {
+				hiIdx = mid
+			}
+		}
+		for i := start; ; i++ {
+			if !n.leaf() {
+				read(childPtrAddr(n, i))
+				rec(n.children[i])
+			}
+			if i >= len(n.keys) {
+				return
+			}
+			read(entryAddr(n, i))
+			k := n.keys[i]
+			if k > hi {
+				return
+			}
+			if k >= lo {
+				fn(k)
+			}
+		}
+	}
+	rec(t.root)
+	cost += b.Flush(mem)
 	return cost, accesses
 }
 
@@ -377,7 +505,7 @@ func (t *Tree) BulkLoad(keys []uint64) error {
 	}
 	sorted := make([]uint64, len(keys))
 	copy(sorted, keys)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i] == sorted[i-1] {
 			return fmt.Errorf("btree: duplicate key %d in BulkLoad", sorted[i])

@@ -441,3 +441,145 @@ func TestRangeScanCostProportionalToRange(t *testing.T) {
 		t.Errorf("scan of 50000 keys cost %d accesses", large)
 	}
 }
+
+// newSwapMem builds a small stateful accessor so batch-equivalence
+// tests exercise order-dependent pricing, not just counting.
+func newSwapMem(t *testing.T) memmodel.Accessor {
+	t.Helper()
+	p := params.Default()
+	acc, err := memmodel.Build(memmodel.ConfigRemoteSwap, p, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+// TestSearchBatchMatchesScalar drives the scalar and batched searches
+// over identical trees and stateful accessors: found flags, costs,
+// access counts, and the address sequence seen by the memory must all
+// match.
+func TestSearchBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, fanout := range []int{3, 8, 168} {
+		scalarTree, _ := New(fanout)
+		batchTree, _ := New(fanout)
+		keys := make([]uint64, 5000)
+		for i := range keys {
+			keys[i] = uint64(i) * 3
+		}
+		if err := scalarTree.BulkLoad(keys); err != nil {
+			t.Fatal(err)
+		}
+		if err := batchTree.BulkLoad(keys); err != nil {
+			t.Fatal(err)
+		}
+		scalarMem := newSwapMem(t)
+		batchMem := newSwapMem(t)
+		var b memmodel.Batcher
+		for i := 0; i < 3000; i++ {
+			key := uint64(rng.Intn(16000))
+			sf, sc, sa := scalarTree.Search(key, scalarMem)
+			bf, bc, ba := batchTree.SearchBatch(key, batchMem, &b)
+			if sf != bf || sc != bc || sa != ba {
+				t.Fatalf("fanout %d key %d: scalar (%v,%d,%d) != batch (%v,%d,%d)",
+					fanout, key, sf, sc, sa, bf, bc, ba)
+			}
+			if b.Len() != 0 {
+				t.Fatal("Batcher not empty after SearchBatch")
+			}
+		}
+	}
+}
+
+// TestSearchKVBatchMatchesScalar pins SearchKV against SearchKVBatch,
+// including the extra payload read on hits.
+func TestSearchKVBatchMatchesScalar(t *testing.T) {
+	scalarTree, _ := New(16)
+	batchTree, _ := New(16)
+	for i := uint64(0); i < 4000; i++ {
+		scalarTree.InsertKV(i*2, i+100)
+		batchTree.InsertKV(i*2, i+100)
+	}
+	scalarMem := newSwapMem(t)
+	batchMem := newSwapMem(t)
+	var b memmodel.Batcher
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		key := uint64(rng.Intn(9000))
+		sv, sf, sc, sa := scalarTree.SearchKV(key, scalarMem)
+		bv, bf, bc, ba := batchTree.SearchKVBatch(key, batchMem, &b)
+		if sv != bv || sf != bf || sc != bc || sa != ba {
+			t.Fatalf("key %d: scalar (%d,%v,%d,%d) != batch (%d,%v,%d,%d)",
+				key, sv, sf, sc, sa, bv, bf, bc, ba)
+		}
+	}
+}
+
+// TestRangeScanBatchMatchesScalar pins the batched range scan — visit
+// order, visited keys, cost, and access count — against the scalar
+// walk, with ranges long enough to cross the mid-scan flush threshold.
+func TestRangeScanBatchMatchesScalar(t *testing.T) {
+	scalarTree, _ := New(8)
+	batchTree, _ := New(8)
+	keys := make([]uint64, 20000)
+	for i := range keys {
+		keys[i] = uint64(i) * 5
+	}
+	if err := scalarTree.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := batchTree.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	scalarMem := newSwapMem(t)
+	batchMem := newSwapMem(t)
+	var b memmodel.Batcher
+	for _, r := range [][2]uint64{{0, 99999}, {12345, 54321}, {7, 7}, {90, 10}} {
+		var scalarKeys, batchKeys []uint64
+		sc, sa := scalarTree.RangeScan(r[0], r[1], scalarMem, func(k uint64) {
+			scalarKeys = append(scalarKeys, k)
+		})
+		bc, ba := batchTree.RangeScanBatch(r[0], r[1], batchMem, &b, func(k uint64) {
+			batchKeys = append(batchKeys, k)
+		})
+		if sc != bc || sa != ba {
+			t.Fatalf("range [%d,%d]: scalar (%d,%d) != batch (%d,%d)", r[0], r[1], sc, sa, bc, ba)
+		}
+		if len(scalarKeys) != len(batchKeys) {
+			t.Fatalf("range [%d,%d]: %d vs %d keys", r[0], r[1], len(scalarKeys), len(batchKeys))
+		}
+		for i := range scalarKeys {
+			if scalarKeys[i] != batchKeys[i] {
+				t.Fatalf("range [%d,%d]: key %d differs: %d vs %d", r[0], r[1], i, scalarKeys[i], batchKeys[i])
+			}
+		}
+		if b.Len() != 0 {
+			t.Fatal("Batcher not empty after RangeScanBatch")
+		}
+	}
+}
+
+// TestSearchBatchZeroAllocSteadyState pins the batched search loop at 0
+// allocs/op once the Batcher buffer is warm.
+func TestSearchBatchZeroAllocSteadyState(t *testing.T) {
+	tr, _ := New(168)
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		keys[i] = uint64(i) * 2
+	}
+	if err := tr.BulkLoad(keys); err != nil {
+		t.Fatal(err)
+	}
+	mem := newSwapMem(t)
+	var b memmodel.Batcher
+	b.Grow(256)
+	var key uint64
+	tr.SearchBatch(0, mem, &b) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		key += 7919
+		tr.SearchBatch(key%100000, mem, &b)
+	})
+	if allocs != 0 {
+		t.Errorf("batched search: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -28,6 +28,7 @@ type Table struct {
 	region *core.Region
 	index  *btree.Tree
 	name   string
+	batch  memmodel.Batcher // query-path scratch; Tables are not goroutine-safe
 
 	// Rows counts live rows; PutBytes accumulates stored payload bytes.
 	Rows     uint64
@@ -109,10 +110,11 @@ func (t *Table) freeRow(ptr vm.Virt) error {
 	return t.region.Free(ptr)
 }
 
-// Get retrieves a row, charging the index walk and the row read to acc.
-// found is false for absent keys and tombstones.
+// Get retrieves a row, charging the index walk and the row read to acc
+// through the batched access engine. found is false for absent keys and
+// tombstones.
 func (t *Table) Get(key uint64, acc memmodel.Accessor) (value []byte, found bool, cost params.Duration, err error) {
-	rowPtr, ok, c, _ := t.index.SearchKV(key, acc)
+	rowPtr, ok, c, _ := t.index.SearchKVBatch(key, acc, &t.batch)
 	cost = c
 	if !ok || rowPtr == 0 {
 		return nil, false, cost, nil
@@ -126,23 +128,24 @@ func (t *Table) Get(key uint64, acc memmodel.Accessor) (value []byte, found bool
 }
 
 // readRow loads a length-prefixed row, charging one access per word.
+// The accesses — length prefix, then each payload word in order — are
+// batched and priced in one memmodel.Batch call.
 func (t *Table) readRow(ptr vm.Virt, acc memmodel.Accessor) ([]byte, params.Duration, error) {
-	var cost params.Duration
-	cost += acc.Access(uint64(ptr), false)
+	t.batch.Read(uint64(ptr))
 	n, err := t.region.ReadUint64(ptr)
 	if err != nil {
-		return nil, cost, err
+		return nil, t.batch.Flush(acc), err
 	}
 	buf := make([]byte, n)
 	if n > 0 {
 		if err := t.region.Read(ptr+8, buf); err != nil {
-			return nil, cost, err
+			return nil, t.batch.Flush(acc), err
 		}
 		for off := uint64(0); off < n; off += 8 {
-			cost += acc.Access(uint64(ptr)+8+off, false)
+			t.batch.Read(uint64(ptr) + 8 + off)
 		}
 	}
-	return buf, cost, nil
+	return buf, t.batch.Flush(acc), nil
 }
 
 // ScanResult is one row yielded by Scan.
@@ -158,7 +161,7 @@ func (t *Table) Scan(lo, hi uint64, acc memmodel.Accessor) (rows []ScanResult, c
 		key uint64
 		ptr uint64
 	}
-	c, _ := t.index.RangeScan(lo, hi, acc, func(k uint64) {
+	c, _ := t.index.RangeScanBatch(lo, hi, acc, &t.batch, func(k uint64) {
 		if v, ok := t.index.Lookup(k); ok && v != 0 {
 			ptrs = append(ptrs, struct {
 				key uint64
@@ -181,7 +184,7 @@ func (t *Table) Scan(lo, hi uint64, acc memmodel.Accessor) (rows []ScanResult, c
 // Count returns the number of live keys in [lo, hi], an index-only
 // aggregate query.
 func (t *Table) Count(lo, hi uint64, acc memmodel.Accessor) (n uint64, cost params.Duration) {
-	c, _ := t.index.RangeScan(lo, hi, acc, func(k uint64) {
+	c, _ := t.index.RangeScanBatch(lo, hi, acc, &t.batch, func(k uint64) {
 		if v, ok := t.index.Lookup(k); ok && v != 0 {
 			n++
 		}

@@ -119,6 +119,29 @@ func (h *HashIndex) Search(key uint64, mem memmodel.Accessor) (val uint64, found
 	}
 }
 
+// SearchBatch is Search pricing through the batched access engine: the
+// probe sequence is recorded into b and priced in one memmodel.Batch
+// call, with identical results and probe statistics. b must be empty
+// between calls.
+func (h *HashIndex) SearchBatch(key uint64, mem memmodel.Accessor, b *memmodel.Batcher) (val uint64, found bool, cost params.Duration, accesses uint64) {
+	h.Lookups++
+	i := splitmix64(key) & h.mask
+	for {
+		b.Read(h.bucketAddr(i))
+		h.Probes++
+		bk := h.buckets[i]
+		if !bk.live {
+			accesses = uint64(b.Len())
+			return 0, false, b.Flush(mem), accesses
+		}
+		if bk.key == key {
+			accesses = uint64(b.Len())
+			return bk.val, true, b.Flush(mem), accesses
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
 // Lookup is Search without an accessor (function only).
 func (h *HashIndex) Lookup(key uint64) (uint64, bool) {
 	i := splitmix64(key) & h.mask

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/btree"
 	"repro/internal/memmodel"
@@ -23,16 +24,17 @@ func btreeResidency(o Options) int {
 	return r
 }
 
-// buildTree populates a tree the paper's way: n random keys, bulk-loaded
-// so every level but the last is full and the last fills left to right.
-func buildTree(o Options, fanout, n int) (*btree.Tree, []uint64, error) {
-	tr, err := btree.New(fanout)
-	if err != nil {
-		return nil, nil, err
-	}
+// drawKeys draws the paper's population: n distinct random keys over
+// the dense space [0, 4n). A flat bitset dedups with the same
+// acceptance sequence as a map at a fraction of the cost — population
+// is pure setup, but at paper scale it was the single largest profile
+// entry. Sweeps that build one tree per point from the same (seed, n)
+// draw the keys once and share the slice; buildTreeFrom never mutates
+// it.
+func drawKeys(o Options, n int) []uint64 {
 	rng := rand.New(rand.NewSource(o.Seed))
 	keys := make([]uint64, 0, n)
-	seen := make(map[uint64]bool, n)
+	seen := make([]bool, int64(n)*4)
 	for len(keys) < n {
 		k := uint64(rng.Int63n(int64(n) * 4))
 		if !seen[k] {
@@ -40,19 +42,83 @@ func buildTree(o Options, fanout, n int) (*btree.Tree, []uint64, error) {
 			keys = append(keys, k)
 		}
 	}
+	return keys
+}
+
+// buildTreeFrom bulk-loads the drawn keys at the given fanout so every
+// level but the last is full and the last fills left to right.
+func buildTreeFrom(fanout int, keys []uint64) (*btree.Tree, error) {
+	tr, err := btree.New(fanout)
+	if err != nil {
+		return nil, err
+	}
 	if err := tr.BulkLoad(keys); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// buildTree populates a tree the paper's way: n random keys, bulk-loaded.
+func buildTree(o Options, fanout, n int) (*btree.Tree, []uint64, error) {
+	keys := drawKeys(o, n)
+	tr, err := buildTreeFrom(fanout, keys)
+	if err != nil {
 		return nil, nil, err
 	}
 	return tr, keys, nil
 }
 
-// searchSweep averages the search cost over random probes.
+// minShardSearches is the per-shard floor below which within-point
+// sharding isn't worth a pool spin-up.
+const minShardSearches = 4096
+
+// searchSweep averages the search cost over random probes. The probe
+// keys are drawn up front (the rng sequence is exactly the serial
+// loop's — nothing else draws from it), then priced through the batched
+// search path. Stateless accessors additionally shard the probe set
+// across the runner pool: params.Duration is an integer, so the ordered
+// per-shard sums reduce to the exact serial total and the result is
+// byte-identical at every -parallel setting. Stateful accessors (swap)
+// keep their access sequence serial — their page-cache state is
+// order-dependent.
 func searchSweep(o Options, tr *btree.Tree, keySpace int64, searches int, acc memmodel.Accessor) params.Duration {
 	rng := rand.New(rand.NewSource(o.Seed + 1))
+	keys := make([]uint64, searches)
+	for i := range keys {
+		keys[i] = uint64(rng.Int63n(keySpace))
+	}
+	serial := func(keys []uint64) params.Duration {
+		var b memmodel.Batcher
+		var total params.Duration
+		for _, k := range keys {
+			_, cost, _ := tr.SearchBatch(k, acc, &b)
+			total += cost
+		}
+		return total
+	}
 	var total params.Duration
-	for i := 0; i < searches; i++ {
-		_, cost, _ := tr.Search(uint64(rng.Int63n(keySpace)), acc)
-		total += cost
+	stateless := false
+	switch acc.(type) {
+	case memmodel.Local, memmodel.Remote:
+		stateless = true
+	}
+	if !stateless || o.Parallel <= 1 || searches < 2*minShardSearches {
+		total = serial(keys)
+	} else {
+		shards := o.Parallel
+		if max := searches / minShardSearches; shards > max {
+			shards = max
+		}
+		parts, err := runner.Map(o.Parallel, shards, func(i int) (params.Duration, error) {
+			return serial(keys[searches*i/shards : searches*(i+1)/shards]), nil
+		})
+		if err != nil { // tasks never fail; defensive fallback
+			total = serial(keys)
+		} else {
+			for _, p := range parts {
+				total += p
+			}
+		}
 	}
 	return params.Duration(float64(total) / float64(searches))
 }
@@ -73,10 +139,17 @@ func Fig9(o Options) (*stats.Figure, error) {
 	resident := btreeResidency(o)
 
 	fanouts := []int{8, 16, 32, 64, 96, 128, 168, 200, 256, 384, 512, 768, 1024}
+	// Every fanout point populates from the same (seed, n) key set; draw
+	// it once and share it read-only across the sweep tasks. Pre-sorting
+	// here makes each point's BulkLoad sort near-linear; the built trees
+	// are unchanged because BulkLoad sorts its own copy regardless of
+	// input order.
+	sharedKeys := drawKeys(o, nKeys)
+	slices.Sort(sharedKeys)
 	type fanoutPoint struct{ swap, remote float64 }
 	points, err := runner.Map(o.Parallel, len(fanouts), func(i int) (fanoutPoint, error) {
 		fanout := fanouts[i]
-		tr, _, err := buildTree(o, fanout, nKeys)
+		tr, err := buildTreeFrom(fanout, sharedKeys)
 		if err != nil {
 			return fanoutPoint{}, err
 		}
@@ -176,13 +249,14 @@ func Equations(o Options) (*stats.Figure, error) {
 		}
 		var pt eqPoint
 		rm := memmodel.Remote{P: o.P, Hops: 1}
+		ops := make([]memmodel.AccessOp, 0, total)
 		for pg := 0; pg < pages; pg++ {
 			for j := 0; j < perPage; j++ {
-				a := uint64(pg)*params.PageSize + uint64(j*8)
-				pt.meas1 += sw.Access(a, false)
-				pt.meas2 += rm.Access(a, false)
+				ops = append(ops, memmodel.AccessOp{Addr: uint64(pg)*params.PageSize + uint64(j*8)})
 			}
 		}
+		pt.meas1 = memmodel.Batch(sw, ops)
+		pt.meas2 = memmodel.Batch(rm, ops)
 		in := anInputs(o, total, float64(perPage))
 		if pt.pred1, err = in.RemoteSwapTime(); err != nil {
 			return eqPoint{}, err

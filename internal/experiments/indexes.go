@@ -97,12 +97,15 @@ func AblationIndexes(o Options) (*stats.Figure, error) {
 	return fig, nil
 }
 
-// hashSweep mirrors searchSweep for the hash index.
+// hashSweep mirrors searchSweep for the hash index: upfront key draw,
+// batched probe pricing. It stays serial even for stateless accessors —
+// HashIndex mutates its probe counters on every lookup.
 func hashSweep(o Options, h *db.HashIndex, keySpace int64, searches int, acc memmodel.Accessor) params.Duration {
 	rng := rand.New(rand.NewSource(o.Seed + 1))
+	var b memmodel.Batcher
 	var total params.Duration
 	for i := 0; i < searches; i++ {
-		_, _, cost, _ := h.Search(uint64(rng.Int63n(keySpace)), acc)
+		_, _, cost, _ := h.SearchBatch(uint64(rng.Int63n(keySpace)), acc, &b)
 		total += cost
 	}
 	return params.Duration(float64(total) / float64(searches))

@@ -65,13 +65,15 @@ func (c *LineCached) HitRate() float64 {
 }
 
 // Flush empties the cache, writing dirty lines back to the backing
-// memory, and returns the writeback count. This is the operation the
-// prototype performs between a write phase and a read-only parallel
-// phase.
-func (c *LineCached) Flush() int {
-	dirty := c.lines.Flush()
-	for i := 0; i < dirty; i++ {
-		c.inner.Access(0, true)
-	}
-	return dirty
+// memory, and returns the writeback count and the charged writeback
+// cost. This is the operation the prototype performs between a write
+// phase and a read-only parallel phase. Each dirty line is charged at
+// its real address (MRU first) — under a Striped or Swap backing the
+// writeback must land on the stripe or page that actually holds the
+// line, not at address 0.
+func (c *LineCached) Flush() (dirty int, cost params.Duration) {
+	dirty = c.lines.FlushDirty(func(line uint64) {
+		cost += c.inner.Access(line*params.CacheLineSize, true)
+	})
+	return dirty, cost
 }

@@ -60,6 +60,10 @@ type Swap struct {
 	dev   swap.Device
 	cache *swap.PageCache
 	name  string
+	// Device costs are constant per device; precomputing them keeps the
+	// pricing loop free of interface calls.
+	faultCost params.Duration // trap overhead + device fault transfer
+	wbCost    params.Duration
 	// FaultTime accumulates time spent in faults, for breakdowns.
 	FaultTime params.Duration
 }
@@ -70,18 +74,28 @@ func NewSwap(p params.Params, dev swap.Device, residentPages int) (*Swap, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Swap{p: p, dev: dev, cache: c, name: dev.Name()}, nil
+	return &Swap{
+		p: p, dev: dev, cache: c, name: dev.Name(),
+		faultCost: p.SwapTrapOverhead + dev.FaultCost(),
+		wbCost:    dev.WritebackCost(),
+	}, nil
 }
 
 // Access implements Accessor.
 func (s *Swap) Access(a uint64, write bool) params.Duration {
+	return s.access1(a, write)
+}
+
+// access1 prices one access through the concrete type — the
+// devirtualized call the batched compositions use.
+func (s *Swap) access1(a uint64, write bool) params.Duration {
 	res := s.cache.Touch(a/params.PageSize, write)
 	if res.Hit {
 		return s.p.DRAMLatency
 	}
-	cost := s.p.SwapTrapOverhead + s.dev.FaultCost()
+	cost := s.faultCost
 	if res.EvictedDirty {
-		cost += s.dev.WritebackCost()
+		cost += s.wbCost
 	}
 	s.FaultTime += cost
 	return cost + s.p.DRAMLatency

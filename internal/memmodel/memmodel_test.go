@@ -263,8 +263,8 @@ func TestLineCached(t *testing.T) {
 	}
 	// Flush pushes remaining dirty lines back and empties the cache.
 	c.Access(384, true)
-	if dirty := c.Flush(); dirty == 0 {
-		t.Error("flush found no dirty lines")
+	if dirty, cost := c.Flush(); dirty == 0 || cost == 0 {
+		t.Error("flush found no dirty lines or charged nothing")
 	}
 	if got := c.Access(384, false); got == p.L1Latency {
 		t.Error("flushed line still hit")

@@ -22,6 +22,11 @@ type Stripe struct {
 // the reservation protocol actually produced.
 type Striped struct {
 	stripes []Stripe
+	// constCost caches the per-access price of stripes backed by
+	// constant-latency accessors (Local, Remote), so pricing them needs
+	// no interface call at all; -1 marks a stripe that must be priced
+	// through its Accessor (it may carry state, like a Meter or Swap).
+	constCost []params.Duration
 	// Unmapped counts accesses that hit no stripe; they are charged the
 	// full-diameter remote round trip, pessimistically.
 	Unmapped uint64
@@ -37,6 +42,7 @@ func NewStriped(p params.Params, stripes []Stripe) (*Striped, error) {
 	s := make([]Stripe, len(stripes))
 	copy(s, stripes)
 	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	cc := make([]params.Duration, len(s))
 	for i, st := range s {
 		if st.Size == 0 || st.Acc == nil {
 			return nil, fmt.Errorf("memmodel: stripe %d empty or accessor-less", i)
@@ -44,21 +50,54 @@ func NewStriped(p params.Params, stripes []Stripe) (*Striped, error) {
 		if i > 0 && st.Start < s[i-1].Start+s[i-1].Size {
 			return nil, fmt.Errorf("memmodel: stripes %d and %d overlap", i-1, i)
 		}
+		switch acc := st.Acc.(type) {
+		case Local:
+			cc[i] = acc.P.DRAMLatency
+		case Remote:
+			cc[i] = acc.P.RemoteRoundTrip(acc.Hops)
+		default:
+			cc[i] = -1
+		}
 	}
 	diameter := p.MeshWidth + p.MeshHeight - 2
-	return &Striped{stripes: s, fallback: p.RemoteRoundTrip(diameter), p: p}, nil
+	return &Striped{stripes: s, constCost: cc, fallback: p.RemoteRoundTrip(diameter), p: p}, nil
+}
+
+// find returns the index of the stripe containing a, or -1.
+func (s *Striped) find(a uint64) int {
+	lo, hi := 0, len(s.stripes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.stripes[mid].Start+s.stripes[mid].Size > a {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(s.stripes) && a >= s.stripes[lo].Start {
+		return lo
+	}
+	return -1
 }
 
 // Access implements Accessor.
 func (s *Striped) Access(a uint64, write bool) params.Duration {
-	i := sort.Search(len(s.stripes), func(i int) bool {
-		return s.stripes[i].Start+s.stripes[i].Size > a
-	})
-	if i < len(s.stripes) && a >= s.stripes[i].Start {
-		return s.stripes[i].Acc.Access(a, write)
+	return s.access1(a, write)
+}
+
+// access1 prices one access through the concrete type — the
+// devirtualized call the batched compositions use. Constant-latency
+// stripes are priced from the cache, skipping their interface entirely.
+func (s *Striped) access1(a uint64, write bool) params.Duration {
+	i := s.find(a)
+	if i < 0 {
+		s.Unmapped++
+		return s.fallback
 	}
-	s.Unmapped++
-	return s.fallback
+	if c := s.constCost[i]; c >= 0 {
+		return c
+	}
+	return s.stripes[i].Acc.Access(a, write)
 }
 
 // Name implements Accessor.
