@@ -20,9 +20,11 @@ test:
 
 # The harness's concurrency surface: the worker pool itself, the
 # experiment generators that fan out over it (including the chaos tests,
-# which run fault-plan sweeps at -parallel 8), and the engine they drive.
+# which run fault-plan sweeps at -parallel 8), the engine they drive,
+# and the consistency lab (litmus suite + checker), whose determinism
+# contract CI also exercises under the race detector.
 race:
-	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/sim/ ./internal/faults/
+	$(GO) test -race ./internal/runner/ ./internal/experiments/ ./internal/sim/ ./internal/faults/ ./internal/consistency/ ./cmd/ncdsm-cluster/
 
 # bench runs the Go micro/macro benchmarks, then refreshes the tracked
 # perf baseline (engine churn, RMC round trip, faulted fig7 sweep) in

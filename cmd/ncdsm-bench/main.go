@@ -9,6 +9,7 @@
 //	ncdsm-bench -fig all -scale 0.05   # everything, scaled down
 //	ncdsm-bench -table 1
 //	ncdsm-bench -fig A                 # coherency ablation
+//	ncdsm-bench -fig H                 # consistency-strength cost (DESIGN §13)
 //	ncdsm-bench -fig all -parallel 1   # serial sweep points (old harness)
 //	ncdsm-bench -fig 7 -metrics prom   # plus the merged metrics snapshot
 //	ncdsm-bench -fig 7 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "", "figure to regenerate: 6..11, eq, A..G, or 'all'")
+		fig        = flag.String("fig", "", "figure to regenerate: 6..11, eq, A..H, or 'all'")
 		table      = flag.String("table", "", "table to regenerate: 1")
 		scale      = flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized)")
 		seed       = flag.Int64("seed", 1, "deterministic seed")

@@ -9,6 +9,7 @@
 //	ncdsm-cluster -reserve 1:3:4GB   # node 1 reserves 4 GB on node 3
 //	ncdsm-cluster -regions           # demo region layout across the cluster
 //	ncdsm-cluster -stats -metrics prom   # workload + full metrics snapshot
+//	ncdsm-cluster -consistency all   # litmus suite + checker verdicts per protocol
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		stats      = flag.Bool("stats", false, "run a sample workload and dump per-component utilization")
 		metricsFmt = flag.String("metrics", "", "dump the system's metrics snapshot afterwards: prom or json")
 		faultSpec  = flag.String("faults", "", "deterministic fault plan, e.g. seed=2,drop=0.01,down=6-7@0:50us")
+		consist    = flag.String("consistency", "", "run the seeded litmus suite under protocols (msi, rmc, rc, a comma list, or all) and print checker verdicts")
 	)
 	flag.Parse()
 
@@ -77,6 +79,12 @@ func main() {
 	if *stats {
 		did = true
 		if err := dumpStats(sys); err != nil {
+			fatal(err)
+		}
+	}
+	if *consist != "" {
+		did = true
+		if err := runLitmus(sys.Config(), *consist); err != nil {
 			fatal(err)
 		}
 	}
@@ -205,6 +213,60 @@ func demoRegions(sys *ncdsmfacade.System) error {
 	}
 	fmt.Printf("cluster pool free: %d GB of %d GB\n",
 		sys.PoolFree()>>30, params.Default().PoolSize()>>30)
+	return nil
+}
+
+// parseProtocols turns the -consistency flag value into a protocol
+// list: "all" (or "") selects every registered protocol, otherwise a
+// comma-separated subset of them.
+func parseProtocols(spec string) ([]string, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return nil, nil // RunSuite's "everything" sentinel
+	}
+	known := make(map[string]bool)
+	for _, n := range ncdsmfacade.ConsistencyProtocols() {
+		known[n] = true
+	}
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		if !known[name] {
+			return nil, fmt.Errorf("unknown protocol %q (want a comma list of %v, or all)",
+				name, ncdsmfacade.ConsistencyProtocols())
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// runLitmus prints the consistency lab's litmus verdict table and fails
+// if any protocol deviates from its expected verdict.
+func runLitmus(cfg ncdsmfacade.Config, spec string) error {
+	protos, err := parseProtocols(spec)
+	if err != nil {
+		return err
+	}
+	report, err := ncdsmfacade.LitmusReport(cfg, protos...)
+	if err != nil {
+		return err
+	}
+	fmt.Println("litmus suite (SC = sequentially consistent history, perloc = per-location linearizable):")
+	fmt.Print(report)
+	results, err := ncdsmfacade.Litmus(cfg, protos...)
+	if err != nil {
+		return err
+	}
+	mismatches := 0
+	for _, r := range results {
+		if !r.Match {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d of %d litmus outcomes deviate from their protocol's expected verdict", mismatches, len(results))
+	}
+	fmt.Printf("%d outcomes, all matching their protocol's expected verdict\n", len(results))
 	return nil
 }
 

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	ncdsmfacade "repro"
+)
 
 func TestParseSize(t *testing.T) {
 	cases := map[string]uint64{
@@ -25,5 +30,42 @@ func TestParseSize(t *testing.T) {
 		if _, err := parseSize(bad); err == nil {
 			t.Errorf("parseSize(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParseProtocols(t *testing.T) {
+	for _, all := range []string{"all", "", "  all "} {
+		got, err := parseProtocols(all)
+		if err != nil || got != nil {
+			t.Errorf("parseProtocols(%q) = %v, %v; want the nil everything-sentinel", all, got, err)
+		}
+	}
+	got, err := parseProtocols("msi, rc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"msi", "rc"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseProtocols = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"mesi", "msi,tso", ","} {
+		if _, err := parseProtocols(bad); err == nil {
+			t.Errorf("parseProtocols(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunLitmus drives the CLI path end to end: the suite must run and
+// every outcome must match its protocol's expectation, both for the
+// full set and a subset.
+func TestRunLitmus(t *testing.T) {
+	cfg := ncdsmfacade.DefaultConfig()
+	if err := runLitmus(cfg, "all"); err != nil {
+		t.Errorf("runLitmus(all): %v", err)
+	}
+	if err := runLitmus(cfg, "msi"); err != nil {
+		t.Errorf("runLitmus(msi): %v", err)
+	}
+	if err := runLitmus(cfg, "nope"); err == nil {
+		t.Error("runLitmus accepted an unknown protocol")
 	}
 }

@@ -6,6 +6,16 @@
 // remote owners, so the cost of keeping caches coherent grows with the
 // number of nodes touching the data — the overhead the RMC architecture
 // removes by never letting a coherency domain span nodes.
+//
+// The model carries data as well as cost: every line has a 64-bit value,
+// per-node cached copies hold the value their protocol state entitles
+// them to, and home memory is refreshed by writebacks exactly when the
+// protocol says it is (M→S downgrade on a remote read, invalidation of a
+// dirty owner on a remote write). That makes the comparator falsifiable:
+// internal/consistency drives litmus and random programs through
+// ReadLine/WriteLine and checks the recorded histories against
+// sequential consistency, so a protocol bug shows up as a stale value,
+// not just a miscounted cost.
 package cohdsm
 
 import (
@@ -13,6 +23,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/mesh"
+	"repro/internal/metrics"
 	"repro/internal/params"
 )
 
@@ -25,29 +36,51 @@ const (
 	stateModified
 )
 
+// noOwner marks a directory entry with no modified owner. The owner
+// field is only meaningful in stateModified and must be cleared on every
+// downgrade or invalidation — a stale owner is exactly the kind of
+// latent directory bug CheckInvariants exists to catch.
+const noOwner = -1
+
 type dirEntry struct {
 	state   lineState
-	owner   int          // valid when stateModified
+	owner   int          // valid only when stateModified; noOwner otherwise
 	sharers map[int]bool // valid when stateShared
+}
+
+// cached is one node's copy of a line: its access right and the value it
+// read or wrote under that right.
+type cached struct {
+	writable bool
+	val      uint64
 }
 
 // Model is the coherent-DSM machine: n nodes, a directory distributed
 // across them by line address, and per-node caches abstracted to
-// presence sets (the protocol cost, not the capacity, is the object of
-// study here).
+// presence sets carrying line values (the protocol cost and the protocol
+// *correctness*, not the capacity, are the objects of study here).
 type Model struct {
 	p     params.Params
 	topo  mesh.Topology
 	nodes int
 	dir   map[uint64]*dirEntry
 
-	// held[n] is the set of lines node n currently caches, with its
-	// right (true = writable/M, false = readable/S).
-	held []map[uint64]bool
+	// mem is home memory: the value a line has at its home node. It is
+	// stale while a dirty owner exists and is refreshed by writebacks.
+	mem map[uint64]uint64
 
-	// Invalidations, Interventions, and DirLookups are protocol event
-	// counts.
-	Invalidations, Interventions, DirLookups uint64
+	// held[n] is the set of lines node n currently caches, with its
+	// right (writable = M, readable = S) and cached value.
+	held []map[uint64]cached
+
+	// Invalidations, Interventions, DirLookups, and Writebacks are
+	// protocol event counts.
+	Invalidations, Interventions, DirLookups, Writebacks uint64
+
+	// fanout, when instrumented, observes the sharer count invalidated
+	// by each write miss/upgrade. Nil (free) until Instrument is called,
+	// so uninstrumented models produce no metric output at all.
+	fanout *metrics.Histogram
 }
 
 // New builds a coherent DSM over the given geometry.
@@ -64,12 +97,32 @@ func New(p params.Params, nodes int) (*Model, error) {
 		topo:  topo,
 		nodes: nodes,
 		dir:   make(map[uint64]*dirEntry),
-		held:  make([]map[uint64]bool, nodes),
+		mem:   make(map[uint64]uint64),
+		held:  make([]map[uint64]cached, nodes),
 	}
 	for i := range m.held {
-		m.held[i] = make(map[uint64]bool)
+		m.held[i] = make(map[uint64]cached)
 	}
 	return m, nil
+}
+
+// Instrument registers the model's directory-transaction metrics with a
+// registry: lookup/invalidation/intervention/writeback counters and the
+// per-write sharer fan-out histogram. Uninstrumented models register
+// nothing and pay nothing, so output that never asked for the coherent
+// comparator stays byte-identical.
+func (m *Model) Instrument(reg *metrics.Registry) {
+	reg.CounterFunc(metrics.FamDirLookups, "home-directory lookups", nil,
+		func() uint64 { return m.DirLookups })
+	reg.CounterFunc(metrics.FamDirInvalidations, "sharer copies invalidated by writes", nil,
+		func() uint64 { return m.Invalidations })
+	reg.CounterFunc(metrics.FamDirInterventions, "dirty-owner interventions on reads", nil,
+		func() uint64 { return m.Interventions })
+	reg.CounterFunc(metrics.FamDirWritebacks, "dirty lines written back to home memory", nil,
+		func() uint64 { return m.Writebacks })
+	m.fanout = reg.Histogram(metrics.FamDirFanout,
+		"sharers invalidated per write miss/upgrade", nil,
+		[]int64{0, 1, 2, 4, 8, 16, 32, 64})
 }
 
 // Nodes returns the coherent domain's node count.
@@ -90,7 +143,7 @@ func (m *Model) rt(a, b int) params.Duration {
 func (m *Model) entry(line uint64) *dirEntry {
 	e, ok := m.dir[line]
 	if !ok {
-		e = &dirEntry{sharers: make(map[int]bool)}
+		e = &dirEntry{owner: noOwner, sharers: make(map[int]bool)}
 		m.dir[line] = e
 	}
 	return e
@@ -99,15 +152,27 @@ func (m *Model) entry(line uint64) *dirEntry {
 // Access performs one read or write by a node to a line (line-granular
 // addressing: callers pass byte addresses divided by the line size or
 // any stable line identifier) and returns its latency under the
-// protocol.
+// protocol. A cost-only write rewrites the line's current contents; use
+// WriteLine to store a new value.
 func (m *Model) Access(node int, line uint64, write bool) (params.Duration, error) {
-	if node < 0 || node >= m.nodes {
-		return 0, fmt.Errorf("cohdsm: node %d outside domain of %d", node, m.nodes)
+	if !write {
+		_, lat, err := m.ReadLine(node, line)
+		return lat, err
 	}
-	writable, present := m.held[node][line]
-	if present && (!write || writable) {
-		// Cache hit with sufficient rights: no protocol traffic.
-		return m.p.L1Latency, nil
+	return m.writeLine(node, line, 0, true)
+}
+
+// ReadLine performs one read and returns the value the node observes
+// under the protocol along with its latency.
+func (m *Model) ReadLine(node int, line uint64) (uint64, params.Duration, error) {
+	if err := m.checkNode(node); err != nil {
+		return 0, 0, err
+	}
+	if c, present := m.held[node][line]; present {
+		// Cache hit with sufficient rights: no protocol traffic, and the
+		// node reads its own cached copy — if the protocol ever leaves a
+		// stale copy behind, this is where the checker sees it.
+		return c.val, m.p.L1Latency, nil
 	}
 
 	e := m.entry(line)
@@ -116,29 +181,73 @@ func (m *Model) Access(node int, line uint64, write bool) (params.Duration, erro
 	// Request travels to the home directory.
 	lat := m.p.L1Latency + m.rt(node, h) + m.p.CohDirectoryLatency
 
-	if !write {
-		// Read miss: intervene on a modified owner, then share.
-		if e.state == stateModified && e.owner != node {
-			m.Interventions++
-			lat += m.rt(h, e.owner) + m.p.CohProtocolOverhead
-			m.held[e.owner][line] = false // owner downgrades to S
-			e.sharers[e.owner] = true
+	if e.state == stateModified {
+		if e.owner == node {
+			return 0, 0, fmt.Errorf("cohdsm: directory says node %d owns line %d but its cache does not hold it", node, line)
 		}
-		lat += m.p.DRAMLatency // home memory (or owner cache) supplies data
-		e.state = stateShared
-		e.sharers[node] = true
-		m.held[node][line] = false
-		return lat, nil
+		// Read miss on a dirty line: intervene on the owner, write its
+		// value back to home memory, downgrade it to S, and clear the
+		// owner field — the directory has no owner once the line is
+		// shared.
+		m.Interventions++
+		lat += m.rt(h, e.owner) + m.p.CohProtocolOverhead
+		oc, ok := m.held[e.owner][line]
+		if !ok {
+			return 0, 0, fmt.Errorf("cohdsm: line %d modified-owned by node %d which does not cache it", line, e.owner)
+		}
+		m.mem[line] = oc.val
+		m.Writebacks++
+		m.held[e.owner][line] = cached{writable: false, val: oc.val}
+		e.sharers[e.owner] = true
+		e.owner = noOwner
+	}
+	lat += m.p.DRAMLatency // home memory (refreshed by any writeback) supplies data
+	v := m.mem[line]
+	e.state = stateShared
+	e.sharers[node] = true
+	m.held[node][line] = cached{writable: false, val: v}
+	return v, lat, nil
+}
+
+// WriteLine performs one write of val and returns its latency.
+func (m *Model) WriteLine(node int, line uint64, val uint64) (params.Duration, error) {
+	return m.writeLine(node, line, val, false)
+}
+
+// writeLine is the write path. When costOnly is set the write preserves
+// the line's current freshest value (an Access touch); otherwise it
+// stores val.
+func (m *Model) writeLine(node int, line uint64, val uint64, costOnly bool) (params.Duration, error) {
+	if err := m.checkNode(node); err != nil {
+		return 0, err
+	}
+	if c, present := m.held[node][line]; present && c.writable {
+		// Cache hit with write rights: no protocol traffic.
+		if !costOnly {
+			m.held[node][line] = cached{writable: true, val: val}
+		}
+		return m.p.L1Latency, nil
 	}
 
-	// Write miss/upgrade: invalidate every other holder and take M.
+	e := m.entry(line)
+	m.DirLookups++
+	h := m.home(line)
+	lat := m.p.L1Latency + m.rt(node, h) + m.p.CohDirectoryLatency
+
+	// Write miss/upgrade: invalidate every other holder and take M. A
+	// dirty holder's value is written back to home memory first, so the
+	// line's freshest value survives even a cost-only rewrite.
 	var worstRT params.Duration
 	invalidated := 0
 	invalidate := func(holder int) {
 		if holder == node {
 			return
 		}
-		if _, ok := m.held[holder][line]; ok {
+		if oc, ok := m.held[holder][line]; ok {
+			if oc.writable {
+				m.mem[line] = oc.val
+				m.Writebacks++
+			}
 			delete(m.held[holder], line)
 		}
 		if rt := m.rt(h, holder); rt > worstRT {
@@ -148,6 +257,9 @@ func (m *Model) Access(node int, line uint64, write bool) (params.Duration, erro
 	}
 	switch e.state {
 	case stateModified:
+		if e.owner == node {
+			return 0, fmt.Errorf("cohdsm: directory says node %d owns line %d but its cache grants no write right", node, line)
+		}
 		invalidate(e.owner)
 	case stateShared:
 		for s := range e.sharers {
@@ -159,12 +271,32 @@ func (m *Model) Access(node int, line uint64, write bool) (params.Duration, erro
 	// count — the scalability wall of inter-node coherency.
 	lat += worstRT + params.Duration(invalidated)*m.p.CohProtocolOverhead + m.p.DRAMLatency
 	m.Invalidations += uint64(invalidated)
+	if m.fanout != nil {
+		m.fanout.Observe(int64(invalidated))
+	}
 
+	if costOnly {
+		// The freshest value: the node's own shared copy if it had one
+		// (equal to memory by the S-copies invariant), else home memory,
+		// which any dirty owner just wrote back.
+		if c, present := m.held[node][line]; present {
+			val = c.val
+		} else {
+			val = m.mem[line]
+		}
+	}
 	e.state = stateModified
 	e.owner = node
 	e.sharers = make(map[int]bool)
-	m.held[node][line] = true
+	m.held[node][line] = cached{writable: true, val: val}
 	return lat, nil
+}
+
+func (m *Model) checkNode(node int) error {
+	if node < 0 || node >= m.nodes {
+		return fmt.Errorf("cohdsm: node %d outside domain of %d", node, m.nodes)
+	}
+	return nil
 }
 
 // HolderCount returns how many nodes currently cache the line (tests and
@@ -179,13 +311,28 @@ func (m *Model) HolderCount(line uint64) int {
 	return n
 }
 
-// CheckInvariants verifies the single-writer / directory-consistency
-// invariants over every tracked line.
+// MemValue returns home memory's current value for a line (tests and the
+// consistency lab; stale while a dirty owner exists).
+func (m *Model) MemValue(line uint64) uint64 { return m.mem[line] }
+
+// CheckInvariants verifies the directory-consistency invariants over
+// every tracked line:
+//
+//   - single writer: at most one node holds a line writable, and only
+//     with the directory in stateModified naming it owner;
+//   - owner hygiene: the owner field is noOwner whenever the line is not
+//     modified (cleared on every downgrade and invalidation), and the
+//     sharer set is empty whenever it is (so the set can never contain
+//     the owner);
+//   - directory/cache agreement: in stateShared the sharer set and the
+//     read-only holders are exactly the same nodes;
+//   - value coherence: every shared copy equals home memory (writebacks
+//     happened when the protocol required them).
 func (m *Model) CheckInvariants() error {
 	for line, e := range m.dir {
 		writers := 0
 		for i, h := range m.held {
-			if w, ok := h[line]; ok && w {
+			if c, ok := h[line]; ok && c.writable {
 				writers++
 				if e.state != stateModified || e.owner != i {
 					return fmt.Errorf("cohdsm: node %d holds line %d writable but directory disagrees", i, line)
@@ -195,8 +342,49 @@ func (m *Model) CheckInvariants() error {
 		if writers > 1 {
 			return fmt.Errorf("cohdsm: line %d has %d writers", line, writers)
 		}
-		if writers == 1 && m.HolderCount(line) > 1 {
-			return fmt.Errorf("cohdsm: line %d modified with %d holders", line, m.HolderCount(line))
+		switch e.state {
+		case stateModified:
+			if e.owner < 0 || e.owner >= m.nodes {
+				return fmt.Errorf("cohdsm: line %d modified with invalid owner %d", line, e.owner)
+			}
+			if len(e.sharers) != 0 {
+				return fmt.Errorf("cohdsm: line %d modified but sharer set has %d entries (must be empty, and never contain the owner)", line, len(e.sharers))
+			}
+			c, ok := m.held[e.owner][line]
+			if !ok || !c.writable {
+				return fmt.Errorf("cohdsm: line %d modified but owner %d holds no writable copy", line, e.owner)
+			}
+			if m.HolderCount(line) > 1 {
+				return fmt.Errorf("cohdsm: line %d modified with %d holders", line, m.HolderCount(line))
+			}
+		case stateShared:
+			if e.owner != noOwner {
+				return fmt.Errorf("cohdsm: line %d shared but owner field %d not cleared on downgrade", line, e.owner)
+			}
+			for s := range e.sharers {
+				if s < 0 || s >= m.nodes {
+					return fmt.Errorf("cohdsm: line %d sharer %d outside domain", line, s)
+				}
+				c, ok := m.held[s][line]
+				if !ok {
+					return fmt.Errorf("cohdsm: line %d lists sharer %d which caches nothing", line, s)
+				}
+				if c.writable {
+					return fmt.Errorf("cohdsm: line %d shared but sharer %d holds it writable", line, s)
+				}
+				if c.val != m.mem[line] {
+					return fmt.Errorf("cohdsm: line %d sharer %d caches %d but home memory has %d (missing writeback)", line, s, c.val, m.mem[line])
+				}
+			}
+			for i, h := range m.held {
+				if _, ok := h[line]; ok && !e.sharers[i] {
+					return fmt.Errorf("cohdsm: node %d caches shared line %d but is not in the sharer set", i, line)
+				}
+			}
+		case stateInvalid:
+			if e.owner != noOwner || len(e.sharers) != 0 || m.HolderCount(line) != 0 {
+				return fmt.Errorf("cohdsm: line %d invalid but not empty", line)
+			}
 		}
 	}
 	return nil

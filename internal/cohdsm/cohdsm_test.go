@@ -1,9 +1,11 @@
 package cohdsm
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/metrics"
 	"repro/internal/params"
 )
 
@@ -14,6 +16,16 @@ func model(t *testing.T, nodes int) *Model {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// check asserts the protocol invariants; every Access loop in this file
+// runs it so a transition that corrupts the directory fails at the op
+// that caused it, not at the end.
+func check(t *testing.T, m *Model) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestNewValidation(t *testing.T) {
@@ -36,10 +48,12 @@ func TestHitAfterFill(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	check(t, m)
 	second, err := m.Access(0, 100, false)
 	if err != nil {
 		t.Fatal(err)
 	}
+	check(t, m)
 	if second >= first {
 		t.Errorf("cached re-read (%d) not cheaper than fill (%d)", second, first)
 	}
@@ -55,6 +69,7 @@ func TestWriteInvalidatesSharers(t *testing.T) {
 		if _, err := m.Access(n, line, false); err != nil {
 			t.Fatal(err)
 		}
+		check(t, m)
 	}
 	if m.HolderCount(line) != 8 {
 		t.Fatalf("holders = %d", m.HolderCount(line))
@@ -62,14 +77,12 @@ func TestWriteInvalidatesSharers(t *testing.T) {
 	if _, err := m.Access(0, line, true); err != nil {
 		t.Fatal(err)
 	}
+	check(t, m)
 	if m.HolderCount(line) != 1 {
 		t.Errorf("write left %d holders", m.HolderCount(line))
 	}
 	if m.Invalidations != 7 {
 		t.Errorf("Invalidations = %d, want 7", m.Invalidations)
-	}
-	if err := m.CheckInvariants(); err != nil {
-		t.Error(err)
 	}
 }
 
@@ -84,11 +97,13 @@ func TestWriteCostGrowsWithSharers(t *testing.T) {
 			if _, err := m.Access(n, line, false); err != nil {
 				t.Fatal(err)
 			}
+			check(t, m)
 		}
 		c, err := m.Access(15, line, true)
 		if err != nil {
 			t.Fatal(err)
 		}
+		check(t, m)
 		return c
 	}
 	c2, c8, c15 := cost(2), cost(8), cost(15)
@@ -103,10 +118,12 @@ func TestReadIntervenesOnModifiedOwner(t *testing.T) {
 	if _, err := m.Access(1, line, true); err != nil {
 		t.Fatal(err)
 	}
+	check(t, m)
 	before := m.Interventions
 	if _, err := m.Access(2, line, false); err != nil {
 		t.Fatal(err)
 	}
+	check(t, m)
 	if m.Interventions != before+1 {
 		t.Error("read of modified line did not intervene")
 	}
@@ -115,11 +132,9 @@ func TestReadIntervenesOnModifiedOwner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	check(t, m)
 	if c != params.Default().L1Latency {
 		t.Errorf("downgraded owner re-read = %d, want hit", c)
-	}
-	if err := m.CheckInvariants(); err != nil {
-		t.Error(err)
 	}
 }
 
@@ -128,10 +143,12 @@ func TestWriterRewriteIsHit(t *testing.T) {
 	if _, err := m.Access(3, 42, true); err != nil {
 		t.Fatal(err)
 	}
+	check(t, m)
 	c, err := m.Access(3, 42, true)
 	if err != nil {
 		t.Fatal(err)
 	}
+	check(t, m)
 	if c != params.Default().L1Latency {
 		t.Errorf("owner rewrite = %d, want hit", c)
 	}
@@ -144,6 +161,114 @@ func TestAccessValidation(t *testing.T) {
 	}
 	if _, err := m.Access(-1, 0, false); err == nil {
 		t.Error("negative node accepted")
+	}
+}
+
+// TestReadSeesRemoteWrite is the regression test for the writeback bug
+// the consistency checker exposed: a read miss on a dirty line must
+// observe the owner's value (intervention writes it back to home
+// memory), not whatever home memory held before the write.
+func TestReadSeesRemoteWrite(t *testing.T) {
+	m := model(t, 4)
+	const line = 12
+	if _, err := m.WriteLine(0, line, 41); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	v, _, err := m.ReadLine(3, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	if v != 41 {
+		t.Fatalf("remote read = %d, want 41 (missing M→S writeback)", v)
+	}
+	if m.MemValue(line) != 41 {
+		t.Errorf("home memory = %d after downgrade, want 41", m.MemValue(line))
+	}
+	if m.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", m.Writebacks)
+	}
+}
+
+// TestInvalidationWritesBackDirtyOwner covers the other writeback path:
+// a write miss that invalidates a dirty owner must not lose that owner's
+// value before the new writer's value replaces it (observable through a
+// cost-only Access touch, which rewrites the freshest contents).
+func TestInvalidationWritesBackDirtyOwner(t *testing.T) {
+	m := model(t, 4)
+	const line = 5
+	if _, err := m.WriteLine(1, line, 99); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	// Cost-only write by node 2: invalidates node 1 (writeback 99), then
+	// rewrites the line's current contents.
+	if _, err := m.Access(2, line, true); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	v, _, err := m.ReadLine(0, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	if v != 99 {
+		t.Fatalf("read after cost-only rewrite = %d, want 99", v)
+	}
+}
+
+// TestOwnerClearedOnDowngrade pins the directory-hygiene fix: after an
+// M→S downgrade the owner field must be cleared (CheckInvariants now
+// asserts it, so a stale owner fails here).
+func TestOwnerClearedOnDowngrade(t *testing.T) {
+	m := model(t, 4)
+	const line = 7
+	if _, err := m.WriteLine(0, line, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.ReadLine(1, line); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	e := m.dir[line]
+	if e.state != stateShared {
+		t.Fatalf("state = %d, want shared", e.state)
+	}
+	if e.owner != noOwner {
+		t.Fatalf("owner = %d after downgrade, want cleared", e.owner)
+	}
+	if !e.sharers[0] || !e.sharers[1] {
+		t.Errorf("sharers = %v, want {0,1}", e.sharers)
+	}
+}
+
+// TestValueOracle drives seeded random reads/writes and checks every
+// read against a last-writer-wins oracle: MSI makes every write
+// immediately globally visible, so any stale value is a protocol bug.
+func TestValueOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := model(t, 8)
+	oracle := make(map[uint64]uint64)
+	for i := 0; i < 4000; i++ {
+		node := rng.Intn(8)
+		line := uint64(rng.Intn(24))
+		if rng.Intn(3) == 0 {
+			v := uint64(i) + 1
+			if _, err := m.WriteLine(node, line, v); err != nil {
+				t.Fatal(err)
+			}
+			oracle[line] = v
+		} else {
+			v, _, err := m.ReadLine(node, line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != oracle[line] {
+				t.Fatalf("op %d: node %d read %d from line %d, oracle has %d", i, node, v, line, oracle[line])
+			}
+		}
+		check(t, m)
 	}
 }
 
@@ -160,10 +285,63 @@ func TestProtocolInvariantsProperty(t *testing.T) {
 			if _, err := m.Access(node, line, write); err != nil {
 				return false
 			}
+			if m.CheckInvariants() != nil {
+				return false
+			}
 		}
 		return m.CheckInvariants() == nil
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestInstrument checks the directory-transaction metric families appear
+// only on instrumented models and track the raw tallies.
+func TestInstrument(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := model(t, 8)
+	m.Instrument(reg)
+	for n := 0; n < 4; n++ {
+		if _, err := m.Access(n, 3, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Access(5, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	snap := reg.Snapshot()
+	find := func(name string) float64 {
+		for _, f := range snap.Families {
+			if f.Name == name && len(f.Samples) == 1 {
+				return f.Samples[0].Value
+			}
+		}
+		t.Fatalf("family %s missing", name)
+		return 0
+	}
+	if got := find(metrics.FamDirInvalidations); got != 4 {
+		t.Errorf("invalidations metric = %v, want 4", got)
+	}
+	if got := find(metrics.FamDirInterventions); got != 0 {
+		t.Errorf("interventions metric = %v, want 0", got)
+	}
+	if find(metrics.FamDirLookups) == 0 {
+		t.Error("lookups metric zero")
+	}
+	var fanout *metrics.Sample
+	for _, f := range snap.Families {
+		if f.Name == metrics.FamDirFanout {
+			fanout = &f.Samples[0]
+		}
+	}
+	if fanout == nil || fanout.Count != 1 || fanout.Sum != 4 {
+		t.Errorf("fanout histogram = %+v, want one observation of 4", fanout)
+	}
+
+	// Uninstrumented models register nothing.
+	if n := len(metrics.NewRegistry().Snapshot().Families); n != 0 {
+		t.Errorf("fresh registry has %d families", n)
 	}
 }

@@ -1,0 +1,189 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// scStateCap bounds the sequential-consistency frontier search. The
+// check is NP-hard in general (Gibbons–Korach), so the search refuses
+// to answer rather than silently time out: past the cap CheckSC returns
+// an error and the verdict is "undecided", never a wrong pass/fail.
+const scStateCap = 2_000_000
+
+// Verdict is the checker's judgment of one recorded history.
+type Verdict struct {
+	// SC reports whether some total order of the history's reads and
+	// writes respects per-node program order and reads-last-write.
+	SC bool
+	// PerLoc reports per-location linearizability under the lab's
+	// atomic-issue contract: the driver executes one operation per step,
+	// so each operation's linearization point — if the protocol were
+	// linearizable — is its issue step, and every read must return the
+	// newest value written to its location at issue time.
+	PerLoc bool
+	// SCStates is how many frontier states the SC search explored.
+	SCStates int
+	// PerLocReason names the first violating event, empty when clean.
+	PerLocReason string
+}
+
+// Summary renders the verdict as a compact pass/fail pair.
+func (v Verdict) Summary() string {
+	word := func(ok bool) string {
+		if ok {
+			return "pass"
+		}
+		return "FAIL"
+	}
+	return fmt.Sprintf("SC=%s perloc=%s", word(v.SC), word(v.PerLoc))
+}
+
+// Check runs both checkers over the history. The error is non-nil only
+// when the SC search exceeded its state cap and the verdict is
+// undecided.
+func Check(h History) (Verdict, error) {
+	v := Verdict{}
+	v.PerLoc, v.PerLocReason = CheckPerLocation(h)
+	var err error
+	v.SC, v.SCStates, err = CheckSC(h)
+	return v, err
+}
+
+// CheckPerLocation validates per-location linearizability under the
+// atomic-issue contract: scanning in global issue order with writes
+// taking effect at their step, every read must see the newest write to
+// its location (or zero before any write). A protocol that buffers
+// writes or caches stale values fails here even on histories that are
+// still explainable by *some* legal reordering — this is the strict
+// check, CheckSC the permissive one.
+func CheckPerLocation(h History) (bool, string) {
+	mem := make(map[uint64]uint64)
+	for _, e := range h.Events {
+		switch e.Op {
+		case OpWrite:
+			mem[e.Loc] = e.Value
+		case OpRead:
+			if mem[e.Loc] != e.Value {
+				return false, fmt.Sprintf("step %d: %s but location holds %d at issue time", e.Seq, e, mem[e.Loc])
+			}
+		}
+	}
+	return true, ""
+}
+
+// CheckSC decides whether the history is sequentially consistent: some
+// interleaving of the per-node program orders in which every read
+// returns the latest earlier write to its location (zero initially).
+// It runs a frontier-state depth-first search — the state is one
+// program counter per node plus the memory image — memoizing failed
+// states so each is expanded once. Returns the verdict, the number of
+// states explored, and an error iff the search hit scStateCap before
+// deciding.
+func CheckSC(h History) (bool, int, error) {
+	s := &scSearch{
+		nodes:   h.perNode(),
+		mem:     make(map[uint64]uint64),
+		visited: make(map[string]struct{}),
+	}
+	locs := make(map[uint64]struct{})
+	for _, po := range s.nodes {
+		for _, e := range po {
+			locs[e.Loc] = struct{}{}
+		}
+	}
+	for l := range locs {
+		s.locs = append(s.locs, l)
+		s.mem[l] = 0
+	}
+	sort.Slice(s.locs, func(i, j int) bool { return s.locs[i] < s.locs[j] })
+	s.idx = make([]int, len(s.nodes))
+	ok, err := s.run()
+	return ok, s.explored, err
+}
+
+// scSearch is the frontier-state DFS of CheckSC.
+type scSearch struct {
+	nodes    [][]Event // per-node program order, reads and writes only
+	locs     []uint64  // every location touched, ascending
+	mem      map[uint64]uint64
+	idx      []int // next-instruction frontier
+	visited  map[string]struct{}
+	explored int
+}
+
+// key serializes the frontier and memory image. Memory must be part of
+// the key: two paths reaching the same frontier can leave different
+// last writers per location.
+func (s *scSearch) key() string {
+	var b strings.Builder
+	for _, i := range s.idx {
+		b.WriteString(strconv.Itoa(i))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	for _, l := range s.locs {
+		b.WriteString(strconv.FormatUint(s.mem[l], 10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func (s *scSearch) run() (bool, error) {
+	done := true
+	for n := range s.nodes {
+		if s.idx[n] < len(s.nodes[n]) {
+			done = false
+			break
+		}
+	}
+	if done {
+		return true, nil
+	}
+	k := s.key()
+	if _, dead := s.visited[k]; dead {
+		return false, nil
+	}
+	s.explored++
+	if s.explored > scStateCap {
+		return false, fmt.Errorf("consistency: SC check undecided after %d states", s.explored)
+	}
+	for n := range s.nodes {
+		if s.idx[n] >= len(s.nodes[n]) {
+			continue
+		}
+		e := s.nodes[n][s.idx[n]]
+		switch e.Op {
+		case OpRead:
+			if s.mem[e.Loc] != e.Value {
+				continue // this read cannot execute yet on this path
+			}
+			s.idx[n]++
+			ok, err := s.run()
+			s.idx[n]--
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		case OpWrite:
+			old := s.mem[e.Loc]
+			s.mem[e.Loc] = e.Value
+			s.idx[n]++
+			ok, err := s.run()
+			s.idx[n]--
+			s.mem[e.Loc] = old
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	s.visited[k] = struct{}{}
+	return false, nil
+}

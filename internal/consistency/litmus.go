@@ -1,0 +1,178 @@
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/params"
+)
+
+// Expectation is the verdict a protocol is expected to earn on one
+// litmus test.
+type Expectation struct {
+	SC     bool
+	PerLoc bool
+}
+
+// Litmus is one seeded litmus test: a small multi-node program, the one
+// fixed schedule that provokes the interesting interleaving, and the
+// expected verdict per protocol. The suite is the lab's ground truth —
+// the verdicts differ by protocol, which is the whole point: MSI must
+// pass everything, the posted-write RMC mode must exhibit exactly the
+// TSO anomalies, and release consistency must be weaker still until
+// fences are inserted.
+type Litmus struct {
+	Name     string
+	About    string
+	Nodes    int
+	Prog     Program
+	Schedule []int
+	Expect   map[string]Expectation
+}
+
+// Suite returns the seeded litmus tests.
+func Suite() []Litmus {
+	const x, y = 0, 1
+	all := Expectation{SC: true, PerLoc: true}
+	return []Litmus{
+		{
+			Name:  "sb",
+			About: "store buffering: both nodes write then read the other's line; r_x=r_y=0 means both stores were delayed past both loads",
+			Nodes: 2,
+			Prog: Program{
+				{W(x, 1), R(y)},
+				{W(y, 1), R(x)},
+			},
+			Schedule: []int{0, 1, 0, 1},
+			Expect: map[string]Expectation{
+				"msi": all,
+				"rmc": {SC: false, PerLoc: false},
+				"rc":  {SC: false, PerLoc: false},
+			},
+		},
+		{
+			Name:  "mp-rel",
+			About: "message passing with release only: the reader warmed its cache before the writer published, and rereads the stale data after seeing the flag",
+			Nodes: 2,
+			Prog: Program{
+				{W(x, 1), W(y, 1), Rel()},
+				{R(x), R(y), R(x)},
+			},
+			Schedule: []int{1, 0, 0, 0, 1, 1},
+			Expect: map[string]Expectation{
+				"msi": all,
+				"rmc": all,
+				"rc":  {SC: false, PerLoc: false},
+			},
+		},
+		{
+			Name:  "mp-rel-acq",
+			About: "message passing with the full release/acquire pair: the acquire discards the stale cache, restoring order on every protocol",
+			Nodes: 2,
+			Prog: Program{
+				{W(x, 1), W(y, 1), Rel()},
+				{R(x), Acq(), R(y), R(x)},
+			},
+			Schedule: []int{1, 0, 0, 0, 1, 1, 1},
+			Expect: map[string]Expectation{
+				"msi": all,
+				"rmc": all,
+				"rc":  all,
+			},
+		},
+		{
+			Name:  "iriw",
+			About: "independent reads of independent writes: two readers that warmed opposite lines disagree on the order of the two publications",
+			Nodes: 4,
+			Prog: Program{
+				{W(x, 1), Rel()},
+				{W(y, 1), Rel()},
+				{R(y), R(x), R(y)},
+				{R(x), R(y), R(x)},
+			},
+			Schedule: []int{2, 3, 0, 0, 1, 1, 2, 2, 3, 3},
+			Expect: map[string]Expectation{
+				"msi": all,
+				"rmc": all,
+				"rc":  {SC: false, PerLoc: false},
+			},
+		},
+		{
+			Name:  "corr",
+			About: "coherence read-read: a reader interleaved with two same-line writes must not lag the issue order; SC tolerates the lag, linearizability does not",
+			Nodes: 2,
+			Prog: Program{
+				{W(x, 1), W(x, 2)},
+				{R(x), R(x)},
+			},
+			Schedule: []int{0, 1, 0, 1},
+			Expect: map[string]Expectation{
+				"msi": all,
+				"rmc": {SC: true, PerLoc: false},
+				"rc":  {SC: true, PerLoc: false},
+			},
+		},
+	}
+}
+
+// LitmusResult is one (test, protocol) outcome.
+type LitmusResult struct {
+	Test     string
+	Protocol string
+	History  History
+	Verdict  Verdict
+	Expected Expectation
+	// Match reports whether the verdict equals the expectation.
+	Match bool
+}
+
+// RunLitmus executes one litmus test against a fresh instance of the
+// named protocol and checks the recorded history.
+func RunLitmus(l Litmus, name string, p params.Params) (LitmusResult, error) {
+	proto, err := NewProtocol(name, p, l.Nodes)
+	if err != nil {
+		return LitmusResult{}, err
+	}
+	h, err := RunProgram(proto, l.Prog, l.Schedule)
+	if err != nil {
+		return LitmusResult{}, fmt.Errorf("%s/%s: %w", l.Name, name, err)
+	}
+	if err := proto.SelfCheck(); err != nil {
+		return LitmusResult{}, fmt.Errorf("%s/%s: %w", l.Name, name, err)
+	}
+	v, err := Check(h)
+	if err != nil {
+		return LitmusResult{}, fmt.Errorf("%s/%s: %w", l.Name, name, err)
+	}
+	exp, ok := l.Expect[name]
+	if !ok {
+		return LitmusResult{}, fmt.Errorf("%s: no expectation for protocol %q", l.Name, name)
+	}
+	return LitmusResult{
+		Test:     l.Name,
+		Protocol: name,
+		History:  h,
+		Verdict:  v,
+		Expected: exp,
+		Match:    v.SC == exp.SC && v.PerLoc == exp.PerLoc,
+	}, nil
+}
+
+// RunSuite runs every litmus test against every named protocol (all
+// registered protocols when names is empty) and returns the results in
+// suite × protocol order.
+func RunSuite(p params.Params, names []string) ([]LitmusResult, error) {
+	if len(names) == 0 {
+		names = Names()
+	}
+	var out []LitmusResult
+	for _, l := range Suite() {
+		for _, name := range names {
+			r, err := RunLitmus(l, name, p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/mesh"
+	"repro/internal/params"
+)
+
+// fabric is the shared cost substrate of the uncached protocols: the
+// same mesh geometry and calibration every other layer of the simulator
+// uses, with lines homed round-robin across the participating nodes.
+type fabric struct {
+	p     params.Params
+	topo  mesh.Topology
+	nodes int
+}
+
+func newFabric(p params.Params, nodes int) (fabric, error) {
+	topo, err := mesh.NewTopology(p.MeshWidth, p.MeshHeight)
+	if err != nil {
+		return fabric{}, err
+	}
+	if nodes < 1 || nodes > topo.Nodes() {
+		return fabric{}, fmt.Errorf("consistency: %d nodes outside the %d-node mesh", nodes, topo.Nodes())
+	}
+	return fabric{p: p, topo: topo, nodes: nodes}, nil
+}
+
+// home returns the node index a location's memory lives on.
+func (f fabric) home(loc uint64) int { return int(loc) % f.nodes }
+
+// hops returns the mesh distance between two node indices.
+func (f fabric) hops(a, b int) int {
+	return f.topo.Hops(addr.NodeID(a+1), addr.NodeID(b+1))
+}
+
+// memCost is the latency of one uncached access from node to loc's home
+// memory: the local DRAM path at home, the full RMC round trip remotely.
+func (f fabric) memCost(node int, loc uint64) params.Duration {
+	h := f.home(loc)
+	if h == node {
+		return f.p.L1Latency + f.p.DRAMLatency
+	}
+	return f.p.RemoteRoundTrip(f.hops(node, h))
+}
+
+// pendingWrite is one buffered store.
+type pendingWrite struct {
+	loc uint64
+	val uint64
+}
+
+// NonCoherent is the paper's remote-memory mode: no line is ever cached
+// outside its home node, every read goes to home memory, and stores are
+// posted — they complete as soon as the client RMC accepts them and
+// drain to home memory in FIFO order. That per-node FIFO store buffer
+// over single-copy memory is exactly total store order: a node can read
+// its own posted store early (store forwarding) and can read another
+// location *before* its posted store is globally visible (store
+// buffering), but stores from one node are never reordered with each
+// other and all nodes agree on a single store order — message passing
+// and IRIW anomalies are impossible.
+type NonCoherent struct {
+	f     fabric
+	mem   map[uint64]uint64
+	buf   [][]pendingWrite
+	depth int
+
+	// PostedWrites, Drains, and Forwards are protocol event counts.
+	PostedWrites, Drains, Forwards uint64
+}
+
+// NewNonCoherent builds the posted-write RMC protocol over nodes nodes.
+// The store-buffer depth is the calibration's RemoteOutstanding bound.
+func NewNonCoherent(p params.Params, nodes int) (*NonCoherent, error) {
+	f, err := newFabric(p, nodes)
+	if err != nil {
+		return nil, err
+	}
+	depth := p.RemoteOutstanding
+	if depth < 1 {
+		depth = 1
+	}
+	return &NonCoherent{
+		f:     f,
+		mem:   make(map[uint64]uint64),
+		buf:   make([][]pendingWrite, nodes),
+		depth: depth,
+	}, nil
+}
+
+// Name returns "rmc".
+func (c *NonCoherent) Name() string { return "rmc" }
+
+// Model names the promised consistency model.
+func (c *NonCoherent) Model() string { return "total store order (posted writes)" }
+
+// Nodes returns the domain size.
+func (c *NonCoherent) Nodes() int { return c.f.nodes }
+
+func (c *NonCoherent) checkNode(node int) error {
+	if node < 0 || node >= c.f.nodes {
+		return fmt.Errorf("consistency: node %d outside domain of %d", node, c.f.nodes)
+	}
+	return nil
+}
+
+// drainOldest applies the node's oldest buffered store to home memory.
+func (c *NonCoherent) drainOldest(node int) params.Duration {
+	w := c.buf[node][0]
+	c.buf[node] = c.buf[node][1:]
+	c.mem[w.loc] = w.val
+	c.Drains++
+	return c.f.memCost(node, w.loc)
+}
+
+// Read returns the newest matching store in the node's own buffer
+// (store forwarding) or the home-memory value.
+func (c *NonCoherent) Read(node int, loc uint64) (uint64, params.Duration, error) {
+	if err := c.checkNode(node); err != nil {
+		return 0, 0, err
+	}
+	for i := len(c.buf[node]) - 1; i >= 0; i-- {
+		if c.buf[node][i].loc == loc {
+			c.Forwards++
+			return c.buf[node][i].val, c.f.p.L1Latency, nil
+		}
+	}
+	return c.mem[loc], c.f.memCost(node, loc), nil
+}
+
+// Write posts the store: it completes at client-occupancy cost and
+// drains later. A full buffer drains its oldest entry first, so the
+// buffer never reorders and never exceeds its depth.
+func (c *NonCoherent) Write(node int, loc uint64, val uint64) (params.Duration, error) {
+	if err := c.checkNode(node); err != nil {
+		return 0, err
+	}
+	lat := c.f.p.RMCClientOccupancy
+	if len(c.buf[node]) >= c.depth {
+		lat += c.drainOldest(node)
+	}
+	c.buf[node] = append(c.buf[node], pendingWrite{loc: loc, val: val})
+	c.PostedWrites++
+	return lat, nil
+}
+
+// Acquire is free: reads are always served by home memory, never by a
+// stale local copy.
+func (c *NonCoherent) Acquire(node int) (params.Duration, error) {
+	if err := c.checkNode(node); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// Release drains the node's store buffer to home memory in FIFO order.
+func (c *NonCoherent) Release(node int) (params.Duration, error) {
+	if err := c.checkNode(node); err != nil {
+		return 0, err
+	}
+	var lat params.Duration
+	for len(c.buf[node]) > 0 {
+		lat += c.drainOldest(node)
+	}
+	return lat, nil
+}
+
+// SelfCheck verifies the buffer bound.
+func (c *NonCoherent) SelfCheck() error {
+	for n, b := range c.buf {
+		if len(b) > c.depth {
+			return fmt.Errorf("consistency: node %d store buffer holds %d entries (depth %d)", n, len(b), c.depth)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/params"
+)
+
+// rcBufferDepth bounds the release-consistent write buffer. An overflow
+// forces an early (implicit) release — generous so litmus programs never
+// hit it and the protocol's weakness stays observable.
+const rcBufferDepth = 32
+
+// ReleaseConsistent is the federated-coherence / release-consistency
+// mode: writes accumulate in a per-node buffer that publishes to home
+// memory only at Release, and reads are served from a node-local cache
+// that may be stale until Acquire discards it. Between fence pairs the
+// protocol promises nothing across nodes — store buffering, message
+// passing without an acquire, and IRIW anomalies are all observable —
+// but a release/acquire pair restores ordering, which is exactly the
+// contract data-race-free programs need and the cheapest of the three
+// protocols to run.
+type ReleaseConsistent struct {
+	f     fabric
+	mem   map[uint64]uint64
+	buf   [][]pendingWrite
+	cache []map[uint64]uint64
+
+	// BufferedWrites, Publishes, CacheHits, and CacheFills are protocol
+	// event counts (Publishes counts writes applied at releases).
+	BufferedWrites, Publishes, CacheHits, CacheFills uint64
+}
+
+// NewReleaseConsistent builds the release-consistency protocol over
+// nodes nodes.
+func NewReleaseConsistent(p params.Params, nodes int) (*ReleaseConsistent, error) {
+	f, err := newFabric(p, nodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &ReleaseConsistent{
+		f:     f,
+		mem:   make(map[uint64]uint64),
+		buf:   make([][]pendingWrite, nodes),
+		cache: make([]map[uint64]uint64, nodes),
+	}
+	for i := range c.cache {
+		c.cache[i] = make(map[uint64]uint64)
+	}
+	return c, nil
+}
+
+// Name returns "rc".
+func (c *ReleaseConsistent) Name() string { return "rc" }
+
+// Model names the promised consistency model.
+func (c *ReleaseConsistent) Model() string { return "release consistency" }
+
+// Nodes returns the domain size.
+func (c *ReleaseConsistent) Nodes() int { return c.f.nodes }
+
+func (c *ReleaseConsistent) checkNode(node int) error {
+	if node < 0 || node >= c.f.nodes {
+		return fmt.Errorf("consistency: node %d outside domain of %d", node, c.f.nodes)
+	}
+	return nil
+}
+
+// Read serves from the node's own write buffer first (its writes are
+// always visible to itself), then the possibly-stale local cache, and
+// only on a cold miss pays the trip to home memory.
+func (c *ReleaseConsistent) Read(node int, loc uint64) (uint64, params.Duration, error) {
+	if err := c.checkNode(node); err != nil {
+		return 0, 0, err
+	}
+	for i := len(c.buf[node]) - 1; i >= 0; i-- {
+		if c.buf[node][i].loc == loc {
+			return c.buf[node][i].val, c.f.p.L1Latency, nil
+		}
+	}
+	if v, ok := c.cache[node][loc]; ok {
+		c.CacheHits++
+		return v, c.f.p.L1Latency, nil
+	}
+	v := c.mem[loc]
+	c.cache[node][loc] = v
+	c.CacheFills++
+	return v, c.f.memCost(node, loc), nil
+}
+
+// Write buffers the store and write-throughs the node's own cache so
+// program order holds locally; other nodes see nothing until Release.
+func (c *ReleaseConsistent) Write(node int, loc uint64, val uint64) (params.Duration, error) {
+	if err := c.checkNode(node); err != nil {
+		return 0, err
+	}
+	lat := c.f.p.L1Latency
+	if len(c.buf[node]) >= rcBufferDepth {
+		// Implicit release: a full buffer publishes early.
+		l, err := c.Release(node)
+		if err != nil {
+			return 0, err
+		}
+		lat += l
+	}
+	c.buf[node] = append(c.buf[node], pendingWrite{loc: loc, val: val})
+	c.cache[node][loc] = val
+	c.BufferedWrites++
+	return lat, nil
+}
+
+// Acquire discards the node's local cache: subsequent reads refetch
+// from home memory and observe everything published before it.
+func (c *ReleaseConsistent) Acquire(node int) (params.Duration, error) {
+	if err := c.checkNode(node); err != nil {
+		return 0, err
+	}
+	c.cache[node] = make(map[uint64]uint64)
+	return c.f.p.L1Latency, nil
+}
+
+// Release publishes the node's buffered writes to home memory in
+// program order.
+func (c *ReleaseConsistent) Release(node int) (params.Duration, error) {
+	if err := c.checkNode(node); err != nil {
+		return 0, err
+	}
+	var lat params.Duration
+	for _, w := range c.buf[node] {
+		c.mem[w.loc] = w.val
+		lat += c.f.memCost(node, w.loc)
+		c.Publishes++
+	}
+	c.buf[node] = c.buf[node][:0]
+	return lat, nil
+}
+
+// SelfCheck verifies the buffer bound.
+func (c *ReleaseConsistent) SelfCheck() error {
+	for n, b := range c.buf {
+		if len(b) > rcBufferDepth {
+			return fmt.Errorf("consistency: node %d write buffer holds %d entries (depth %d)", n, len(b), rcBufferDepth)
+		}
+	}
+	return nil
+}

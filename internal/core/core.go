@@ -72,6 +72,10 @@ func NewSystem(eng *sim.Engine, p params.Params) (*System, error) {
 	eng.Metrics().GaugeFunc(metrics.FamPoolFreeBytes,
 		"free bytes in the cluster-wide memory pool", nil,
 		func() float64 { return float64(s.dir.TotalFree()) })
+	// Directory-transaction families register lazily on the first donor
+	// search or grant, so systems that never borrow memory snapshot
+	// exactly as before.
+	s.dir.Instrument(eng.Metrics())
 	return s, nil
 }
 

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestConsistencyCostShape checks experiment H produces the separation
+// the consistency lab predicts: at meaningful sharing degrees the
+// sequentially consistent directory protocol is the most expensive per
+// op, the TSO posted-write mode sits in the middle, and release
+// consistency — which pays only at fences — is cheapest; and the MSI
+// curve grows with the number of sharers.
+func TestConsistencyCostShape(t *testing.T) {
+	fig, err := ConsistencyCost(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msi := ys(series(t, fig, "msi (sequential consistency)"))
+	rmc := ys(series(t, fig, "rmc (total store order (posted writes))"))
+	rc := ys(series(t, fig, "rc (release consistency)"))
+	if len(msi) != 5 || len(rmc) != 5 || len(rc) != 5 {
+		t.Fatalf("series lengths %d/%d/%d, want 5", len(msi), len(rmc), len(rc))
+	}
+	for i := range msi {
+		if msi[i] <= 0 || rmc[i] <= 0 || rc[i] <= 0 {
+			t.Fatalf("nonpositive point at %d: msi=%v rmc=%v rc=%v", i, msi[i], rmc[i], rc[i])
+		}
+		if rc[i] >= rmc[i] {
+			t.Errorf("point %d: release consistency (%.3f) not cheaper than TSO (%.3f)", i, rc[i], rmc[i])
+		}
+	}
+	last := len(msi) - 1
+	if msi[last] <= rmc[last] {
+		t.Errorf("at 16 nodes MSI (%.3f) not above rmc (%.3f)", msi[last], rmc[last])
+	}
+	// Coherence traffic grows with the sharing degree; the weak modes
+	// grow only with hop distance.
+	if msi[last] < 2*msi[0] {
+		t.Errorf("MSI cost did not grow with sharers: %v", msi)
+	}
+}
+
+// TestConsistencyCostRerunIdentity is the figure's determinism
+// acceptance: byte-identical renderings across reruns (parallel-count
+// invariance is covered registry-wide by TestParallelDeterminism).
+func TestConsistencyCostRerunIdentity(t *testing.T) {
+	o := testOptions()
+	a, err := ConsistencyCost(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConsistencyCost(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Errorf("figure differs across reruns:\n--- first ---\n%s\n--- second ---\n%s", a.Render(), b.Render())
+	}
+}
+
+// TestConsistencyCostMetrics checks the MSI side surfaces its directory
+// traffic through the merged metrics accumulator — and that the
+// families exist only because experiment H instrumented them.
+func TestConsistencyCostMetrics(t *testing.T) {
+	snap := runMerged(t, "H", 0)
+	for _, fam := range []string{
+		metrics.FamDirLookups,
+		metrics.FamDirInvalidations,
+		metrics.FamDirInterventions,
+		metrics.FamDirWritebacks,
+		metrics.FamDirFanout,
+	} {
+		if snap.Total(fam) == 0 {
+			t.Errorf("family %s is zero after experiment H", fam)
+		}
+	}
+}

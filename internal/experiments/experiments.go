@@ -100,6 +100,7 @@ func Registry() []struct {
 		{"E", AblationParallelPhase},
 		{"F", AblationFabric},
 		{"G", AblationIndexes},
+		{"H", ConsistencyCost},
 	}
 }
 

@@ -8,9 +8,11 @@ package memdir
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/addr"
+	"repro/internal/metrics"
 )
 
 // Policy selects a donor among candidates.
@@ -33,12 +35,46 @@ type Directory struct {
 
 	// Grants counts successful donor selections.
 	Grants uint64
+	// Lookups counts donor searches; Rejections counts the ones no node
+	// could satisfy.
+	Lookups, Rejections uint64
+
+	// reg, when set by Instrument, receives the directory-transaction
+	// metric families — but only once the first transaction happens, so
+	// a system that never consults the directory snapshots exactly as an
+	// uninstrumented build.
+	reg        *metrics.Registry
+	registered bool
+	granted    *metrics.Histogram
 }
 
 // New creates a directory. dist gives inter-node distance for the
 // Nearest policy; nil disables that policy.
 func New(dist func(a, b addr.NodeID) int) *Directory {
 	return &Directory{free: make(map[addr.NodeID]uint64), dist: dist}
+}
+
+// Instrument arms the directory to report transaction metrics into reg.
+// Families register lazily on the first donor search or grant: snapshots
+// of systems whose directory stays idle are byte-identical to snapshots
+// taken before this layer existed.
+func (d *Directory) Instrument(reg *metrics.Registry) { d.reg = reg }
+
+// touch registers the metric families on the first directory transaction.
+func (d *Directory) touch() {
+	if d.reg == nil || d.registered {
+		return
+	}
+	d.registered = true
+	d.reg.CounterFunc(metrics.FamMemdirLookups, "donor searches against the free-memory directory", nil,
+		func() uint64 { return d.Lookups })
+	d.reg.CounterFunc(metrics.FamMemdirGrants, "reservations granted by the directory", nil,
+		func() uint64 { return d.Grants })
+	d.reg.CounterFunc(metrics.FamMemdirRejections, "donor searches no node could satisfy", nil,
+		func() uint64 { return d.Rejections })
+	const mb = int64(1) << 20
+	d.granted = d.reg.Histogram(metrics.FamMemdirGrantedBytes, "bytes per granted reservation", nil,
+		[]int64{mb, 16 * mb, 64 * mb, 256 * mb, 1024 * mb, 4096 * mb, 16384 * mb})
 }
 
 // Register announces a node's pooled capacity (or updates it).
@@ -65,6 +101,8 @@ func (d *Directory) TotalFree() uint64 {
 // FindDonor selects a donor with at least want free bytes for requester
 // self (never self: borrowing from yourself is just local allocation).
 func (d *Directory) FindDonor(self addr.NodeID, want uint64, policy Policy) (addr.NodeID, error) {
+	d.touch()
+	d.Lookups++
 	type cand struct {
 		id   addr.NodeID
 		free uint64
@@ -76,6 +114,7 @@ func (d *Directory) FindDonor(self addr.NodeID, want uint64, policy Policy) (add
 		}
 	}
 	if len(cands) == 0 {
+		d.Rejections++
 		return 0, fmt.Errorf("memdir: no node has %d free pooled bytes (cluster free %d)", want, d.TotalFree())
 	}
 	switch policy {
@@ -108,6 +147,7 @@ func (d *Directory) FindDonor(self addr.NodeID, want uint64, policy Policy) (add
 
 // Consume records that a grant took bytes from a node.
 func (d *Directory) Consume(n addr.NodeID, bytes uint64) error {
+	d.touch()
 	f, ok := d.free[n]
 	if !ok {
 		return fmt.Errorf("memdir: node %d not registered", n)
@@ -117,14 +157,27 @@ func (d *Directory) Consume(n addr.NodeID, bytes uint64) error {
 	}
 	d.free[n] = f - bytes
 	d.Grants++
+	if d.granted != nil {
+		if bytes > math.MaxInt64 {
+			d.granted.Observe(math.MaxInt64)
+		} else {
+			d.granted.Observe(int64(bytes))
+		}
+	}
 	return nil
 }
 
-// ReleaseBytes returns capacity to a node.
+// ReleaseBytes returns capacity to a node. Releasing more than was ever
+// consumed (an accounting bug upstream) is refused rather than silently
+// wrapping the free count around.
 func (d *Directory) ReleaseBytes(n addr.NodeID, bytes uint64) error {
-	if _, ok := d.free[n]; !ok {
+	f, ok := d.free[n]
+	if !ok {
 		return fmt.Errorf("memdir: node %d not registered", n)
 	}
-	d.free[n] += bytes
+	if f+bytes < f {
+		return fmt.Errorf("memdir: releasing %d bytes to node %d overflows its free count %d", bytes, n, f)
+	}
+	d.free[n] = f + bytes
 	return nil
 }

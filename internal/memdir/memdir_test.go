@@ -1,10 +1,12 @@
 package memdir
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/addr"
 	"repro/internal/mesh"
+	"repro/internal/metrics"
 )
 
 func dir4x4(t *testing.T) *Directory {
@@ -115,5 +117,61 @@ func TestConsumeRelease(t *testing.T) {
 	}
 	if d.Grants != 1 {
 		t.Errorf("Grants = %d", d.Grants)
+	}
+}
+
+func TestReleaseOverflowRefused(t *testing.T) {
+	d := dir4x4(t)
+	d.Register(2, 100)
+	if err := d.ReleaseBytes(2, math.MaxUint64-10); err == nil {
+		t.Error("overflowing release accepted")
+	}
+	if d.Free(2) != 100 {
+		t.Errorf("free count changed by refused release: %d", d.Free(2))
+	}
+}
+
+// TestInstrumentGated checks the metric families appear only after the
+// first directory transaction: idle directories leave the registry
+// byte-identical to a build without this layer.
+func TestInstrumentGated(t *testing.T) {
+	reg := metrics.NewRegistry()
+	d := dir4x4(t)
+	d.Instrument(reg)
+	d.Register(2, 100)
+	d.Register(3, 300)
+	if n := len(reg.Snapshot().Families); n != 0 {
+		t.Fatalf("idle instrumented directory registered %d families, want 0", n)
+	}
+	if _, err := d.FindDonor(1, 50, MostFree); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Consume(3, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.FindDonor(1, 5000, MostFree); err == nil {
+		t.Fatal("impossible request satisfied")
+	}
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		metrics.FamMemdirLookups:    2,
+		metrics.FamMemdirGrants:     1,
+		metrics.FamMemdirRejections: 1,
+	}
+	for _, f := range snap.Families {
+		if v, ok := want[f.Name]; ok {
+			if len(f.Samples) != 1 || f.Samples[0].Value != v {
+				t.Errorf("%s = %+v, want %v", f.Name, f.Samples, v)
+			}
+			delete(want, f.Name)
+		}
+		if f.Name == metrics.FamMemdirGrantedBytes {
+			if f.Samples[0].Count != 1 || f.Samples[0].Sum != 50 {
+				t.Errorf("granted-bytes histogram = %+v", f.Samples[0])
+			}
+		}
+	}
+	for name := range want {
+		t.Errorf("family %s missing after transactions", name)
 	}
 }

@@ -72,6 +72,24 @@ const (
 	FamMeshReroutes     = "ncdsm_mesh_reroutes_total"
 	FamMeshDetourHops   = "ncdsm_mesh_detour_hops_total"
 	FamMeshUnreachable  = "ncdsm_mesh_unreachable_total"
+
+	// coherent-DSM comparator directory (internal/cohdsm). These
+	// families exist only in models whose caller instrumented them (the
+	// consistency lab and ablations that opt in), so output that never
+	// touches the coherent comparator stays byte-identical.
+	FamDirLookups       = "ncdsm_dir_lookups_total"
+	FamDirInvalidations = "ncdsm_dir_invalidations_total"
+	FamDirInterventions = "ncdsm_dir_interventions_total"
+	FamDirWritebacks    = "ncdsm_dir_writebacks_total"
+	FamDirFanout        = "ncdsm_dir_invalidation_fanout"
+
+	// cluster free-memory directory (internal/memdir). Registered
+	// lazily on the first directory transaction, so systems that never
+	// consult the directory snapshot exactly as before.
+	FamMemdirLookups      = "ncdsm_memdir_lookups_total"
+	FamMemdirGrants       = "ncdsm_memdir_grants_total"
+	FamMemdirRejections   = "ncdsm_memdir_rejections_total"
+	FamMemdirGrantedBytes = "ncdsm_memdir_granted_bytes"
 )
 
 // NodeView is the per-node rollup the public API exposes: one row per

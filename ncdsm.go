@@ -36,6 +36,7 @@ import (
 	"io"
 
 	"repro/internal/addr"
+	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
@@ -351,7 +352,7 @@ func (o ExperimentOptions) internal() (experiments.Options, error) {
 }
 
 // Experiment regenerates one of the paper's tables/figures ("table1",
-// "fig6".."fig11", "eq", ablations "A".."G") and returns its rendered
+// "fig6".."fig11", "eq", ablations "A".."H") and returns its rendered
 // text table.
 func Experiment(id string, opts ExperimentOptions) (string, error) {
 	fig, _, err := RunExperiment(id, opts)
@@ -398,6 +399,55 @@ func Experiments() []string {
 		ids = append(ids, e.ID)
 	}
 	return ids
+}
+
+// ---- consistency laboratory ----
+
+// ConsistencyVerdict is the checker's judgment of one recorded history:
+// whether it is sequentially consistent (some interleaving of the
+// per-node program orders explains every read) and per-location
+// linearizable (every read returns the newest write at issue time).
+type ConsistencyVerdict = consistency.Verdict
+
+// LitmusOutcome is one (litmus test, protocol) result: the recorded
+// history, its verdict, and whether it matches the protocol's expected
+// verdict.
+type LitmusOutcome = consistency.LitmusResult
+
+// ConsistencyProtocols lists the consistency-lab protocol names in
+// presentation order: "msi" (directory MSI, sequential consistency),
+// "rmc" (the paper's non-coherent posted-write mode, TSO), and "rc"
+// (release consistency).
+func ConsistencyProtocols() []string { return consistency.Names() }
+
+// Litmus runs the seeded litmus suite (store buffering, message
+// passing with and without acquire, IRIW, coherence read-read) under
+// the named protocols — all of them when none are given — and returns
+// every outcome in suite × protocol order. Outcomes are deterministic:
+// fixed programs, fixed schedules, pure protocol state machines.
+func Litmus(cfg Config, protocols ...string) ([]LitmusOutcome, error) {
+	return consistency.RunSuite(cfg, protocols)
+}
+
+// LitmusReport runs the litmus suite and renders a text table of
+// verdicts, flagging any outcome that deviates from its protocol's
+// expectation.
+func LitmusReport(cfg Config, protocols ...string) (string, error) {
+	results, err := Litmus(cfg, protocols...)
+	if err != nil {
+		return "", err
+	}
+	var b []byte
+	b = fmt.Appendf(b, "%-12s %-5s %-22s %-22s %s\n", "test", "proto", "verdict", "expected", "match")
+	for _, r := range results {
+		exp := consistency.Verdict{SC: r.Expected.SC, PerLoc: r.Expected.PerLoc}
+		mark := "ok"
+		if !r.Match {
+			mark = "MISMATCH"
+		}
+		b = fmt.Appendf(b, "%-12s %-5s %-22s %-22s %s\n", r.Test, r.Protocol, r.Verdict.Summary(), exp.Summary(), mark)
+	}
+	return string(b), nil
 }
 
 // Validate checks a configuration without building a system.

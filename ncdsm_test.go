@@ -176,7 +176,7 @@ func TestTimedAccess(t *testing.T) {
 
 func TestExperimentAPI(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("Experiments lists %d ids", len(ids))
 	}
 	opts := DefaultExperimentOptions()
@@ -304,5 +304,46 @@ func TestTrimReturnsMemoryToPool(t *testing.T) {
 	// The region still works afterwards.
 	if _, err := region.Malloc(1 << 20); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestConsistencyFacade(t *testing.T) {
+	protos := ConsistencyProtocols()
+	if len(protos) != 3 {
+		t.Fatalf("ConsistencyProtocols = %v", protos)
+	}
+	results, err := Litmus(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("empty litmus results")
+	}
+	for _, r := range results {
+		if !r.Match {
+			t.Errorf("%s/%s: verdict %+v deviates from expected %+v", r.Test, r.Protocol, r.Verdict, r.Expected)
+		}
+	}
+	subset, err := Litmus(DefaultConfig(), "rc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset)*3 != len(results) {
+		t.Errorf("rc-only run returned %d results vs %d for all protocols", len(subset), len(results))
+	}
+	report, err := LitmusReport(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sb", "iriw", "msi", "rc", "SC=pass", "SC=FAIL", "ok"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "MISMATCH") {
+		t.Errorf("report contains a mismatch:\n%s", report)
+	}
+	if _, err := Litmus(DefaultConfig(), "mesi"); err == nil {
+		t.Error("unknown protocol accepted")
 	}
 }
