@@ -10,6 +10,8 @@
 //	ncdsm-bench -table 1
 //	ncdsm-bench -fig A                 # coherency ablation
 //	ncdsm-bench -fig H                 # consistency-strength cost (DESIGN §13)
+//	ncdsm-bench -fig I                 # pointer chase vs bulk scan (DESIGN §14)
+//	ncdsm-bench -fig I -bulk frame=4   # same, with 4-line burst frames
 //	ncdsm-bench -fig all -parallel 1   # serial sweep points (old harness)
 //	ncdsm-bench -fig 7 -metrics prom   # plus the merged metrics snapshot
 //	ncdsm-bench -fig 7 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -43,7 +45,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "", "figure to regenerate: 6..11, eq, A..H, or 'all'")
+		fig        = flag.String("fig", "", "figure to regenerate: 6..11, eq, A..I, or 'all'")
 		table      = flag.String("table", "", "table to regenerate: 1")
 		scale      = flag.Float64("scale", 0.05, "workload scale (1.0 = paper-sized)")
 		seed       = flag.Int64("seed", 1, "deterministic seed")
@@ -53,6 +55,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent sweep points per experiment (0 = all cores, 1 = serial)")
 		metricsFmt = flag.String("metrics", "", "print the merged metrics snapshot after each experiment: prom or json")
 		faultSpec  = flag.String("faults", "", "deterministic fault plan, e.g. seed=2,drop=0.01,corrupt=0.001,down=6-7@0:50us")
+		bulkSpec   = flag.String("bulk", "", "bulk burst geometry override: on, or frame=16,maxframes=256")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
@@ -93,6 +96,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
 		os.Exit(2)
 	}
+	bulk, err := ncdsm.ParseBulkSpec(*bulkSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -123,7 +131,7 @@ func main() {
 	if *sweep == "" {
 		// Plain runs go through the public ncdsm API, exercising the
 		// surface a downstream user sees.
-		opts := ncdsm.ExperimentOptions{Scale: *scale, Parallel: *parallel, Seed: *seed, Faults: plan}
+		opts := ncdsm.ExperimentOptions{Scale: *scale, Parallel: *parallel, Seed: *seed, Faults: plan, Bulk: bulk}
 		for _, id := range ids {
 			start := time.Now()
 			figure, snap, err := ncdsm.RunExperiment(id, opts)
@@ -146,6 +154,7 @@ func main() {
 	if !plan.Empty() {
 		base.P.Faults = plan
 	}
+	bulk.Apply(&base.P)
 
 	sweepKey, sweepValues, err := experiments.ParseSweep(*sweep)
 	if err != nil {

@@ -27,10 +27,15 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/addr"
 	"repro/internal/btree"
+	"repro/internal/dram"
 	"repro/internal/experiments"
+	"repro/internal/mem"
 	"repro/internal/memmodel"
+	"repro/internal/mesh"
 	"repro/internal/params"
+	"repro/internal/rmc"
 	"repro/internal/sim"
 	"repro/internal/swap"
 
@@ -135,6 +140,8 @@ func measure() Baseline {
 	run("calibration", "1s", nil, benchCalibration)
 	run("engine_schedule_run", "1s", func(r testing.BenchmarkResult) float64 { return float64(r.N) }, benchEngineChurn)
 	run("rmc_round_trip", "1s", nil, benchRemoteLineRead)
+	run("bulk_round_trip", "1s", nil, benchBulkRoundTrip)
+	run("bulk_copy_4k", "1s", nil, benchBulkCopy)
 	run("fig7_faulted_sweep", "3x", nil, benchFig7Faulted)
 	run("fig9_search_hot_loop", "1s", nil, benchFig9SearchHotLoop)
 	run("linecached_batch_4k", "1s", nil, benchLineCachedBatch)
@@ -248,6 +255,107 @@ func benchRemoteLineRead(b *testing.B) {
 			b.Fatal(err)
 		}
 		sys.Run()
+	}
+}
+
+// perfPeers is the RMC lookup of the bulk benchmark rigs.
+type perfPeers map[addr.NodeID]*rmc.RMC
+
+func (p perfPeers) RMC(n addr.NodeID) (*rmc.RMC, error) {
+	r, ok := p[n]
+	if !ok {
+		return nil, fmt.Errorf("ncdsm-perf: rig has no node %d", n)
+	}
+	return r, nil
+}
+
+// bulkRig builds a 1×n-mesh rig with an RMC and store on every node,
+// the minimal machine a bulk burst or DMA copy needs.
+func bulkRig(b *testing.B, nodes int) (*sim.Engine, perfPeers) {
+	eng := sim.New()
+	p := params.Default()
+	topo, err := mesh.NewTopology(nodes, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fabric := mesh.NewFabric(eng, topo, p, nil)
+	peers := perfPeers{}
+	for id := addr.NodeID(1); int(id) <= nodes; id++ {
+		st, err := mem.NewStore(p.MemPerNode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := rmc.New(rmc.Config{
+			Self: id, Engine: eng, Params: p, Fabric: fabric,
+			Peers: peers, Bank: dram.NewBank(eng, id, p), Store: st,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		peers[id] = r
+	}
+	return eng, peers
+}
+
+// benchBulkRoundTrip is the bulk data plane's hot path: one 64-line
+// (4 KiB) scatter-gather read burst through the full RMC machinery —
+// doorbell, descriptor, pipelined data frames, reassembly — per op.
+// The continuation pools pin it at 0 allocs/op.
+func benchBulkRoundTrip(b *testing.B) {
+	eng, peers := bulkRig(b, 2)
+	sink := make([]byte, 64*64)
+	spans := []rmc.Span{{Start: addr.Phys(0x30000000).WithNode(2), Lines: 64}}
+	req := rmc.BulkRequest{
+		Kind: rmc.BulkRead, Spans: spans, Data: sink,
+		Done: func(_ sim.Time, err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		},
+	}
+	issue := func() {
+		if err := peers[1].RequestBulk(eng.Now(), req); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+	for i := 0; i < 16; i++ {
+		issue() // warm the pools
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		issue()
+	}
+}
+
+// benchBulkCopy is one 4 KiB region-to-region DMA per op: node 1 rings
+// node 2's doorbell, node 2 streams write frames straight to node 3.
+func benchBulkCopy(b *testing.B) {
+	eng, peers := bulkRig(b, 3)
+	spans := []rmc.Span{{Start: addr.Phys(0x10000000).WithNode(2), Lines: 64}}
+	req := rmc.BulkRequest{
+		Kind: rmc.BulkCopy, Spans: spans,
+		CopyDst: addr.Phys(0x20000000).WithNode(3),
+		Done: func(_ sim.Time, err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		},
+	}
+	issue := func() {
+		if err := peers[1].RequestBulk(eng.Now(), req); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+	for i := 0; i < 16; i++ {
+		issue()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		issue()
 	}
 }
 

@@ -97,9 +97,30 @@ func main() {
 			float64(countCost)/float64(params.Millisecond))
 	}
 
+	// The bulk data plane's answer to the range scan: with a bulk pricer
+	// set, Scan and Count read the table's columnar key/pointer segments
+	// through scatter-gather bursts instead of walking the index line by
+	// line (DESIGN.md §14).
+	bulk, err := memmodel.NewBulkModel(p, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table.SetBulkPricer(bulk)
+	_, bulkRange, err := table.Scan(50_000, 51_000, memmodel.Remote{P: p, Hops: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, bulkCount := table.Count(40_000, 50_000, memmodel.Remote{P: p, Hops: 1})
+	table.SetBulkPricer(nil)
+	fmt.Printf("%-15s %18s %18.2f %18.2f\n", bulk.Name(), "—",
+		float64(bulkRange)/float64(params.Millisecond),
+		float64(bulkCount)/float64(params.Millisecond))
+
 	fmt.Println("\nthe locality dichotomy of Equations (1)/(2), live: scattered point")
 	fmt.Println("queries are ~4x worse on swap than on the RMC (every probe faults),")
 	fmt.Println("while warm sequential range scans amortize faults so well that swap")
 	fmt.Println("can even win them — and either way, the whole database lives in")
-	fmt.Println("memory no single node has.")
+	fmt.Println("memory no single node has. The bulk row goes further: columnar")
+	fmt.Println("segments fetched in scatter-gather bursts beat even the local")
+	fmt.Println("index walk, without moving a single row onto the node.")
 }

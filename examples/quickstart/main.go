@@ -58,11 +58,15 @@ func main() {
 	fmt.Printf("\nround trip through borrowed memory: %q\n", buf)
 
 	// And the timed path: one load against local vs borrowed memory.
+	// Access is batch-first — a workload hands the memory system its
+	// whole access list; a single load is just a batch of one.
 	measure := func(p ncdsm.Pointer, what string) {
 		start := sys.Now()
 		var done ncdsm.Time
-		req := ncdsm.AccessRequest{Now: start, Pointer: p, Done: func(t ncdsm.Time) { done = t }}
-		if err := region.Access(req); err != nil {
+		batch := []ncdsm.AccessRequest{
+			{Now: start, Pointer: p, Done: func(t ncdsm.Time) { done = t }},
+		}
+		if err := region.AccessBatch(batch); err != nil {
 			log.Fatal(err)
 		}
 		sys.Run()
@@ -72,6 +76,26 @@ func main() {
 	measure(ptrs[0], "local allocation:")
 	measure(ptrs[2]+6<<30, "borrowed allocation:")
 	fmt.Println("\nthe gap is the fabric round trip — not a page fault, not a syscall.")
+
+	// Scan-shaped work doesn't pay that round trip per line: the bulk
+	// data plane (DESIGN.md §14) moves whole spans in doorbell-batched
+	// bursts — one descriptor, multi-line data frames, one ack.
+	bulkStart := sys.Now()
+	var bulkEnd ncdsm.Time
+	sink := make([]byte, 4<<10)
+	err = region.ReadBulk(ptrs[2]+6<<30, []ncdsm.Span{{Bytes: 4 << 10}}, sink,
+		func(t ncdsm.Time, err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			bulkEnd = t
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Run()
+	fmt.Printf("\nbulk read, 4 KiB borrowed (64 lines, one burst): %.2f µs\n",
+		float64(bulkEnd-bulkStart)/1e6)
 
 	// Everything above left a trail in the metrics layer: per-node RMC
 	// traffic, mesh link frames, cache and DRAM counters.

@@ -193,8 +193,9 @@ type Node struct {
 	// issueOps is the free list of reified Issue continuations; one op
 	// carries a single access from issue to completion with its
 	// callbacks prebound, so the steady-state hit/fill/remote paths
-	// schedule without allocating.
-	issueOps []*issueOp
+	// schedule without allocating. bulkIssues is its twin for IssueBulk.
+	issueOps   []*issueOp
+	bulkIssues []*bulkIssue
 
 	// LocalOps and RemoteOps count issued line operations by
 	// destination; Prefetches counts prefetch fills requested;

@@ -30,6 +30,14 @@ type Table struct {
 	name   string
 	batch  memmodel.Batcher // query-path scratch; Tables are not goroutine-safe
 
+	// Columnar segment log (columnar.go): key and row-pointer columns
+	// maintained beside the index, scanned by bulk bursts when a pricer
+	// is set.
+	segs     []colSeg
+	slots    map[uint64]int
+	nextSlot int
+	pricer   memmodel.BulkPricer
+
 	// Rows counts live rows; PutBytes accumulates stored payload bytes.
 	Rows     uint64
 	PutBytes uint64
@@ -72,6 +80,9 @@ func (t *Table) Put(key uint64, value []byte) error {
 		if err := t.freeRow(vm.Virt(old)); err != nil {
 			return err
 		}
+		if err := t.tombstoneColumn(key); err != nil {
+			return err
+		}
 		t.Rows--
 	}
 	ptr, err := t.region.Malloc(8 + uint64(len(value)))
@@ -87,6 +98,9 @@ func (t *Table) Put(key uint64, value []byte) error {
 		}
 	}
 	t.index.InsertKV(key, uint64(ptr))
+	if err := t.appendColumn(key, ptr); err != nil {
+		return err
+	}
 	t.Rows++
 	t.PutBytes += uint64(len(value))
 	return nil
@@ -102,6 +116,9 @@ func (t *Table) Delete(key uint64) error {
 		return err
 	}
 	t.index.InsertKV(key, 0)
+	if err := t.tombstoneColumn(key); err != nil {
+		return err
+	}
 	t.Rows--
 	return nil
 }
@@ -154,9 +171,14 @@ type ScanResult struct {
 	Value []byte
 }
 
-// Scan returns every live row with lo <= key <= hi in key order,
-// charging index and row accesses to acc.
+// Scan returns every live row with lo <= key <= hi in key order. With
+// no bulk pricer it walks the index and charges each probe and row
+// word to acc; with SetBulkPricer it sweeps the columnar segments as
+// bulk bursts instead and acc goes unused.
 func (t *Table) Scan(lo, hi uint64, acc memmodel.Accessor) (rows []ScanResult, cost params.Duration, err error) {
+	if t.pricer != nil {
+		return t.scanBulk(lo, hi)
+	}
 	var ptrs []struct {
 		key uint64
 		ptr uint64
@@ -181,9 +203,12 @@ func (t *Table) Scan(lo, hi uint64, acc memmodel.Accessor) (rows []ScanResult, c
 	return rows, cost, nil
 }
 
-// Count returns the number of live keys in [lo, hi], an index-only
-// aggregate query.
+// Count returns the number of live keys in [lo, hi]. Index-only on the
+// scalar path; one columnar segment sweep when a bulk pricer is set.
 func (t *Table) Count(lo, hi uint64, acc memmodel.Accessor) (n uint64, cost params.Duration) {
+	if t.pricer != nil {
+		return t.countBulk(lo, hi)
+	}
 	c, _ := t.index.RangeScanBatch(lo, hi, acc, &t.batch, func(k uint64) {
 		if v, ok := t.index.Lookup(k); ok && v != 0 {
 			n++
@@ -192,8 +217,8 @@ func (t *Table) Count(lo, hi uint64, acc memmodel.Accessor) (n uint64, cost para
 	return n, c
 }
 
-// FootprintBytes reports the table's total memory: index plus rows
-// (including the length prefixes).
+// FootprintBytes reports the table's total memory: index, rows
+// (including the length prefixes), and the columnar segments.
 func (t *Table) FootprintBytes() uint64 {
-	return t.index.FootprintBytes() + t.PutBytes + 8*t.Rows
+	return t.index.FootprintBytes() + t.PutBytes + 8*t.Rows + uint64(len(t.segs))*2*SegmentBytes
 }

@@ -101,6 +101,7 @@ func Registry() []struct {
 		{"F", AblationFabric},
 		{"G", AblationIndexes},
 		{"H", ConsistencyCost},
+		{"I", BulkScan},
 	}
 }
 

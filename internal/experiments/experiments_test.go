@@ -34,7 +34,7 @@ func ys(s *stats.Series) []float64 {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 16 {
+	if len(reg) != 17 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	for _, e := range reg {
@@ -529,5 +529,39 @@ func TestAblationIndexesShape(t *testing.T) {
 		if !(s[0] < s[1] && s[1] < s[2]) {
 			t.Errorf("config ordering violated: %v", s)
 		}
+	}
+}
+
+func TestBulkScanShape(t *testing.T) {
+	fig, err := BulkScan(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := ys(series(t, fig, "pointer chase, remote"))
+	br := ys(series(t, fig, "bulk scan, remote"))
+	cl := ys(series(t, fig, "pointer chase, local"))
+	bl := ys(series(t, fig, "bulk scan, local"))
+	// The acceptance bar: at 4 KiB (point 0), one remote burst is
+	// measurably cheaper than 64 dependent single-line accesses.
+	if br[0]*4 >= cr[0] {
+		t.Errorf("4 KiB remote: bulk %v µs vs chase %v µs; want at least 4x cheaper", br[0], cr[0])
+	}
+	// Bulk collapses the remote/local ratio.
+	if (br[0]/bl[0])*2 >= cr[0]/cl[0] {
+		t.Errorf("remote/local ratio: bulk %.1fx vs chase %.1fx; bursts should narrow the gap",
+			br[0]/bl[0], cr[0]/cl[0])
+	}
+	// Every shape grows with transfer size, and bulk stays under the
+	// chase at every point.
+	for i := 1; i < len(cr); i++ {
+		if !(cr[i] > cr[i-1] && br[i] > br[i-1]) {
+			t.Errorf("point %d: scan times not monotone in size", i)
+		}
+		if br[i] >= cr[i] {
+			t.Errorf("point %d: remote bulk %v µs not under chase %v µs", i, br[i], cr[i])
+		}
+	}
+	if len(fig.Notes) < 2 {
+		t.Error("figure is missing its ratio notes")
 	}
 }

@@ -46,13 +46,27 @@ func (c Command) String() string {
 		return "TgtDone"
 	case CmdTgtAbort:
 		return "TgtAbort"
+	case CmdBulkRd:
+		return "BulkRd"
+	case CmdBulkWr:
+		return "BulkWr"
+	case CmdBulkCopy:
+		return "BulkCopy"
 	default:
 		return fmt.Sprintf("Command(%d)", uint8(c))
 	}
 }
 
-// IsRequest reports whether the command opens a transaction.
-func (c Command) IsRequest() bool { return c == CmdRdSized || c == CmdWrSized }
+// IsRequest reports whether the command opens a transaction. The bulk
+// commands count: they route by Addr and the bridge zeroes their node
+// prefix exactly like the sized subset.
+func (c Command) IsRequest() bool {
+	switch c {
+	case CmdRdSized, CmdWrSized, CmdBulkRd, CmdBulkWr, CmdBulkCopy:
+		return true
+	}
+	return false
+}
 
 // IsResponse reports whether the command closes a transaction.
 func (c Command) IsResponse() bool {
@@ -123,7 +137,7 @@ func (p Packet) Validate() error {
 	case p.Posted && p.Cmd != CmdWrSized:
 		return fmt.Errorf("ht: only writes can be posted")
 	}
-	return nil
+	return p.validateBulk()
 }
 
 // FlitBytes returns the packet's wire size in bytes: a 8-byte command

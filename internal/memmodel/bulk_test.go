@@ -1,0 +1,79 @@
+package memmodel
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestBulkModelAmortization(t *testing.T) {
+	p := params.Default()
+	m, err := NewBulkModel(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := m.BulkRead(1)
+	sixtyFour := m.BulkRead(64)
+	if one <= 0 || sixtyFour <= one {
+		t.Fatalf("BulkRead(1)=%d, BulkRead(64)=%d; want positive and monotone", one, sixtyFour)
+	}
+	// The redesign's whole point: per-line cost collapses with burst size.
+	if perLine := sixtyFour / 64; perLine*4 >= one {
+		t.Errorf("per-line cost in a 64-line burst = %d ps vs %d ps single; want at least 4x amortization", perLine, one)
+	}
+	// Against the analytic scalar model: one burst of 64 lines beats 64
+	// dependent analytic round trips.
+	scalar := params.Duration(64) * p.RemoteRoundTrip(1)
+	if sixtyFour*4 >= scalar {
+		t.Errorf("simulated burst %d ps vs analytic 64 round trips %d ps; want at least 4x cheaper", sixtyFour, scalar)
+	}
+}
+
+func TestBulkModelCachesAndScales(t *testing.T) {
+	p := params.Default()
+	m, err := NewBulkModel(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.BulkRead(128)
+	b := m.BulkRead(128)
+	if a != b {
+		t.Errorf("cached price differs: %d vs %d", a, b)
+	}
+	near, _ := NewBulkModel(p, 1)
+	if near.BulkRead(128) >= m.BulkRead(128) {
+		t.Error("price not monotone in hop distance")
+	}
+	// Writes price through the same machinery.
+	if m.BulkWrite(64) <= 0 {
+		t.Error("write burst priced at zero")
+	}
+	// Transfers past one burst's geometry still price (split bursts).
+	big := m.BulkRead(p.BurstMaxLines() + 64)
+	if big <= m.BulkRead(p.BurstMaxLines()) {
+		t.Error("multi-burst transfer not dearer than one burst")
+	}
+}
+
+func TestBulkModelLocal(t *testing.T) {
+	p := params.Default()
+	m, err := NewBulkModel(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local bursts pipeline behind bank occupancy: 64 lines cost at
+	// least 64 occupancy slots, far below 64 full DRAM latencies.
+	c := m.BulkRead(64)
+	if c < 64*params.Duration(p.DRAMOccupancy) {
+		t.Errorf("local 64-line burst = %d ps, below the bank's occupancy floor", c)
+	}
+	if c >= 64*params.Duration(p.DRAMLatency) {
+		t.Errorf("local 64-line burst = %d ps; lines did not pipeline", c)
+	}
+	if m.Name() != "bulk local" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if _, err := NewBulkModel(p, -1); err == nil {
+		t.Error("negative hops accepted")
+	}
+}

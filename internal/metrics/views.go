@@ -73,6 +73,15 @@ const (
 	FamMeshDetourHops   = "ncdsm_mesh_detour_hops_total"
 	FamMeshUnreachable  = "ncdsm_mesh_unreachable_total"
 
+	// bulk data plane (internal/rmc bulk ops). Registered lazily on the
+	// first burst an RMC issues, so runs that never go bulk snapshot
+	// byte-identically to builds without the bulk plane.
+	FamRMCBulkBursts  = "ncdsm_rmc_bulk_bursts_total"
+	FamRMCBulkLines   = "ncdsm_rmc_bulk_lines_total"
+	FamRMCBulkFrames  = "ncdsm_rmc_bulk_frames_total"
+	FamRMCBulkCopies  = "ncdsm_rmc_bulk_copies_total"
+	FamRMCBulkLatency = "ncdsm_rmc_bulk_latency_seconds"
+
 	// coherent-DSM comparator directory (internal/cohdsm). These
 	// families exist only in models whose caller instrumented them (the
 	// consistency lab and ablations that opt in), so output that never

@@ -126,3 +126,43 @@ func TestFabricKindString(t *testing.T) {
 		t.Error("unknown kind renders empty")
 	}
 }
+
+func TestBulkSpecRoundTrip(t *testing.T) {
+	// String renders exactly what ParseBulk reads — specs can be logged
+	// and replayed verbatim, like fault plans.
+	for _, spec := range []string{"frame=4", "maxframes=64", "frame=16,maxframes=256"} {
+		s, err := ParseBulk(spec)
+		if err != nil {
+			t.Fatalf("ParseBulk(%q): %v", spec, err)
+		}
+		if got := s.String(); got != spec {
+			t.Errorf("round trip %q -> %q", spec, got)
+		}
+		back, err := ParseBulk(s.String())
+		if err != nil || back != s {
+			t.Errorf("re-parse of %q = %+v, %v", s.String(), back, err)
+		}
+	}
+	if s, err := ParseBulk(""); err != nil || !s.Empty() || s.String() != "" {
+		t.Errorf("empty spec = %+v, %v", s, err)
+	}
+	on, err := ParseBulk("on")
+	if err != nil || on.FrameLines != DefaultBulkFrameLines || on.MaxFrames != DefaultBulkMaxFrames {
+		t.Errorf(`ParseBulk("on") = %+v, %v`, on, err)
+	}
+	for _, bad := range []string{"frame", "frame=x", "what=1", "frame=257", "maxframes=300"} {
+		if _, err := ParseBulk(bad); err == nil {
+			t.Errorf("ParseBulk(%q) accepted", bad)
+		}
+	}
+	// Apply only touches what the spec sets.
+	p := Default()
+	s, _ := ParseBulk("frame=4")
+	s.Apply(&p)
+	if p.BulkFrameLines != 4 || p.BurstMaxFrames() != DefaultBulkMaxFrames {
+		t.Errorf("Apply wrote %d/%d", p.BulkFrameLines, p.BulkMaxFrames)
+	}
+	if p.BurstMaxLines() != 4*DefaultBulkMaxFrames {
+		t.Errorf("BurstMaxLines = %d", p.BurstMaxLines())
+	}
+}

@@ -119,6 +119,13 @@ type RMC struct {
 	sendOps   []*sendOp
 	lineBufs  [][]byte
 
+	// Bulk data plane (bulk.go): pooled burst continuations plus the
+	// lazily-registered burst metrics — nil bulkLat means this RMC has
+	// never issued a burst and its snapshot carries no bulk families.
+	bulkFreeOps    []*bulkOp
+	bulkFreeFrames []*bulkFrame
+	bulkLat        *metrics.Histogram
+
 	// Stats.
 	Requests    uint64 // remote requests submitted at this node
 	Forwarded   uint64 // requests bridged out of this node
@@ -132,6 +139,12 @@ type RMC struct {
 	Abandoned   uint64 // requests failed after the retransmit budget
 	StormNACKs  uint64 // admissions refused by a scheduled NACK storm
 	Stalls      uint64 // scheduled server-stall windows applied
+
+	// Bulk stats (all zero — and unregistered — without bulk traffic).
+	BulkBursts     uint64 // bursts submitted at this node
+	BulkLines      uint64 // cache lines moved by bursts
+	BulkDataFrames uint64 // multi-line data frames those bursts used
+	BulkCopies     uint64 // region-to-region DMA copies submitted
 }
 
 // Protection decides whether a remote node may touch a local range —

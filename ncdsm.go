@@ -86,6 +86,16 @@ type NodeFault = faults.NodeWindow
 // "seed=2,drop=0.01,corrupt=0.001,delayp=0.05,delay=300ns,down=6-7@0:50us,storm=6@0:5us,stall=7@1us:2us".
 func ParseFaultPlan(spec string) (*FaultPlan, error) { return faults.Parse(spec) }
 
+// BulkSpec is the parsed -bulk flag: burst-geometry overrides for the
+// bulk data plane (cache lines per data frame, data frames per burst).
+// The zero value overrides nothing; String renders exactly what
+// ParseBulkSpec reads, so a tuning can be logged and replayed verbatim.
+type BulkSpec = params.BulkSpec
+
+// ParseBulkSpec reads the CLI -bulk syntax: "on" (the defaults) or
+// "frame=16,maxframes=256".
+func ParseBulkSpec(spec string) (BulkSpec, error) { return params.ParseBulk(spec) }
+
 // UnreachableError is the typed failure a request ends with when its
 // destination stays unreachable past the retransmit budget. Only timed
 // accesses under a fault plan can observe it.
@@ -274,14 +284,95 @@ type AccessRequest struct {
 }
 
 // Access issues one timed access through the full simulated memory path
-// (TLB, cache hierarchy, BARs, RMC, mesh).
+// (TLB, cache hierarchy, BARs, RMC, mesh). It is AccessBatch of one —
+// the batch path is the only code path.
 func (r *Region) Access(req AccessRequest) error {
-	done := req.Done
-	if done == nil {
-		done = func(Time) {}
-	}
-	return r.inner.Access(req.Now, req.Core, req.Pointer, req.Write, done)
+	batch := [1]AccessRequest{req}
+	return r.AccessBatch(batch[:])
 }
+
+// AccessBatch issues a batch of timed accesses in order. Each request
+// keeps its own completion callback; the batch is the paper's access
+// discipline stated honestly — a workload hands the memory system its
+// whole access list and lets the windows and queues pipeline it, rather
+// than metering requests one call at a time. Line-granular cached
+// accesses go through the cache hierarchy exactly as single Access
+// calls always did; use ReadBulk/WriteBulk/Copy when the workload moves
+// ranges, not lines.
+func (r *Region) AccessBatch(reqs []AccessRequest) error {
+	for i := range reqs {
+		done := reqs[i].Done
+		if done == nil {
+			done = nopAccessDone
+		}
+		if err := r.inner.Access(reqs[i].Now, reqs[i].Core, reqs[i].Pointer, reqs[i].Write, done); err != nil {
+			return fmt.Errorf("ncdsm: batch access %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// nopAccessDone keeps callback-less accesses allocation-free.
+func nopAccessDone(Time) {}
+
+// Span selects one byte range of a bulk operation at a line-aligned
+// offset from the operation's base pointer — the columnar shape: one
+// span per segment of a projected column, one operation per scan.
+type Span = core.Span
+
+// BulkDone observes a bulk operation's completion: the simulated time
+// its last burst drained, and the first failure (only possible under a
+// fault plan) if any burst was abandoned.
+type BulkDone = func(Time, error)
+
+// ReadBulk issues one timed scatter-gather read of the spans (relative
+// to p) into buf, as doorbell-batched RMC bursts — one descriptor per
+// owning node carrying all of that node's line ranges, serviced as a
+// pipelined burst. The gathered bytes land in buf when System.Run
+// drains the operation; ownership of buf transfers to the operation
+// until then (callers must not touch it in between). Pass a BulkDone to
+// observe the completion time.
+//
+// Bulk transfers bypass the coherent caches — they are DMA, not loads:
+// flush first (BeginParallelRead) if cached copies may be dirty.
+func (r *Region) ReadBulk(p Pointer, spans []Span, buf []byte, done ...BulkDone) error {
+	return r.inner.ReadBulk(r.sys.Now(), p, spans, buf, bulkDone(done))
+}
+
+// WriteBulk issues one timed scatter-gather write: data (span order,
+// exactly covering the spans) reaches the owning nodes' memory when
+// System.Run drains the operation. Ownership of data transfers to the
+// operation until it completes; the buffer is never recycled into
+// internal pools, so it returns to the caller intact.
+func (r *Region) WriteBulk(p Pointer, spans []Span, data []byte, done ...BulkDone) error {
+	return r.inner.WriteBulk(r.sys.Now(), p, spans, data, bulkDone(done))
+}
+
+// Copy issues one timed region-to-region copy of n bytes from src to
+// dst (both line-aligned, n a line multiple). Pieces whose source and
+// destination both live on remote nodes move server-to-server over the
+// fabric — the bytes never transit this node.
+func (r *Region) Copy(dst, src Pointer, n uint64, done ...BulkDone) error {
+	return r.inner.CopyBulk(r.sys.Now(), dst, src, n, bulkDone(done))
+}
+
+// bulkDone folds the optional completion observers into one callback.
+func bulkDone(done []BulkDone) func(Time, error) {
+	switch len(done) {
+	case 0:
+		return nopBulkDone
+	case 1:
+		return done[0]
+	default:
+		return func(t Time, err error) {
+			for _, d := range done {
+				d(t, err)
+			}
+		}
+	}
+}
+
+func nopBulkDone(Time, error) {}
 
 // BeginParallelRead flushes the node's caches and enters the read-only
 // parallel phase of paper Section IV-B: any core may then read remote
@@ -325,6 +416,10 @@ type ExperimentOptions struct {
 	// merged figures and metrics are byte-identical at every Parallel
 	// setting.
 	Faults *FaultPlan
+	// Bulk overrides the bulk data plane's burst geometry for every
+	// simulated point (the CLIs' -bulk flag). The zero value keeps the
+	// defaults and is byte-identical to not setting it.
+	Bulk BulkSpec
 }
 
 // DefaultExperimentOptions returns paper-scale, all-cores options.
@@ -347,6 +442,12 @@ func (o ExperimentOptions) internal() (experiments.Options, error) {
 			return experiments.Options{}, err
 		}
 		io.P.Faults = o.Faults
+	}
+	if !o.Bulk.Empty() {
+		if err := o.Bulk.Validate(); err != nil {
+			return experiments.Options{}, err
+		}
+		o.Bulk.Apply(&io.P)
 	}
 	return io, nil
 }
