@@ -40,10 +40,13 @@ bench:
 perf-gate:
 	$(GO) run ./cmd/ncdsm-perf -check BENCH_sim.json
 
-# Short fuzz passes over the parsers of untrusted input: the trace
-# reader, and the HNC frame integrity check that the fault injector's
-# corrupted frames must never slip past. CI runs the same 10-second
+# Short fuzz passes over the parsers of untrusted input and the
+# consistency lab's state machines: the trace reader, the HNC frame
+# integrity check that the fault injector's corrupted frames must never
+# slip past, and random litmus programs under every protocol with
+# directory invariants held at every step. CI runs the same 10-second
 # smokes.
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s -run='^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzFrameIntegrity -fuzztime=10s -run='^$$' ./internal/hnc
+	$(GO) test -fuzz=FuzzLitmusProgram -fuzztime=10s -run='^$$' ./internal/consistency

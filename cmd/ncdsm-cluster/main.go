@@ -10,6 +10,7 @@
 //	ncdsm-cluster -regions           # demo region layout across the cluster
 //	ncdsm-cluster -stats -metrics prom   # workload + full metrics snapshot
 //	ncdsm-cluster -consistency all   # litmus suite + checker verdicts per protocol
+//	ncdsm-cluster -consistency all -explore exhaustive:6,sample:500:1   # schedule exploration
 //	ncdsm-cluster -bulk on           # bulk data plane walkthrough (gather, scatter, DMA copy)
 //	ncdsm-cluster -bulk frame=4,maxframes=64 -metrics prom
 package main
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -38,7 +40,9 @@ func main() {
 		metricsFmt = flag.String("metrics", "", "dump the system's metrics snapshot afterwards: prom or json")
 		faultSpec  = flag.String("faults", "", "deterministic fault plan, e.g. seed=2,drop=0.01,down=6-7@0:50us")
 		bulkSpec   = flag.String("bulk", "", "demo the bulk data plane with this burst geometry: on, or frame=16,maxframes=256")
-		consist    = flag.String("consistency", "", "run the seeded litmus suite under protocols (msi, rmc, rc, a comma list, or all) and print checker verdicts")
+		consist    = flag.String("consistency", "", "run the seeded litmus suite under protocols (msi, mesi, rmc, rc, a comma list, or all) and print checker verdicts")
+		explore    = flag.String("explore", "", "with -consistency: explore schedules instead of one per test, e.g. exhaustive:6,sample:500:1")
+		parallel   = flag.Int("parallel", 1, "worker count for -explore (0 = all cores); output is identical at any setting")
 	)
 	flag.Parse()
 
@@ -92,9 +96,19 @@ func main() {
 	}
 	if *consist != "" {
 		did = true
-		if err := runLitmus(sys.Config(), *consist); err != nil {
+		if *explore != "" {
+			spec, err := parseExplore(*explore, *parallel)
+			if err != nil {
+				fatal(err)
+			}
+			if err := runExplore(sys.Config(), *consist, spec); err != nil {
+				fatal(err)
+			}
+		} else if err := runLitmus(sys.Config(), *consist); err != nil {
 			fatal(err)
 		}
+	} else if *explore != "" {
+		fatal(fmt.Errorf("-explore needs -consistency to select protocols"))
 	}
 	if *bulkSpec != "" {
 		did = true
@@ -255,7 +269,9 @@ func parseProtocols(spec string) ([]string, error) {
 }
 
 // runLitmus prints the consistency lab's litmus verdict table and fails
-// if any protocol deviates from its expected verdict.
+// if any protocol deviates from its expected verdict — printing each
+// deviating outcome's schedule and history, the replayable trace an
+// operator needs to reproduce the deviation.
 func runLitmus(cfg ncdsmfacade.Config, spec string) error {
 	protos, err := parseProtocols(spec)
 	if err != nil {
@@ -275,12 +291,81 @@ func runLitmus(cfg ncdsmfacade.Config, spec string) error {
 	for _, r := range results {
 		if !r.Match {
 			mismatches++
+			fmt.Printf("\n%s/%s deviates from its expected verdict; offending %s",
+				r.Test, r.Protocol, ncdsmfacade.LitmusTrace(r))
 		}
 	}
 	if mismatches > 0 {
 		return fmt.Errorf("%d of %d litmus outcomes deviate from their protocol's expected verdict", mismatches, len(results))
 	}
 	fmt.Printf("%d outcomes, all matching their protocol's expected verdict\n", len(results))
+	return nil
+}
+
+// parseExplore turns the -explore flag value into an ExploreSpec. The
+// grammar is comma-combinable parts over the defaults:
+//
+//	exhaustive:N     enumerate every interleaving of programs with at
+//	                 most N instructions (sleep-set reduced)
+//	sample:N[:SEED]  draw N seeded schedules for longer programs
+func parseExplore(spec string, parallel int) (ncdsmfacade.ExploreSpec, error) {
+	s := ncdsmfacade.DefaultExploreSpec()
+	s.Parallel = parallel
+	if s.Parallel == 0 {
+		s.Parallel = runtime.GOMAXPROCS(0)
+	}
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		bad := func() error {
+			return fmt.Errorf("explore spec part %q (want exhaustive:N or sample:N[:SEED])", part)
+		}
+		switch {
+		case fields[0] == "exhaustive" && len(fields) == 2:
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return s, bad()
+			}
+			s.MaxDepth = n
+		case fields[0] == "sample" && (len(fields) == 2 || len(fields) == 3):
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return s, bad()
+			}
+			s.Samples = n
+			if len(fields) == 3 {
+				seed, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					return s, bad()
+				}
+				s.Seed = seed
+			}
+		default:
+			return s, bad()
+		}
+	}
+	return s, nil
+}
+
+// runExplore prints the schedule-exploration verdict table and fails if
+// any exploration found problems that indict a protocol implementation.
+func runExplore(cfg ncdsmfacade.Config, protoSpec string, spec ncdsmfacade.ExploreSpec) error {
+	protos, err := parseProtocols(protoSpec)
+	if err != nil {
+		return err
+	}
+	// The banner names the budget but not the worker count: the entire
+	// output is part of the determinism contract — byte-identical at any
+	// -parallel setting — and CI enforces it with a plain cmp.
+	fmt.Printf("schedule exploration (%s):\n", spec)
+	report, problems, err := ncdsmfacade.ExploreReport(cfg, spec, protos...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	if problems > 0 {
+		return fmt.Errorf("exploration found %d problems indicting a protocol implementation", problems)
+	}
+	fmt.Println("no explored schedule indicts a protocol implementation")
 	return nil
 }
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"reflect"
+	"runtime"
+	"strings"
 	"testing"
 
 	ncdsmfacade "repro"
@@ -47,9 +49,94 @@ func TestParseProtocols(t *testing.T) {
 	if want := []string{"msi", "rc"}; !reflect.DeepEqual(got, want) {
 		t.Errorf("parseProtocols = %v, want %v", got, want)
 	}
-	for _, bad := range []string{"mesi", "msi,tso", ","} {
+	if got, err := parseProtocols("mesi"); err != nil || !reflect.DeepEqual(got, []string{"mesi"}) {
+		t.Errorf("parseProtocols(mesi) = %v, %v; want the MESI comparator", got, err)
+	}
+	for _, bad := range []string{"moesi", "msi,tso", ","} {
 		if _, err := parseProtocols(bad); err == nil {
 			t.Errorf("parseProtocols(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseExplore covers the -explore grammar: part combinations over
+// the defaults, and every malformed shape rejected.
+func TestParseExplore(t *testing.T) {
+	def := ncdsmfacade.DefaultExploreSpec()
+	cases := map[string]ncdsmfacade.ExploreSpec{
+		"exhaustive:8":               {MaxDepth: 8, Samples: def.Samples, Seed: def.Seed, Parallel: 1},
+		"sample:100":                 {MaxDepth: def.MaxDepth, Samples: 100, Seed: def.Seed, Parallel: 1},
+		"sample:100:42":              {MaxDepth: def.MaxDepth, Samples: 100, Seed: 42, Parallel: 1},
+		"exhaustive:6,sample:500:1":  {MaxDepth: 6, Samples: 500, Seed: 1, Parallel: 1},
+		" exhaustive:4 , sample:9:3": {MaxDepth: 4, Samples: 9, Seed: 3, Parallel: 1},
+	}
+	for in, want := range cases {
+		got, err := parseExplore(in, 1)
+		if err != nil {
+			t.Errorf("parseExplore(%q): %v", in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parseExplore(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	// parallel 0 means all cores.
+	got, err := parseExplore("exhaustive:6", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Parallel != runtime.GOMAXPROCS(0) {
+		t.Errorf("parallel 0 resolved to %d workers, want GOMAXPROCS", got.Parallel)
+	}
+	for _, bad := range []string{"", "exhaustive", "exhaustive:x", "exhaustive:-1", "sample:0",
+		"sample:10:z", "depth:4", "exhaustive:6:9", "sample:1:2:3"} {
+		if _, err := parseExplore(bad, 1); err == nil {
+			t.Errorf("parseExplore(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunExplore drives the exploration CLI path end to end: the clean
+// protocols must explore problem-free at a small budget, and unknown
+// protocols must be rejected before any work runs.
+func TestRunExplore(t *testing.T) {
+	cfg := ncdsmfacade.DefaultConfig()
+	spec, err := parseExplore("exhaustive:6,sample:50:1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runExplore(cfg, "all", spec); err != nil {
+		t.Errorf("runExplore(all): %v", err)
+	}
+	if err := runExplore(cfg, "msi,mesi", spec); err != nil {
+		t.Errorf("runExplore(msi,mesi): %v", err)
+	}
+	if err := runExplore(cfg, "nope", spec); err == nil {
+		t.Error("runExplore accepted an unknown protocol")
+	}
+}
+
+// TestLitmusTraceRendering pins the replayable trace runLitmus prints
+// for a deviating outcome: the schedule and every history event must be
+// present, because that pair is what reproduces the deviation.
+func TestLitmusTraceRendering(t *testing.T) {
+	results, err := ncdsmfacade.Litmus(ncdsmfacade.DefaultConfig(), "rmc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb *ncdsmfacade.LitmusOutcome
+	for i := range results {
+		if results[i].Test == "sb" {
+			sb = &results[i]
+		}
+	}
+	if sb == nil {
+		t.Fatal("sb outcome missing from the suite")
+	}
+	tr := ncdsmfacade.LitmusTrace(*sb)
+	for _, want := range []string{"schedule 0,1,0,1", "SC=FAIL", "n0: W x0 = 1", "step 3"} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("litmus trace missing %q:\n%s", want, tr)
 		}
 	}
 }

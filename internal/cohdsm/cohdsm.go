@@ -16,6 +16,14 @@
 // ReadLine/WriteLine and checks the recorded histories against
 // sequential consistency, so a protocol bug shows up as a stale value,
 // not just a miscounted cost.
+//
+// Two variants share the machine: New builds the plain directory MSI
+// protocol, and NewMESI adds the exclusive-clean E state — cold read
+// misses take the line exclusive, the E-holder's first write upgrades to
+// M silently (no directory traffic), and clean E copies are dropped on
+// invalidation or downgrade without a writeback. The comparison prices
+// MESI's classic bet: private read-then-write gets cheaper, while a
+// second reader of an E line pays an intervention MSI never issues.
 package cohdsm
 
 import (
@@ -27,13 +35,29 @@ import (
 	"repro/internal/params"
 )
 
-// lineState is the directory's view of one line.
+// lineState is the directory's view of one line. stateExclusive exists
+// only in the MESI variant: the directory granted the line exclusively
+// to one clean reader, which may since have upgraded its copy to M
+// silently — so the directory must intervene on the owner to learn
+// whether a writeback is needed, exactly as for stateModified.
 type lineState uint8
 
 const (
 	stateInvalid lineState = iota
 	stateShared
 	stateModified
+	stateExclusive
+)
+
+// cacheState is a node's right to its cached copy. cacheExclusive is
+// MESI's E: a clean read-only copy no other node holds, upgradable to M
+// by a local write without any directory traffic.
+type cacheState uint8
+
+const (
+	cacheShared cacheState = iota
+	cacheExclusive
+	cacheModified
 )
 
 // noOwner marks a directory entry with no modified owner. The owner
@@ -51,9 +75,11 @@ type dirEntry struct {
 // cached is one node's copy of a line: its access right and the value it
 // read or wrote under that right.
 type cached struct {
-	writable bool
-	val      uint64
+	state cacheState
+	val   uint64
 }
+
+func (c cached) writable() bool { return c.state == cacheModified }
 
 // Model is the coherent-DSM machine: n nodes, a directory distributed
 // across them by line address, and per-node caches abstracted to
@@ -70,18 +96,46 @@ type Model struct {
 	mem map[uint64]uint64
 
 	// held[n] is the set of lines node n currently caches, with its
-	// right (writable = M, readable = S) and cached value.
+	// right (M writable, E exclusive-clean, S shared) and cached value.
 	held []map[uint64]cached
 
+	// mesi enables the MESI variant: cold read misses are granted E,
+	// E-holders upgrade to M silently, and clean E copies drop without a
+	// writeback. The base model (New) never grants E, so it remains the
+	// plain MSI machine byte for byte.
+	mesi bool
+
+	// bugs re-introduces historical protocol bugs (tests only).
+	bugs TestBugs
+
 	// Invalidations, Interventions, DirLookups, and Writebacks are
-	// protocol event counts.
+	// protocol event counts. ExclusiveGrants and SilentUpgrades count
+	// the MESI-only transitions (always zero in the MSI variant).
 	Invalidations, Interventions, DirLookups, Writebacks uint64
+	ExclusiveGrants, SilentUpgrades                      uint64
 
 	// fanout, when instrumented, observes the sharer count invalidated
 	// by each write miss/upgrade. Nil (free) until Instrument is called,
 	// so uninstrumented models produce no metric output at all.
 	fanout *metrics.Histogram
 }
+
+// TestBugs re-introduces real protocol bugs the PR 6 checkers caught,
+// behind a knob so the schedule explorer's regression tests can prove
+// they would be rediscovered. Production constructors never set it.
+type TestBugs struct {
+	// SkipDowngradeWriteback drops the writeback when a read intervenes
+	// on a dirty owner (the M→S downgrade), leaving home memory stale —
+	// the reader then observes the old value.
+	SkipDowngradeWriteback bool
+	// KeepOwnerAfterDowngrade leaves the directory's owner field
+	// pointing at the downgraded owner while the line is shared — the
+	// latent-state bug CheckInvariants exists to catch.
+	KeepOwnerAfterDowngrade bool
+}
+
+// InjectBugs arms the test-only bug knob on a fresh model.
+func (m *Model) InjectBugs(b TestBugs) { m.bugs = b }
 
 // New builds a coherent DSM over the given geometry.
 func New(p params.Params, nodes int) (*Model, error) {
@@ -106,6 +160,25 @@ func New(p params.Params, nodes int) (*Model, error) {
 	return m, nil
 }
 
+// NewMESI builds the MESI variant over the same geometry: cold read
+// misses take the line exclusive-clean (E), an E-holder's write upgrades
+// to M with no directory traffic, and a clean E copy is dropped on
+// invalidation or downgrade without a writeback — home memory is already
+// current. The trade against MSI is visible in the lab: writes after a
+// private read get cheaper, but a second reader of an E line pays an
+// intervention MSI never issues.
+func NewMESI(p params.Params, nodes int) (*Model, error) {
+	m, err := New(p, nodes)
+	if err != nil {
+		return nil, err
+	}
+	m.mesi = true
+	return m, nil
+}
+
+// MESI reports whether the model runs the MESI variant.
+func (m *Model) MESI() bool { return m.mesi }
+
 // Instrument registers the model's directory-transaction metrics with a
 // registry: lookup/invalidation/intervention/writeback counters and the
 // per-write sharer fan-out histogram. Uninstrumented models register
@@ -123,6 +196,14 @@ func (m *Model) Instrument(reg *metrics.Registry) {
 	m.fanout = reg.Histogram(metrics.FamDirFanout,
 		"sharers invalidated per write miss/upgrade", nil,
 		[]int64{0, 1, 2, 4, 8, 16, 32, 64})
+	if m.mesi {
+		// MESI-only transitions: registered only for the MESI variant,
+		// so instrumented MSI output stays byte-identical.
+		reg.CounterFunc(metrics.FamDirExclusiveGrants, "cold read misses granted exclusive-clean", nil,
+			func() uint64 { return m.ExclusiveGrants })
+		reg.CounterFunc(metrics.FamDirSilentUpgrades, "E→M upgrades with no directory traffic", nil,
+			func() uint64 { return m.SilentUpgrades })
+	}
 }
 
 // Nodes returns the coherent domain's node count.
@@ -181,31 +262,48 @@ func (m *Model) ReadLine(node int, line uint64) (uint64, params.Duration, error)
 	// Request travels to the home directory.
 	lat := m.p.L1Latency + m.rt(node, h) + m.p.CohDirectoryLatency
 
-	if e.state == stateModified {
+	if e.state == stateModified || e.state == stateExclusive {
 		if e.owner == node {
 			return 0, 0, fmt.Errorf("cohdsm: directory says node %d owns line %d but its cache does not hold it", node, line)
 		}
-		// Read miss on a dirty line: intervene on the owner, write its
-		// value back to home memory, downgrade it to S, and clear the
-		// owner field — the directory has no owner once the line is
-		// shared.
+		// Read miss on an owned line: intervene on the owner to learn
+		// whether its copy is dirty (always under stateModified; under
+		// stateExclusive only if it silently upgraded E→M), write a
+		// dirty value back to home memory, downgrade the owner to S, and
+		// clear the owner field — the directory has no owner once the
+		// line is shared. A clean E copy downgrades with no writeback:
+		// home memory is already current.
 		m.Interventions++
 		lat += m.rt(h, e.owner) + m.p.CohProtocolOverhead
 		oc, ok := m.held[e.owner][line]
 		if !ok {
-			return 0, 0, fmt.Errorf("cohdsm: line %d modified-owned by node %d which does not cache it", line, e.owner)
+			return 0, 0, fmt.Errorf("cohdsm: line %d owned by node %d which does not cache it", line, e.owner)
 		}
-		m.mem[line] = oc.val
-		m.Writebacks++
-		m.held[e.owner][line] = cached{writable: false, val: oc.val}
+		if oc.state == cacheModified && !m.bugs.SkipDowngradeWriteback {
+			m.mem[line] = oc.val
+			m.Writebacks++
+		}
+		m.held[e.owner][line] = cached{state: cacheShared, val: oc.val}
 		e.sharers[e.owner] = true
-		e.owner = noOwner
+		if !m.bugs.KeepOwnerAfterDowngrade {
+			e.owner = noOwner
+		}
 	}
 	lat += m.p.DRAMLatency // home memory (refreshed by any writeback) supplies data
 	v := m.mem[line]
+	if m.mesi && e.state == stateInvalid {
+		// MESI: a cold read with no other holder takes the line
+		// exclusive-clean — the bet that the reader writes next and can
+		// then upgrade silently.
+		m.ExclusiveGrants++
+		e.state = stateExclusive
+		e.owner = node
+		m.held[node][line] = cached{state: cacheExclusive, val: v}
+		return v, lat, nil
+	}
 	e.state = stateShared
 	e.sharers[node] = true
-	m.held[node][line] = cached{writable: false, val: v}
+	m.held[node][line] = cached{state: cacheShared, val: v}
 	return v, lat, nil
 }
 
@@ -221,11 +319,23 @@ func (m *Model) writeLine(node int, line uint64, val uint64, costOnly bool) (par
 	if err := m.checkNode(node); err != nil {
 		return 0, err
 	}
-	if c, present := m.held[node][line]; present && c.writable {
+	if c, present := m.held[node][line]; present && c.writable() {
 		// Cache hit with write rights: no protocol traffic.
 		if !costOnly {
-			m.held[node][line] = cached{writable: true, val: val}
+			m.held[node][line] = cached{state: cacheModified, val: val}
 		}
+		return m.p.L1Latency, nil
+	}
+	if c, present := m.held[node][line]; present && c.state == cacheExclusive {
+		// MESI's payoff: the exclusive-clean holder upgrades to M
+		// silently — no directory traffic at all. The directory still
+		// records stateExclusive with this owner, which is exactly what
+		// that state means: one owner whose copy may be E or M.
+		m.SilentUpgrades++
+		if costOnly {
+			val = c.val
+		}
+		m.held[node][line] = cached{state: cacheModified, val: val}
 		return m.p.L1Latency, nil
 	}
 
@@ -236,7 +346,8 @@ func (m *Model) writeLine(node int, line uint64, val uint64, costOnly bool) (par
 
 	// Write miss/upgrade: invalidate every other holder and take M. A
 	// dirty holder's value is written back to home memory first, so the
-	// line's freshest value survives even a cost-only rewrite.
+	// line's freshest value survives even a cost-only rewrite; a clean E
+	// copy is dropped with no writeback — home memory already matches.
 	var worstRT params.Duration
 	invalidated := 0
 	invalidate := func(holder int) {
@@ -244,7 +355,7 @@ func (m *Model) writeLine(node int, line uint64, val uint64, costOnly bool) (par
 			return
 		}
 		if oc, ok := m.held[holder][line]; ok {
-			if oc.writable {
+			if oc.writable() {
 				m.mem[line] = oc.val
 				m.Writebacks++
 			}
@@ -256,7 +367,7 @@ func (m *Model) writeLine(node int, line uint64, val uint64, costOnly bool) (par
 		invalidated++
 	}
 	switch e.state {
-	case stateModified:
+	case stateModified, stateExclusive:
 		if e.owner == node {
 			return 0, fmt.Errorf("cohdsm: directory says node %d owns line %d but its cache grants no write right", node, line)
 		}
@@ -288,7 +399,7 @@ func (m *Model) writeLine(node int, line uint64, val uint64, costOnly bool) (par
 	e.state = stateModified
 	e.owner = node
 	e.sharers = make(map[int]bool)
-	m.held[node][line] = cached{writable: true, val: val}
+	m.held[node][line] = cached{state: cacheModified, val: val}
 	return lat, nil
 }
 
@@ -319,22 +430,28 @@ func (m *Model) MemValue(line uint64) uint64 { return m.mem[line] }
 // every tracked line:
 //
 //   - single writer: at most one node holds a line writable, and only
-//     with the directory in stateModified naming it owner;
-//   - owner hygiene: the owner field is noOwner whenever the line is not
-//     modified (cleared on every downgrade and invalidation), and the
-//     sharer set is empty whenever it is (so the set can never contain
-//     the owner);
+//     with the directory in stateModified — or, in the MESI variant,
+//     stateExclusive after a silent upgrade — naming it owner;
+//   - owner hygiene: the owner field is noOwner whenever the line is
+//     neither modified nor exclusive (cleared on every downgrade and
+//     invalidation), and the sharer set is empty whenever it is owned
+//     (so the set can never contain the owner);
 //   - directory/cache agreement: in stateShared the sharer set and the
-//     read-only holders are exactly the same nodes;
+//     read-only holders are exactly the same nodes; in stateExclusive
+//     the owner is the only holder, its copy E or M, and E only in the
+//     MESI variant;
 //   - value coherence: every shared copy equals home memory (writebacks
-//     happened when the protocol required them).
+//     happened when the protocol required them), and so does every
+//     exclusive-clean copy (E is granted clean and silently upgrades to
+//     M on the first write).
 func (m *Model) CheckInvariants() error {
 	for line, e := range m.dir {
 		writers := 0
 		for i, h := range m.held {
-			if c, ok := h[line]; ok && c.writable {
+			if c, ok := h[line]; ok && c.writable() {
 				writers++
-				if e.state != stateModified || e.owner != i {
+				owned := e.state == stateModified || e.state == stateExclusive
+				if !owned || e.owner != i {
 					return fmt.Errorf("cohdsm: node %d holds line %d writable but directory disagrees", i, line)
 				}
 			}
@@ -351,11 +468,31 @@ func (m *Model) CheckInvariants() error {
 				return fmt.Errorf("cohdsm: line %d modified but sharer set has %d entries (must be empty, and never contain the owner)", line, len(e.sharers))
 			}
 			c, ok := m.held[e.owner][line]
-			if !ok || !c.writable {
+			if !ok || !c.writable() {
 				return fmt.Errorf("cohdsm: line %d modified but owner %d holds no writable copy", line, e.owner)
 			}
 			if m.HolderCount(line) > 1 {
 				return fmt.Errorf("cohdsm: line %d modified with %d holders", line, m.HolderCount(line))
+			}
+		case stateExclusive:
+			if !m.mesi {
+				return fmt.Errorf("cohdsm: line %d exclusive in the MSI variant", line)
+			}
+			if e.owner < 0 || e.owner >= m.nodes {
+				return fmt.Errorf("cohdsm: line %d exclusive with invalid owner %d", line, e.owner)
+			}
+			if len(e.sharers) != 0 {
+				return fmt.Errorf("cohdsm: line %d exclusive but sharer set has %d entries", line, len(e.sharers))
+			}
+			c, ok := m.held[e.owner][line]
+			if !ok || c.state == cacheShared {
+				return fmt.Errorf("cohdsm: line %d exclusive but owner %d holds no E or M copy", line, e.owner)
+			}
+			if c.state == cacheExclusive && c.val != m.mem[line] {
+				return fmt.Errorf("cohdsm: line %d exclusive-clean at node %d caches %d but home memory has %d", line, e.owner, c.val, m.mem[line])
+			}
+			if m.HolderCount(line) > 1 {
+				return fmt.Errorf("cohdsm: line %d exclusive with %d holders", line, m.HolderCount(line))
 			}
 		case stateShared:
 			if e.owner != noOwner {
@@ -369,8 +506,8 @@ func (m *Model) CheckInvariants() error {
 				if !ok {
 					return fmt.Errorf("cohdsm: line %d lists sharer %d which caches nothing", line, s)
 				}
-				if c.writable {
-					return fmt.Errorf("cohdsm: line %d shared but sharer %d holds it writable", line, s)
+				if c.state != cacheShared {
+					return fmt.Errorf("cohdsm: line %d shared but sharer %d holds a stronger right", line, s)
 				}
 				if c.val != m.mem[line] {
 					return fmt.Errorf("cohdsm: line %d sharer %d caches %d but home memory has %d (missing writeback)", line, s, c.val, m.mem[line])

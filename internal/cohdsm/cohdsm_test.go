@@ -345,3 +345,234 @@ func TestInstrument(t *testing.T) {
 		t.Errorf("fresh registry has %d families", n)
 	}
 }
+
+func mesiModel(t *testing.T, nodes int) *Model {
+	t.Helper()
+	m, err := NewMESI(params.Default(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMESIExclusiveGrantAndSilentUpgrade pins the variant's payoff: a
+// cold read takes E, and the E-holder's write upgrades to M at pure
+// cache-hit cost with no additional directory traffic.
+func TestMESIExclusiveGrantAndSilentUpgrade(t *testing.T) {
+	m := mesiModel(t, 4)
+	if _, _, err := m.ReadLine(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	if m.ExclusiveGrants != 1 {
+		t.Fatalf("ExclusiveGrants = %d, want 1", m.ExclusiveGrants)
+	}
+	lookups := m.DirLookups
+	lat, err := m.WriteLine(0, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	if m.SilentUpgrades != 1 {
+		t.Fatalf("SilentUpgrades = %d, want 1", m.SilentUpgrades)
+	}
+	if m.DirLookups != lookups {
+		t.Errorf("silent upgrade consulted the directory (%d -> %d lookups)", lookups, m.DirLookups)
+	}
+	if lat != params.Default().L1Latency {
+		t.Errorf("silent upgrade cost %d, want the L1 hit cost %d", lat, params.Default().L1Latency)
+	}
+	// The upgraded value is real: a remote reader intervenes and sees it.
+	if v, _, err := m.ReadLine(1, 7); err != nil || v != 42 {
+		t.Fatalf("remote read after silent upgrade = %d, %v; want 42", v, err)
+	}
+	check(t, m)
+	if m.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1 (the silently upgraded copy was dirty)", m.Writebacks)
+	}
+}
+
+// TestMESICleanDropsSkipWriteback pins E's other half: clean exclusive
+// copies downgrade (second reader) and invalidate (remote writer)
+// without ever writing back — home memory is already current.
+func TestMESICleanDropsSkipWriteback(t *testing.T) {
+	m := mesiModel(t, 4)
+	// E then a second reader: E→S downgrade, no writeback.
+	if _, _, err := m.ReadLine(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := m.ReadLine(1, 3); err != nil || v != 0 {
+		t.Fatalf("second read = %d, %v", v, err)
+	}
+	check(t, m)
+	if m.Writebacks != 0 {
+		t.Errorf("E→S downgrade wrote back: Writebacks = %d", m.Writebacks)
+	}
+	if m.Interventions != 1 {
+		t.Errorf("Interventions = %d, want 1 (the directory must ask the E owner whether it upgraded)", m.Interventions)
+	}
+	// E then a remote writer: clean invalidation, no writeback.
+	if _, _, err := m.ReadLine(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteLine(3, 9, 5); err != nil {
+		t.Fatal(err)
+	}
+	check(t, m)
+	if m.Writebacks != 0 {
+		t.Errorf("clean E invalidation wrote back: Writebacks = %d", m.Writebacks)
+	}
+	if m.HolderCount(9) != 1 {
+		t.Errorf("line 9 has %d holders after the invalidating write, want 1", m.HolderCount(9))
+	}
+}
+
+// TestMSINeverGrantsExclusive keeps the base variant byte-identical: the
+// plain MSI machine must not take the E path.
+func TestMSINeverGrantsExclusive(t *testing.T) {
+	m := model(t, 4)
+	if _, _, err := m.ReadLine(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExclusiveGrants != 0 {
+		t.Fatalf("MSI granted E")
+	}
+	// A cold MSI read is shared: a write by the same node still needs
+	// the directory.
+	lookups := m.DirLookups
+	if _, err := m.WriteLine(0, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.DirLookups != lookups+1 {
+		t.Errorf("MSI write after own read skipped the directory")
+	}
+	if m.SilentUpgrades != 0 {
+		t.Errorf("MSI silently upgraded")
+	}
+	check(t, m)
+}
+
+// TestMESIValueOracle reruns the random value oracle under the MESI
+// variant with invariants checked at every step.
+func TestMESIValueOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := mesiModel(t, 8)
+	oracle := make(map[uint64]uint64)
+	for i := 0; i < 4000; i++ {
+		node := rng.Intn(8)
+		line := uint64(rng.Intn(24))
+		if rng.Intn(3) == 0 {
+			v := uint64(i) + 1
+			if _, err := m.WriteLine(node, line, v); err != nil {
+				t.Fatal(err)
+			}
+			oracle[line] = v
+		} else {
+			v, _, err := m.ReadLine(node, line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != oracle[line] {
+				t.Fatalf("op %d: node %d read %d from line %d, oracle has %d", i, node, v, line, oracle[line])
+			}
+		}
+		check(t, m)
+	}
+	if m.ExclusiveGrants == 0 || m.SilentUpgrades == 0 {
+		t.Errorf("oracle run never exercised E: grants=%d upgrades=%d", m.ExclusiveGrants, m.SilentUpgrades)
+	}
+}
+
+// TestMESIInvariantsProperty is the quick-check property under the MESI
+// variant.
+func TestMESIInvariantsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m, err := NewMESI(params.Default(), 8)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			node := int(op) % 8
+			line := uint64(op>>3) % 32
+			write := op&0x8000 != 0
+			if _, err := m.Access(node, line, write); err != nil {
+				return false
+			}
+			if m.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInjectBugs proves the test-only knob actually re-introduces the
+// two PR 6 bugs in a way the invariant checker sees.
+func TestInjectBugs(t *testing.T) {
+	t.Run("skip-downgrade-writeback", func(t *testing.T) {
+		m := model(t, 2)
+		m.InjectBugs(TestBugs{SkipDowngradeWriteback: true})
+		if _, err := m.WriteLine(0, 1, 9); err != nil {
+			t.Fatal(err)
+		}
+		if v, _, err := m.ReadLine(1, 1); err != nil {
+			t.Fatal(err)
+		} else if v == 9 {
+			t.Fatal("buggy downgrade still delivered the fresh value")
+		}
+		if err := m.CheckInvariants(); err == nil {
+			t.Error("invariants passed with the writeback dropped")
+		}
+	})
+	t.Run("keep-owner-after-downgrade", func(t *testing.T) {
+		m := model(t, 2)
+		m.InjectBugs(TestBugs{KeepOwnerAfterDowngrade: true})
+		if _, err := m.WriteLine(0, 1, 9); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.ReadLine(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariants(); err == nil {
+			t.Error("invariants passed with a stale owner after downgrade")
+		}
+	})
+}
+
+// TestMESIInstrument checks the MESI-only families appear only on the
+// MESI variant.
+func TestMESIInstrument(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := mesiModel(t, 4)
+	m.Instrument(reg)
+	if _, _, err := m.ReadLine(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteLine(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	got := make(map[string]float64)
+	for _, f := range snap.Families {
+		if len(f.Samples) == 1 {
+			got[f.Name] = f.Samples[0].Value
+		}
+	}
+	if got[metrics.FamDirExclusiveGrants] != 1 {
+		t.Errorf("exclusive grants metric = %v, want 1", got[metrics.FamDirExclusiveGrants])
+	}
+	if got[metrics.FamDirSilentUpgrades] != 1 {
+		t.Errorf("silent upgrades metric = %v, want 1", got[metrics.FamDirSilentUpgrades])
+	}
+	// The MSI variant must not register the MESI families.
+	msiReg := metrics.NewRegistry()
+	model(t, 4).Instrument(msiReg)
+	for _, f := range msiReg.Snapshot().Families {
+		if f.Name == metrics.FamDirExclusiveGrants || f.Name == metrics.FamDirSilentUpgrades {
+			t.Errorf("MSI variant registered MESI family %s", f.Name)
+		}
+	}
+}

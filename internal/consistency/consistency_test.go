@@ -215,7 +215,7 @@ func TestProtocolRegistry(t *testing.T) {
 			t.Errorf("%s: fresh SelfCheck: %v", name, err)
 		}
 	}
-	if _, err := NewProtocol("mesi", p, 4); err == nil {
+	if _, err := NewProtocol("moesi", p, 4); err == nil {
 		t.Error("unknown protocol accepted")
 	}
 	if _, err := NewProtocol("msi", p, 0); err == nil {

@@ -1,0 +1,391 @@
+package consistency
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cohdsm"
+	"repro/internal/params"
+)
+
+// factory builds fresh instances of a registered protocol.
+func factory(t *testing.T, name string, nodes int) func() (Protocol, error) {
+	t.Helper()
+	p := params.Default()
+	return func() (Protocol, error) { return NewProtocol(name, p, nodes) }
+}
+
+// buggyMSI builds fresh MSI instances with a PR 6 bug re-introduced.
+func buggyMSI(nodes int, bugs cohdsm.TestBugs) func() (Protocol, error) {
+	p := params.Default()
+	return func() (Protocol, error) {
+		proto, err := NewMSI(p, nodes)
+		if err != nil {
+			return nil, err
+		}
+		proto.Directory().InjectBugs(bugs)
+		return proto, nil
+	}
+}
+
+// TestEnumerateSchedules pins the enumerator's counts: full interleaving
+// counts for dependent programs, sleep-set collapse for independent
+// ones, and lexicographic order.
+func TestEnumerateSchedules(t *testing.T) {
+	const x, y = 0, 1
+	cases := []struct {
+		name string
+		prog Program
+		want int
+	}{
+		// Two single-write nodes on one line: both orders differ.
+		{"write-write", Program{{W(x, 1)}, {W(x, 2)}}, 2},
+		// Store buffering: C(4,2) = 6 interleavings, but the two
+		// trailing reads commute, collapsing the two pairs that differ
+		// only in read order — 4 representatives.
+		{"sb", Program{{W(x, 1), R(y)}, {W(y, 1), R(x)}}, 4},
+		// Two single-read nodes: reads commute, one representative.
+		{"read-read", Program{{R(x)}, {R(y)}}, 1},
+		// Two nodes of two reads each: all 6 interleavings equivalent.
+		{"reads-only", Program{{R(x), R(y)}, {R(y), R(x)}}, 1},
+		// One node: exactly its program order.
+		{"serial", Program{{W(x, 1), R(x), W(y, 2)}}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scheds, err := enumerateSchedules(tc.prog, maxExhaustiveSchedules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scheds) != tc.want {
+				t.Fatalf("enumerated %d schedules, want %d: %v", len(scheds), tc.want, scheds)
+			}
+			for i := 1; i < len(scheds); i++ {
+				if !lessSchedule(scheds[i-1], scheds[i]) {
+					t.Fatalf("enumeration not lexicographic: %v before %v", scheds[i-1], scheds[i])
+				}
+			}
+		})
+	}
+}
+
+// TestEnumerateSchedulesCoverage cross-checks the reduction's claim on a
+// mixed program: running every enumerated schedule and every *full*
+// interleaving under MSI yields the same set of per-node read
+// observations. (Per-node, not global: the reduction collapses
+// interleavings differing only in the global order of commuting reads,
+// which is exactly what verdicts cannot see — each node's program-order
+// value sequence is what SC and per-location checking consume.)
+func TestEnumerateSchedulesCoverage(t *testing.T) {
+	const x, y = 0, 1
+	prog := Program{{W(x, 1), R(y)}, {R(x), R(y)}, {W(y, 2)}}
+	reduced, err := enumerateSchedules(prog, maxExhaustiveSchedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full enumeration: the same DFS with independence declared empty.
+	full := enumerateAll(prog)
+	if len(reduced) >= len(full) {
+		t.Fatalf("reduction did not reduce: %d of %d", len(reduced), len(full))
+	}
+	obs := func(scheds [][]int) map[string]bool {
+		set := make(map[string]bool)
+		for _, s := range scheds {
+			proto, err := NewProtocol("msi", params.Default(), len(prog))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := RunProgram(proto, prog, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perNode := make([]strings.Builder, h.Nodes)
+			for _, e := range h.Events {
+				if e.Op == OpRead {
+					perNode[e.Node].WriteString(e.String())
+					perNode[e.Node].WriteByte(';')
+				}
+			}
+			var b strings.Builder
+			for n := range perNode {
+				b.WriteString(perNode[n].String())
+				b.WriteByte('|')
+			}
+			set[b.String()] = true
+		}
+		return set
+	}
+	if got, want := obs(reduced), obs(full); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reduced schedules observe %v, full enumeration %v", got, want)
+	}
+}
+
+// enumerateAll lists every interleaving with no reduction (test oracle).
+func enumerateAll(prog Program) [][]int {
+	total := 0
+	for _, is := range prog {
+		total += len(is)
+	}
+	idx := make([]int, len(prog))
+	cur := make([]int, 0, total)
+	var out [][]int
+	var dfs func()
+	dfs = func() {
+		if len(cur) == total {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for n := range prog {
+			if idx[n] >= len(prog[n]) {
+				continue
+			}
+			idx[n]++
+			cur = append(cur, n)
+			dfs()
+			cur = cur[:len(cur)-1]
+			idx[n]--
+		}
+	}
+	dfs()
+	return out
+}
+
+// TestSampleScheduleDeterminism pins the sampler: same (seed, i) same
+// schedule, different i different stream, and every sample is a valid
+// complete interleaving.
+func TestSampleScheduleDeterminism(t *testing.T) {
+	prog := RandomProgram(3, 3, 5, 4, 0.4, true)
+	a := sampleSchedule(7, 12, prog)
+	b := sampleSchedule(7, 12, prog)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (seed, index) produced different schedules")
+	}
+	counts := make([]int, len(prog))
+	for _, n := range a {
+		counts[n]++
+	}
+	for n := range prog {
+		if counts[n] != len(prog[n]) {
+			t.Fatalf("sampled schedule issues node %d %d times, program has %d instructions", n, counts[n], len(prog[n]))
+		}
+	}
+	distinct := false
+	for i := 0; i < 8 && !distinct; i++ {
+		distinct = !reflect.DeepEqual(sampleSchedule(7, i, prog), sampleSchedule(7, i+100, prog))
+	}
+	if !distinct {
+		t.Error("sampler produced identical schedules across many indices")
+	}
+}
+
+// TestExploreStrongProtocolsClean is the tentpole's positive half: over
+// the full litmus suite, exhaustive or sampled, the coherent protocols
+// must be violation-free and the weak protocols must only exhibit their
+// advertised anomalies (never an invariant failure or an undecided
+// search).
+func TestExploreStrongProtocolsClean(t *testing.T) {
+	results, err := ExploreLitmus(params.Default(), nil, DefaultExploreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Suite()) * len(Names()); len(results) != want {
+		t.Fatalf("got %d results, want %d", len(results), want)
+	}
+	byKey := make(map[string]ExploreResult)
+	for _, r := range results {
+		byKey[r.Test+"/"+r.Protocol] = r
+		if StrongProtocols()[r.Protocol] && r.Violations() > 0 {
+			t.Errorf("%s/%s: %d violations on a sequentially consistent protocol\n%s",
+				r.Test, r.Protocol, r.Violations(), r.FirstViolation().Trace())
+		}
+		if r.InvariantFails > 0 && !StrongProtocols()[r.Protocol] {
+			t.Errorf("%s/%s: %d invariant failures", r.Test, r.Protocol, r.InvariantFails)
+		}
+		if r.Undecided > 0 {
+			t.Errorf("%s/%s: %d undecided SC searches at litmus size", r.Test, r.Protocol, r.Undecided)
+		}
+		if r.Schedules == 0 {
+			t.Errorf("%s/%s: zero schedules explored", r.Test, r.Protocol)
+		}
+	}
+	// The existential claims the single-schedule suite could not make:
+	// under rmc, *every* store-buffering interleaving reorders (the
+	// posted write is never drained before the loads), and exploration
+	// proves it — all 4 schedule representatives (6 interleavings modulo
+	// the commuting trailing reads) fail SC.
+	sb := byKey["sb/rmc"]
+	if !sb.Exhaustive || sb.Schedules != 4 || sb.SCFails != 4 {
+		t.Errorf("sb/rmc: exhaustive=%v schedules=%d scfails=%d, want 4/4 exhaustive", sb.Exhaustive, sb.Schedules, sb.SCFails)
+	}
+	if sb.MinSC == nil || !reflect.DeepEqual(sb.MinSC.Schedule, []int{0, 0, 1, 1}) {
+		t.Errorf("sb/rmc minimal violating schedule = %+v, want 0,0,1,1", sb.MinSC)
+	}
+	// iriw (10 instructions) is past the default exhaustive bound: the
+	// explorer must have sampled it.
+	if iriw := byKey["iriw/msi"]; iriw.Exhaustive || iriw.Schedules != DefaultExploreSpec().Samples {
+		t.Errorf("iriw/msi: exhaustive=%v schedules=%d, want sampled %d", iriw.Exhaustive, iriw.Schedules, DefaultExploreSpec().Samples)
+	}
+}
+
+// TestExploreParallelIdentity is the determinism contract: the explorer
+// result — counts, minimal schedules, histories — is identical at any
+// worker count, for both exhaustive and sampled programs.
+func TestExploreParallelIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prog Program
+	}{
+		{"exhaustive", Program{{W(0, 1), R(1)}, {W(1, 2), R(0)}}},
+		{"sampled", RandomProgram(5, 3, 4, 3, 0.5, true)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var prev ExploreResult
+			for i, parallel := range []int{1, 8} {
+				spec := DefaultExploreSpec()
+				spec.Parallel = parallel
+				r, err := ExploreProgram(factory(t, "rmc", len(tc.prog)), tc.prog, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i > 0 && !reflect.DeepEqual(prev, r) {
+					t.Fatalf("explore result differs between -parallel 1 and %d:\n%+v\n%+v", parallel, prev, r)
+				}
+				prev = r
+			}
+		})
+	}
+}
+
+// TestExplorerRediscoversMissingWriteback is the first PR 6 regression:
+// with the M→S downgrade writeback dropped (the bug the lab originally
+// caught), the explorer must find a violating schedule of the store
+// buffering program within the default budget — under the bug, a read
+// that intervenes on a dirty owner returns stale home memory, and the
+// SB interleaving where both nodes then miss becomes non-SC even though
+// the protocol claims sequential consistency.
+func TestExplorerRediscoversMissingWriteback(t *testing.T) {
+	const x, y = 0, 1
+	prog := Program{{W(x, 1), R(y)}, {W(y, 1), R(x)}}
+	r, err := ExploreProgram(buggyMSI(2, cohdsm.TestBugs{SkipDowngradeWriteback: true}), prog, DefaultExploreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SCFails == 0 {
+		t.Fatalf("explorer missed the dropped downgrade writeback: %+v", r)
+	}
+	if r.InvariantFails == 0 {
+		t.Errorf("invariant checker missed the stale home memory: %+v", r)
+	}
+	v := r.FirstViolation()
+	if v == nil {
+		t.Fatal("no minimal violating schedule reported")
+	}
+	// The trace is replayable: the same schedule reproduces the same
+	// history and the same verdict.
+	proto, err := buggyMSI(2, cohdsm.TestBugs{SkipDowngradeWriteback: true})()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := RunProgram(proto, prog, v.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, v.History) {
+		t.Error("replaying the minimal violating schedule produced a different history")
+	}
+	// The clean protocol explores the same program violation-free.
+	clean, err := ExploreProgram(factory(t, "msi", 2), prog, DefaultExploreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Violations() > 0 {
+		t.Errorf("clean MSI shows violations on the regression program: %+v", clean)
+	}
+}
+
+// TestExplorerRediscoversStaleOwner is the second PR 6 regression: with
+// the owner field left set after an M→S downgrade, the directory's
+// latent state is wrong even though no read value is — exactly the class
+// of bug only the per-schedule invariant sweep sees. The explorer must
+// find a schedule whose SelfCheck fails, and report the minimal one
+// (write first, then the downgrading read).
+func TestExplorerRediscoversStaleOwner(t *testing.T) {
+	const x = 0
+	prog := Program{{W(x, 1)}, {R(x)}}
+	r, err := ExploreProgram(buggyMSI(2, cohdsm.TestBugs{KeepOwnerAfterDowngrade: true}), prog, DefaultExploreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exhaustive || r.Schedules != 2 {
+		t.Fatalf("expected both interleavings of the 2-op program: %+v", r)
+	}
+	if r.InvariantFails != 1 {
+		t.Fatalf("InvariantFails = %d, want exactly the write-then-read schedule", r.InvariantFails)
+	}
+	if r.MinInvariant == nil || !reflect.DeepEqual(r.MinInvariant.Schedule, []int{0, 1}) {
+		t.Fatalf("minimal invariant-violating schedule = %+v, want 0,1", r.MinInvariant)
+	}
+	if !strings.Contains(r.MinInvariant.InvariantErr, "owner") {
+		t.Errorf("invariant error does not name the stale owner: %q", r.MinInvariant.InvariantErr)
+	}
+	if r.SCFails != 0 || r.PerLocFails != 0 {
+		t.Errorf("stale owner is a latent-state bug; checkers should stay clean: %+v", r)
+	}
+	clean, err := ExploreProgram(factory(t, "msi", 2), prog, DefaultExploreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Violations() > 0 {
+		t.Errorf("clean MSI shows violations on the regression program: %+v", clean)
+	}
+}
+
+// TestExploreSpecValidation covers the spec's error paths and the
+// exhaustive cap.
+func TestExploreSpecValidation(t *testing.T) {
+	prog := Program{{W(0, 1)}, {R(0)}}
+	bad := DefaultExploreSpec()
+	bad.Samples = 0
+	if _, err := ExploreProgram(factory(t, "msi", 2), prog, bad); err == nil {
+		t.Error("zero samples accepted")
+	}
+	neg := DefaultExploreSpec()
+	neg.MaxDepth = -1
+	if _, err := ExploreProgram(factory(t, "msi", 2), prog, neg); err == nil {
+		t.Error("negative depth accepted")
+	}
+	// A program big enough to overflow the exhaustive cap must error,
+	// not truncate: 4 nodes × 5 writes = 11M interleavings.
+	big := make(Program, 4)
+	for n := range big {
+		for i := 0; i < 5; i++ {
+			big[n] = append(big[n], W(uint64(n), uint64(i+1)))
+		}
+	}
+	wide := DefaultExploreSpec()
+	wide.MaxDepth = 20
+	if _, err := ExploreProgram(factory(t, "msi", 4), big, wide); err == nil {
+		t.Error("exhaustive cap overflow accepted")
+	}
+}
+
+// TestScheduleOutcomeTrace pins the replayable-trace rendering the CLI
+// prints on a violation.
+func TestScheduleOutcomeTrace(t *testing.T) {
+	o := ScheduleOutcome{
+		Schedule:     []int{0, 1, 0},
+		Verdict:      Verdict{SC: false, PerLoc: true},
+		InvariantErr: "stale owner",
+		History: History{Nodes: 2, Events: []Event{
+			{Seq: 0, Node: 0, Op: OpWrite, Loc: 3, Value: 1},
+			{Seq: 1, Node: 1, Op: OpRead, Loc: 3, Value: 0},
+		}},
+	}
+	tr := o.Trace()
+	for _, want := range []string{"schedule 0,1,0", "SC=FAIL", "invariants=FAIL (stale owner)", "n0: W x3 = 1", "step 1"} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("trace missing %q:\n%s", want, tr)
+		}
+	}
+}

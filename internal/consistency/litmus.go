@@ -44,9 +44,10 @@ func Suite() []Litmus {
 			},
 			Schedule: []int{0, 1, 0, 1},
 			Expect: map[string]Expectation{
-				"msi": all,
-				"rmc": {SC: false, PerLoc: false},
-				"rc":  {SC: false, PerLoc: false},
+				"msi":  all,
+				"mesi": all,
+				"rmc":  {SC: false, PerLoc: false},
+				"rc":   {SC: false, PerLoc: false},
 			},
 		},
 		{
@@ -59,9 +60,10 @@ func Suite() []Litmus {
 			},
 			Schedule: []int{1, 0, 0, 0, 1, 1},
 			Expect: map[string]Expectation{
-				"msi": all,
-				"rmc": all,
-				"rc":  {SC: false, PerLoc: false},
+				"msi":  all,
+				"mesi": all,
+				"rmc":  all,
+				"rc":   {SC: false, PerLoc: false},
 			},
 		},
 		{
@@ -74,9 +76,10 @@ func Suite() []Litmus {
 			},
 			Schedule: []int{1, 0, 0, 0, 1, 1, 1},
 			Expect: map[string]Expectation{
-				"msi": all,
-				"rmc": all,
-				"rc":  all,
+				"msi":  all,
+				"mesi": all,
+				"rmc":  all,
+				"rc":   all,
 			},
 		},
 		{
@@ -91,9 +94,10 @@ func Suite() []Litmus {
 			},
 			Schedule: []int{2, 3, 0, 0, 1, 1, 2, 2, 3, 3},
 			Expect: map[string]Expectation{
-				"msi": all,
-				"rmc": all,
-				"rc":  {SC: false, PerLoc: false},
+				"msi":  all,
+				"mesi": all,
+				"rmc":  all,
+				"rc":   {SC: false, PerLoc: false},
 			},
 		},
 		{
@@ -106,9 +110,10 @@ func Suite() []Litmus {
 			},
 			Schedule: []int{0, 1, 0, 1},
 			Expect: map[string]Expectation{
-				"msi": all,
-				"rmc": {SC: true, PerLoc: false},
-				"rc":  {SC: true, PerLoc: false},
+				"msi":  all,
+				"mesi": all,
+				"rmc":  {SC: true, PerLoc: false},
+				"rc":   {SC: true, PerLoc: false},
 			},
 		},
 	}
@@ -118,6 +123,9 @@ func Suite() []Litmus {
 type LitmusResult struct {
 	Test     string
 	Protocol string
+	// Schedule is the interleaving that produced the history — the
+	// replayable trace an operator needs when a verdict deviates.
+	Schedule []int
 	History  History
 	Verdict  Verdict
 	Expected Expectation
@@ -150,6 +158,7 @@ func RunLitmus(l Litmus, name string, p params.Params) (LitmusResult, error) {
 	return LitmusResult{
 		Test:     l.Name,
 		Protocol: name,
+		Schedule: append([]int(nil), l.Schedule...),
 		History:  h,
 		Verdict:  v,
 		Expected: exp,

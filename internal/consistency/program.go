@@ -67,6 +67,14 @@ func (p Program) RoundRobin() []int {
 // is the real-time order. Everything is deterministic: same protocol
 // state machine, same program, same schedule ⇒ the same history.
 func RunProgram(p Protocol, prog Program, schedule []int) (History, error) {
+	return RunProgramChecked(p, prog, schedule, nil)
+}
+
+// RunProgramChecked is RunProgram with a per-step hook: after every
+// executed instruction, after(step) runs and a non-nil error aborts the
+// run. The fuzz harness uses it to hold the protocol's invariants at
+// every intermediate state, not just at the end of the run.
+func RunProgramChecked(p Protocol, prog Program, schedule []int, after func(step int) error) (History, error) {
 	if len(prog) != p.Nodes() {
 		return History{}, fmt.Errorf("consistency: program has %d nodes, protocol %d", len(prog), p.Nodes())
 	}
@@ -99,6 +107,11 @@ func RunProgram(p Protocol, prog Program, schedule []int) (History, error) {
 			return History{}, fmt.Errorf("consistency: step %d (%s): %w", step, ev, err)
 		}
 		h.Events = append(h.Events, ev)
+		if after != nil {
+			if err := after(step); err != nil {
+				return History{}, fmt.Errorf("consistency: after step %d (%s): %w", step, ev, err)
+			}
+		}
 	}
 	for n := range prog {
 		if idx[n] != len(prog[n]) {

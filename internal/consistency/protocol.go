@@ -14,11 +14,15 @@
 // the cheap modes are shown to be exactly as weak as advertised, rather
 // than both being asserted through cost curves alone.
 //
-// Three protocols implement the interface:
+// Four protocols implement the interface:
 //
 //   - "msi": the directory-based MSI coherent DSM (internal/cohdsm),
 //     promising sequential consistency — every access is globally
 //     visible before it completes.
+//   - "mesi": the MESI variant of the same machine — an exclusive-clean
+//     E state with silent E→M upgrade and writeback-free clean drops.
+//     Same promised model as msi (E changes cost, never visibility),
+//     different latency curve.
 //   - "rmc": the paper's non-coherent remote-memory mode with posted
 //     writes — a per-node FIFO store buffer over single-copy home
 //     memory, which is exactly total store order (store-buffering
@@ -35,6 +39,7 @@ package consistency
 import (
 	"fmt"
 
+	"repro/internal/cohdsm"
 	"repro/internal/params"
 )
 
@@ -162,7 +167,7 @@ type Protocol interface {
 }
 
 // Names lists the registered protocol names in presentation order.
-func Names() []string { return []string{"msi", "rmc", "rc"} }
+func Names() []string { return []string{"msi", "mesi", "rmc", "rc"} }
 
 // NewProtocol builds a protocol by registry name over nodes nodes of the
 // mesh described by p.
@@ -170,10 +175,18 @@ func NewProtocol(name string, p params.Params, nodes int) (Protocol, error) {
 	switch name {
 	case "msi":
 		return NewMSI(p, nodes)
+	case "mesi":
+		return NewMESIProtocol(p, nodes)
 	case "rmc":
 		return NewNonCoherent(p, nodes)
 	case "rc":
 		return NewReleaseConsistent(p, nodes)
 	}
 	return nil, fmt.Errorf("consistency: unknown protocol %q (have %v)", name, Names())
+}
+
+// Directoried is implemented by the coherent protocols (msi, mesi) to
+// expose their underlying cohdsm directory for instrumentation.
+type Directoried interface {
+	Directory() *cohdsm.Model
 }

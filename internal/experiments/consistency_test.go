@@ -18,14 +18,21 @@ func TestConsistencyCostShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	msi := ys(series(t, fig, "msi (sequential consistency)"))
+	mesi := ys(series(t, fig, "mesi (sequential consistency)"))
 	rmc := ys(series(t, fig, "rmc (total store order (posted writes))"))
 	rc := ys(series(t, fig, "rc (release consistency)"))
-	if len(msi) != 5 || len(rmc) != 5 || len(rc) != 5 {
-		t.Fatalf("series lengths %d/%d/%d, want 5", len(msi), len(rmc), len(rc))
+	if len(msi) != 5 || len(mesi) != 5 || len(rmc) != 5 || len(rc) != 5 {
+		t.Fatalf("series lengths %d/%d/%d/%d, want 5", len(msi), len(mesi), len(rmc), len(rc))
 	}
 	for i := range msi {
-		if msi[i] <= 0 || rmc[i] <= 0 || rc[i] <= 0 {
-			t.Fatalf("nonpositive point at %d: msi=%v rmc=%v rc=%v", i, msi[i], rmc[i], rc[i])
+		if msi[i] <= 0 || mesi[i] <= 0 || rmc[i] <= 0 || rc[i] <= 0 {
+			t.Fatalf("nonpositive point at %d: msi=%v mesi=%v rmc=%v rc=%v", i, msi[i], mesi[i], rmc[i], rc[i])
+		}
+		// MESI stays in the coherent cost family: same order of
+		// magnitude as MSI, never cheaper than release consistency —
+		// the E state shifts coherent cost, it does not remove it.
+		if mesi[i] <= rc[i] {
+			t.Errorf("point %d: mesi (%.3f) cheaper than release consistency (%.3f)", i, mesi[i], rc[i])
 		}
 		if rc[i] >= rmc[i] {
 			t.Errorf("point %d: release consistency (%.3f) not cheaper than TSO (%.3f)", i, rc[i], rmc[i])

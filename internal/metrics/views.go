@@ -91,6 +91,9 @@ const (
 	FamDirInterventions = "ncdsm_dir_interventions_total"
 	FamDirWritebacks    = "ncdsm_dir_writebacks_total"
 	FamDirFanout        = "ncdsm_dir_invalidation_fanout"
+	// MESI-only transitions, registered only by the MESI variant.
+	FamDirExclusiveGrants = "ncdsm_dir_exclusive_grants_total"
+	FamDirSilentUpgrades  = "ncdsm_dir_silent_upgrades_total"
 
 	// cluster free-memory directory (internal/memdir). Registered
 	// lazily on the first directory transaction, so systems that never

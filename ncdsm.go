@@ -517,8 +517,9 @@ type LitmusOutcome = consistency.LitmusResult
 
 // ConsistencyProtocols lists the consistency-lab protocol names in
 // presentation order: "msi" (directory MSI, sequential consistency),
-// "rmc" (the paper's non-coherent posted-write mode, TSO), and "rc"
-// (release consistency).
+// "mesi" (MSI plus an exclusive state with silent E→M upgrades, same
+// model), "rmc" (the paper's non-coherent posted-write mode, TSO), and
+// "rc" (release consistency).
 func ConsistencyProtocols() []string { return consistency.Names() }
 
 // Litmus runs the seeded litmus suite (store buffering, message
@@ -549,6 +550,80 @@ func LitmusReport(cfg Config, protocols ...string) (string, error) {
 		b = fmt.Appendf(b, "%-12s %-5s %-22s %-22s %s\n", r.Test, r.Protocol, r.Verdict.Summary(), exp.Summary(), mark)
 	}
 	return string(b), nil
+}
+
+// ExploreSpec configures the schedule-exploration model checker:
+// exhaustive enumeration up to MaxDepth total instructions (with a
+// sleep-set reduction), seeded sampling of Samples schedules beyond,
+// sharded across Parallel workers with an order-identical merge.
+type ExploreSpec = consistency.ExploreSpec
+
+// ExploreOutcome summarizes the exploration of one (litmus test,
+// protocol) pair: schedule counts, per-checker violation counts, and
+// the lexicographically minimal violating schedule per category.
+type ExploreOutcome = consistency.ExploreResult
+
+// DefaultExploreSpec is the explorer's default budget: exhaustive up to
+// 6 instructions, 500 sampled schedules beyond, seed 1, serial.
+func DefaultExploreSpec() ExploreSpec { return consistency.DefaultExploreSpec() }
+
+// Explore runs the schedule-exploration model checker over the litmus
+// suite under the named protocols (all of them when none are given).
+// Unlike Litmus — one seeded schedule per test — exploration asks the
+// existential question: does ANY interleaving within the budget violate
+// the protocol's consistency model or its internal invariants? Output
+// is deterministic: same spec and seed, byte-identical results at any
+// Parallel setting.
+func Explore(cfg Config, spec ExploreSpec, protocols ...string) ([]ExploreOutcome, error) {
+	return consistency.ExploreLitmus(cfg, protocols, spec)
+}
+
+// ExploreReport runs Explore and renders a text table — one row per
+// (test, protocol) — followed by the minimal violating trace of every
+// result whose violations indict the protocol implementation (any
+// violation on a sequentially consistent protocol; invariant failures
+// or undecided searches on any protocol).
+func ExploreReport(cfg Config, spec ExploreSpec, protocols ...string) (string, int, error) {
+	results, err := Explore(cfg, spec, protocols...)
+	if err != nil {
+		return "", 0, err
+	}
+	var b []byte
+	b = fmt.Appendf(b, "%-12s %-5s %-10s %9s %7s %7s %7s %9s\n",
+		"test", "proto", "coverage", "schedules", "scfail", "perloc", "invar", "undecided")
+	problems := 0
+	for _, r := range results {
+		cov := "sampled"
+		if r.Exhaustive {
+			cov = "exhaustive"
+		}
+		b = fmt.Appendf(b, "%-12s %-5s %-10s %9d %7d %7d %7d %9d\n",
+			r.Test, r.Protocol, cov, r.Schedules, r.SCFails, r.PerLocFails, r.InvariantFails, r.Undecided)
+	}
+	for _, r := range results {
+		probs := r.Problems()
+		if len(probs) == 0 {
+			continue
+		}
+		problems += len(probs)
+		b = fmt.Appendf(b, "\n%s/%s PROBLEMS:\n", r.Test, r.Protocol)
+		for _, p := range probs {
+			b = fmt.Appendf(b, "  - %s\n", p)
+		}
+		if v := r.FirstViolation(); v != nil {
+			b = fmt.Appendf(b, "  minimal violating %s", v.Trace())
+		}
+	}
+	return string(b), problems, nil
+}
+
+// LitmusTrace renders a litmus outcome's schedule and history as the
+// replayable trace an operator needs when a verdict deviates: feed the
+// schedule back to the same test and protocol and the identical history
+// returns.
+func LitmusTrace(r LitmusOutcome) string {
+	o := consistency.ScheduleOutcome{Schedule: r.Schedule, Verdict: r.Verdict, History: r.History}
+	return o.Trace()
 }
 
 // Validate checks a configuration without building a system.

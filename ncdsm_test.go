@@ -309,8 +309,8 @@ func TestTrimReturnsMemoryToPool(t *testing.T) {
 
 func TestConsistencyFacade(t *testing.T) {
 	protos := ConsistencyProtocols()
-	if len(protos) != 3 {
-		t.Fatalf("ConsistencyProtocols = %v", protos)
+	if len(protos) != 4 || protos[1] != "mesi" {
+		t.Fatalf("ConsistencyProtocols = %v, want msi, mesi, rmc, rc", protos)
 	}
 	results, err := Litmus(DefaultConfig())
 	if err != nil {
@@ -328,7 +328,7 @@ func TestConsistencyFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(subset)*3 != len(results) {
+	if len(subset)*4 != len(results) {
 		t.Errorf("rc-only run returned %d results vs %d for all protocols", len(subset), len(results))
 	}
 	report, err := LitmusReport(DefaultConfig())
@@ -343,7 +343,48 @@ func TestConsistencyFacade(t *testing.T) {
 	if strings.Contains(report, "MISMATCH") {
 		t.Errorf("report contains a mismatch:\n%s", report)
 	}
-	if _, err := Litmus(DefaultConfig(), "mesi"); err == nil {
+	if _, err := Litmus(DefaultConfig(), "moesi"); err == nil {
 		t.Error("unknown protocol accepted")
+	}
+}
+
+// TestExploreFacade drives the schedule-exploration surface end to end
+// at a small budget: clean results for every (test, protocol) pair, a
+// rendered table with zero problems, and the determinism contract at
+// the facade level.
+func TestExploreFacade(t *testing.T) {
+	spec := DefaultExploreSpec()
+	spec.Samples = 50
+	results, err := Explore(DefaultConfig(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("empty explore results")
+	}
+	for _, r := range results {
+		if probs := r.Problems(); len(probs) != 0 {
+			t.Errorf("%s/%s: %v", r.Test, r.Protocol, probs)
+		}
+	}
+	report, problems, err := ExploreReport(DefaultConfig(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems != 0 {
+		t.Errorf("%d problems reported:\n%s", problems, report)
+	}
+	for _, want := range []string{"sb", "mesi", "exhaustive", "sampled", "schedules"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("explore report missing %q:\n%s", want, report)
+		}
+	}
+	spec.Parallel = 8
+	report8, _, err := ExploreReport(DefaultConfig(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report != report8 {
+		t.Error("explore report differs between Parallel 1 and 8")
 	}
 }
