@@ -338,7 +338,7 @@ func BenchmarkThreadedRandomAccess(b *testing.B) {
 						b.Fatal(err)
 					}
 					th, err := cpu.NewThread(cpu.ThreadConfig{
-						Engine: core.Engine(), Memory: node, Stream: stream,
+						Engine: node.Engine(), Memory: node, Stream: stream,
 						Core: t, WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 					})
 					if err != nil {
@@ -346,7 +346,7 @@ func BenchmarkThreadedRandomAccess(b *testing.B) {
 					}
 					th.Start(0)
 				}
-				core.Engine().Run()
+				core.Run()
 			}
 		})
 	}

@@ -56,6 +56,8 @@ func main() {
 		metricsFmt = flag.String("metrics", "", "print the merged metrics snapshot after each experiment: prom or json")
 		faultSpec  = flag.String("faults", "", "deterministic fault plan, e.g. seed=2,drop=0.01,corrupt=0.001,down=6-7@0:50us")
 		bulkSpec   = flag.String("bulk", "", "bulk burst geometry override: on, or frame=16,maxframes=256")
+		meshSpec   = flag.String("mesh", "", "mesh fabric dimensions WxH, e.g. 16x16 (default: calibrated 4x4)")
+		shards     = flag.Int("shards", 0, "concurrent PDES shards the mesh is partitioned into (0/1 = single shard; results are byte-identical at any count)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
@@ -101,6 +103,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
 		os.Exit(2)
 	}
+	meshW, meshH, err := ncdsm.ParseMesh(*meshSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ncdsm-bench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -131,7 +138,10 @@ func main() {
 	if *sweep == "" {
 		// Plain runs go through the public ncdsm API, exercising the
 		// surface a downstream user sees.
-		opts := ncdsm.ExperimentOptions{Scale: *scale, Parallel: *parallel, Seed: *seed, Faults: plan, Bulk: bulk}
+		opts := ncdsm.ExperimentOptions{
+			Scale: *scale, Parallel: *parallel, Seed: *seed, Faults: plan, Bulk: bulk,
+			MeshWidth: meshW, MeshHeight: meshH, Shards: *shards,
+		}
 		for _, id := range ids {
 			start := time.Now()
 			figure, snap, err := ncdsm.RunExperiment(id, opts)
@@ -155,6 +165,12 @@ func main() {
 		base.P.Faults = plan
 	}
 	bulk.Apply(&base.P)
+	if meshW != 0 {
+		base.P.MeshWidth, base.P.MeshHeight = meshW, meshH
+	}
+	if *shards != 0 {
+		base.P.Shards = *shards
+	}
 
 	sweepKey, sweepValues, err := experiments.ParseSweep(*sweep)
 	if err != nil {

@@ -43,10 +43,20 @@ func main() {
 		consist    = flag.String("consistency", "", "run the seeded litmus suite under protocols (msi, mesi, rmc, rc, a comma list, or all) and print checker verdicts")
 		explore    = flag.String("explore", "", "with -consistency: explore schedules instead of one per test, e.g. exhaustive:6,sample:500:1")
 		parallel   = flag.Int("parallel", 1, "worker count for -explore (0 = all cores); output is identical at any setting")
+		meshSpec   = flag.String("mesh", "", "mesh fabric dimensions WxH, e.g. 16x16 (default: calibrated 4x4)")
+		shards     = flag.Int("shards", 0, "concurrent PDES shards the mesh is partitioned into (0/1 = single shard; results are byte-identical at any count)")
 	)
 	flag.Parse()
 
 	cfg := ncdsmfacade.DefaultConfig()
+	if w, h, err := ncdsmfacade.ParseMesh(*meshSpec); err != nil {
+		fatal(err)
+	} else if w != 0 {
+		cfg.MeshWidth, cfg.MeshHeight = w, h
+	}
+	if *shards != 0 {
+		cfg.Shards = *shards
+	}
 	plan, err := ncdsmfacade.ParseFaultPlan(*faultSpec)
 	if err != nil {
 		fatal(err)
@@ -516,7 +526,7 @@ func dumpStats(sys *ncdsmfacade.System) error {
 				return err
 			}
 			th, err := cpu.NewThread(cpu.ThreadConfig{
-				Name: fmt.Sprintf("n%d/t%d", client, t), Engine: core.Engine(), Memory: node,
+				Name: fmt.Sprintf("n%d/t%d", client, t), Engine: node.Engine(), Memory: node,
 				Stream: stream, Core: t, WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 			})
 			if err != nil {
@@ -532,7 +542,7 @@ func dumpStats(sys *ncdsmfacade.System) error {
 	if err := launch(8, 2, 10000, 100); err != nil {
 		return err
 	}
-	end := core.Engine().Run()
+	end := core.Run()
 
 	fmt.Printf("sample workload: 4 threads on node 6 + 2 on node 8, all against node 7; %.2f ms simulated\n\n",
 		float64(end)/float64(params.Millisecond))

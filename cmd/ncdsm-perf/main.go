@@ -29,6 +29,8 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/btree"
+	"repro/internal/cluster"
+	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/experiments"
 	"repro/internal/mem"
@@ -46,11 +48,18 @@ import (
 // fault-injection tests use, so the harness prices the recovery path too.
 const faultSpec = "seed=7,drop=0.01,corrupt=0.002,delayp=0.02,delay=300ns,down=2-6@0:50us,storm=6@20us:40us,stall=2@10us:60us"
 
-// Result is one benchmark's measurement in BENCH_sim.json.
+// Result is one benchmark's measurement in BENCH_sim.json. Tolerance,
+// when nonzero, overrides the global -tolerance for that entry: the
+// multi-worker sharded benchmarks hand events between goroutines, so
+// their wall time swings with the host scheduler far more than the
+// single-threaded hot loops do, and they carry a wider ns/op band. The
+// allocs/op gate is never widened — it is machine-independent and is
+// the part that actually guards the zero-alloc steady-state contract.
 type Result struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Tolerance    float64 `json:"tolerance,omitempty"`
 }
 
 // Baseline is the BENCH_sim.json document.
@@ -105,20 +114,30 @@ func fatal(err error) {
 }
 
 // bench runs one benchmark under the given go-test benchtime ("1s",
-// "100x", ...) and converts it to a Result.
-func bench(benchtime string, events func(r testing.BenchmarkResult) float64, fn func(*testing.B)) Result {
+// "100x", ...) and converts it to a Result. It keeps the fastest of
+// `rounds` runs: ns/op noise is one-sided (scheduler preemption and GC
+// only ever add time), so the minimum is the stablest estimator —
+// essential for the sharded benchmarks, whose worker handoffs make a
+// single run's wall time swing hard on loaded hosts.
+func bench(benchtime string, rounds int, events func(r testing.BenchmarkResult) float64, fn func(*testing.B)) Result {
 	if err := flag.Set("test.benchtime", benchtime); err != nil {
 		fatal(err)
 	}
-	r := testing.Benchmark(fn)
-	res := Result{
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		AllocsPerOp: float64(r.AllocsPerOp()),
+	var best Result
+	for i := 0; i < rounds; i++ {
+		r := testing.Benchmark(fn)
+		res := Result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+		}
+		if events != nil && res.NsPerOp > 0 {
+			res.EventsPerSec = events(r) * 1e9 / float64(r.T.Nanoseconds())
+		}
+		if i == 0 || res.NsPerOp < best.NsPerOp {
+			best = res
+		}
 	}
-	if events != nil && res.NsPerOp > 0 {
-		res.EventsPerSec = events(r) * 1e9 / float64(r.T.Nanoseconds())
-	}
-	return res
+	return best
 }
 
 // measure runs the full suite and prints each result as it lands.
@@ -127,8 +146,9 @@ func measure() Baseline {
 		Note:       "regenerate with `make bench`; checked in CI with `ncdsm-perf -check` (calibration-scaled ns/op, strict allocs/op)",
 		Benchmarks: map[string]Result{},
 	}
-	run := func(name, benchtime string, events func(testing.BenchmarkResult) float64, fn func(*testing.B)) {
-		r := bench(benchtime, events, fn)
+	run := func(name, benchtime string, rounds int, tol float64, events func(testing.BenchmarkResult) float64, fn func(*testing.B)) {
+		r := bench(benchtime, rounds, events, fn)
+		r.Tolerance = tol
 		doc.Benchmarks[name] = r
 		fmt.Printf("%-24s %12.1f ns/op %8.1f allocs/op", name, r.NsPerOp, r.AllocsPerOp)
 		if r.EventsPerSec > 0 {
@@ -137,15 +157,18 @@ func measure() Baseline {
 		fmt.Println()
 	}
 
-	run("calibration", "1s", nil, benchCalibration)
-	run("engine_schedule_run", "1s", func(r testing.BenchmarkResult) float64 { return float64(r.N) }, benchEngineChurn)
-	run("rmc_round_trip", "1s", nil, benchRemoteLineRead)
-	run("bulk_round_trip", "1s", nil, benchBulkRoundTrip)
-	run("bulk_copy_4k", "1s", nil, benchBulkCopy)
-	run("fig7_faulted_sweep", "3x", nil, benchFig7Faulted)
-	run("fig9_search_hot_loop", "1s", nil, benchFig9SearchHotLoop)
-	run("linecached_batch_4k", "1s", nil, benchLineCachedBatch)
-	run("swap_batch_4k", "1s", nil, benchSwapBatch)
+	run("calibration", "1s", 3, 0, nil, benchCalibration)
+	run("engine_schedule_run", "1s", 3, 0, func(r testing.BenchmarkResult) float64 { return float64(r.N) }, benchEngineChurn)
+	run("rmc_round_trip", "1s", 3, 0, nil, benchRemoteLineRead)
+	run("bulk_round_trip", "500ms", 3, 0, nil, benchBulkRoundTrip)
+	run("bulk_copy_4k", "500ms", 3, 0, nil, benchBulkCopy)
+	run("fig7_faulted_sweep", "3x", 5, 0.35, nil, benchFig7Faulted)
+	run("sharded_barrier_overhead", "200ms", 5, 0.35, nil, benchShardedBarrierOverhead)
+	run("sharded_16x16_events_per_sec", "200x", 8, 0.50,
+		func(testing.BenchmarkResult) float64 { return shardedEvents }, benchSharded16x16)
+	run("fig9_search_hot_loop", "500ms", 3, 0, nil, benchFig9SearchHotLoop)
+	run("linecached_batch_4k", "500ms", 3, 0, nil, benchLineCachedBatch)
+	run("swap_batch_4k", "500ms", 3, 0, nil, benchSwapBatch)
 	return doc
 }
 
@@ -170,7 +193,11 @@ func compare(base, cur Baseline, tolerance float64) int {
 			code = 1
 			continue
 		}
-		allowed := b.NsPerOp * scale * (1 + tolerance)
+		tol := tolerance
+		if b.Tolerance > tol {
+			tol = b.Tolerance
+		}
+		allowed := b.NsPerOp * scale * (1 + tol)
 		// Zero-alloc benchmarks stay strictly zero; the macro sweep gets
 		// 1% + 64 slack for runtime-internal allocation jitter.
 		allowedAllocs := b.AllocsPerOp * 1.01
@@ -183,7 +210,7 @@ func compare(base, cur Baseline, tolerance float64) int {
 			code = 1
 		case c.NsPerOp > allowed:
 			fmt.Printf("FAIL %s: %.1f ns/op > %.1f allowed (baseline %.1f x %.2f cal x %.0f%% tolerance)\n",
-				name, c.NsPerOp, allowed, b.NsPerOp, scale, 100*(1+tolerance))
+				name, c.NsPerOp, allowed, b.NsPerOp, scale, 100*(1+tol))
 			code = 1
 		default:
 			fmt.Printf("ok   %s: %.1f ns/op (allowed %.1f), %.1f allocs/op\n", name, c.NsPerOp, allowed, c.AllocsPerOp)
@@ -451,6 +478,92 @@ func benchSwapBatch(b *testing.B) {
 	if sink == 0 {
 		b.Fatal("priced nothing")
 	}
+}
+
+// benchShardedBarrierOverhead prices one lookahead-window round of a
+// 4-shard set — worker release, a near-empty window, park, barrier —
+// by spacing events so every one opens its own window. This is the
+// fixed cost the conservative engine adds per window; it must stay
+// allocation-free so idle shards never pressure the GC.
+func benchShardedBarrierOverhead(b *testing.B) {
+	w := params.Default().HopLatency
+	set := sim.NewShardSet(4, w)
+	eng := set.Engine(0)
+	remaining := b.N
+	var step func()
+	step = func() {
+		if remaining > 0 {
+			remaining--
+			eng.After(2*w, step) // past the window limit: next event = next window
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.After(0, step)
+	set.Run()
+}
+
+// shardedEvents reports the engine events the last benchSharded16x16
+// timing loop executed, for the events/sec figure.
+var shardedEvents float64
+
+// benchSharded16x16 is the paper-scale fabric under the parallel
+// engine: a 16x16 mesh (256 RMCs) split 8 ways, every node issuing one
+// remote line read to its diametric partner per op. It tracks the
+// sharded engine's end-to-end event throughput — windowed execution,
+// cross-shard exchange, barrier merge — at 0 allocs/op steady state.
+func benchSharded16x16(b *testing.B) {
+	p := params.Default()
+	p.MeshWidth, p.MeshHeight = 16, 16
+	p.Shards = 8
+	set := sim.NewShardSet(p.Shards, p.HopLatency)
+	c, err := cluster.New(set, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := mesh.NewTopology(p.MeshWidth, p.MeshHeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type probe struct {
+		n *cluster.Node
+		a addr.Phys
+	}
+	probes := make([]probe, 0, topo.Nodes())
+	for id := 1; id <= topo.Nodes(); id++ {
+		x, y := topo.Coord(addr.NodeID(id))
+		partner := topo.NodeAt(topo.W-1-x, topo.H-1-y)
+		probes = append(probes, probe{
+			n: c.MustNode(addr.NodeID(id)),
+			a: addr.Phys(0x100000 + uint64(id)*64).WithNode(partner),
+		})
+	}
+	noop := func(sim.Time) {}
+	issue := func() {
+		now := set.Now()
+		for _, pr := range probes {
+			pr.n.Issue(now, 0, cpu.Access{Addr: pr.a}, false, noop)
+		}
+		set.Run()
+	}
+	processed := func() float64 {
+		var n uint64
+		for i := 0; i < set.Shards(); i++ {
+			n += set.Engine(i).Processed
+		}
+		return float64(n)
+	}
+	for i := 0; i < 8; i++ {
+		issue() // warm caches, pools, and the exchange slices
+	}
+	start := processed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		issue()
+	}
+	b.StopTimer()
+	shardedEvents = processed() - start
 }
 
 // benchFig7Faulted runs the full Figure 7 sweep under an armed fault

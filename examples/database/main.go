@@ -14,7 +14,6 @@ import (
 	"repro/internal/db"
 	"repro/internal/memmodel"
 	"repro/internal/params"
-	"repro/internal/sim"
 	"repro/internal/swap"
 )
 
@@ -23,7 +22,7 @@ func main() {
 	p.MemPerNode = 512 << 20
 	p.PrivateMemPerNode = 64 << 20
 	p.OSReserveBytes = 8 << 20 // a deliberately small node: the DB must spill
-	sys, err := core.NewSystem(sim.New(), p)
+	sys, err := core.NewSystem(p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,7 +39,7 @@ func TestIssueBulkLocalRead(t *testing.T) {
 			doneAt = ts
 		},
 	})
-	c.Engine().Run()
+	c.Set().Run()
 	if !bytes.Equal(sink, want) {
 		t.Error("local bulk read returned wrong bytes")
 	}
@@ -80,7 +80,7 @@ func TestIssueBulkRemoteRoundTrip(t *testing.T) {
 			completed = true
 		},
 	})
-	c.Engine().Run()
+	c.Set().Run()
 	if !completed {
 		t.Fatal("remote burst never completed")
 	}
@@ -119,7 +119,7 @@ func TestIssueBulkCopyDecomposition(t *testing.T) {
 			localDone = true
 		},
 	})
-	c.Engine().Run()
+	c.Set().Run()
 	got := make([]byte, 8*64)
 	if err := n.Store().ReadAt(0x10000, got); err != nil {
 		t.Fatal(err)
@@ -130,7 +130,7 @@ func TestIssueBulkCopyDecomposition(t *testing.T) {
 
 	// Local source, remote destination: decomposes into a write burst.
 	remoteDone := false
-	mustIssueBulk(t, n, c.Engine().Now(), rmc.BulkRequest{
+	mustIssueBulk(t, n, c.Set().Now(), rmc.BulkRequest{
 		Kind:    rmc.BulkCopy,
 		Spans:   []rmc.Span{{Start: 0x8000, Lines: 8}},
 		CopyDst: addr.Phys(0x30000).WithNode(3),
@@ -141,7 +141,7 @@ func TestIssueBulkCopyDecomposition(t *testing.T) {
 			remoteDone = true
 		},
 	})
-	c.Engine().Run()
+	c.Set().Run()
 	st, err := c.Store(3)
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +155,7 @@ func TestIssueBulkCopyDecomposition(t *testing.T) {
 
 	// Remote source, remote destination: forwarded as a DMA burst.
 	dmaDone := false
-	mustIssueBulk(t, n, c.Engine().Now(), rmc.BulkRequest{
+	mustIssueBulk(t, n, c.Set().Now(), rmc.BulkRequest{
 		Kind:    rmc.BulkCopy,
 		Spans:   []rmc.Span{{Start: addr.Phys(0x30000).WithNode(3), Lines: 8}},
 		CopyDst: addr.Phys(0x48000).WithNode(4),
@@ -166,7 +166,7 @@ func TestIssueBulkCopyDecomposition(t *testing.T) {
 			dmaDone = true
 		},
 	})
-	c.Engine().Run()
+	c.Set().Run()
 	st4, err := c.Store(4)
 	if err != nil {
 		t.Fatal(err)

@@ -29,16 +29,25 @@ import (
 // Cluster is the assembled machine.
 type Cluster struct {
 	p       params.Params
-	eng     *sim.Engine
+	set     *sim.ShardSet
 	topo    mesh.Topology
+	part    mesh.Partition
 	fabric  rmc.Fabric
 	meshFab *mesh.Fabric // non-nil only for the mesh interconnect
 	inj     *faults.Injector
+	exch    []*rmc.Exchange
+	exSet   *rmc.ExchangeSet
 	nodes   []*Node
 }
 
-// New builds a cluster from the parameter set.
-func New(eng *sim.Engine, p params.Params) (*Cluster, error) {
+// New builds a cluster from the parameter set, partitioned over the
+// shard set's engines. The mesh is tiled into one rectangular region per
+// shard (mesh.Partition); every node's events — cache, DRAM, RMC client
+// and server work — run on its region's engine, and cross-shard frame
+// deliveries travel through the windowed exchange drained at the set's
+// barriers. A single-shard set reproduces the same exchange schedule
+// inline, so figures are byte-identical at any shard count.
+func New(set *sim.ShardSet, p params.Params) (*Cluster, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -46,7 +55,11 @@ func New(eng *sim.Engine, p params.Params) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{p: p, eng: eng, topo: topo}
+	part, err := topo.Partition(set.Shards())
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{p: p, set: set, topo: topo, part: part}
 	// An empty plan builds no injector at all: the system is then
 	// bit-identical — events, metrics families, figures — to one built
 	// before the fault layer existed.
@@ -54,21 +67,33 @@ func New(eng *sim.Engine, p params.Params) (*Cluster, error) {
 		if err := validatePlanTopology(p.Faults, topo); err != nil {
 			return nil, err
 		}
+		// Retransmit timers are scheduled from the window barrier in
+		// exchange mode, so they must land at or past the window limit —
+		// a timeout shorter than the lookahead window would fire into a
+		// shard's past. Only armed plans can drop frames and start timers.
+		if p.RetransmitTimeout < p.HopLatency {
+			return nil, fmt.Errorf("cluster: retransmit timeout %v is shorter than the %v lookahead window; a fault plan needs RetransmitTimeout >= HopLatency", p.RetransmitTimeout, p.HopLatency)
+		}
 		c.inj = faults.NewInjector(p.Faults)
-		c.inj.Register(eng.Metrics())
+		c.inj.Register(set.Metrics())
 	}
 	switch p.Fabric {
 	case params.FabricHToE:
-		f, err := htoe.New(eng, topo.Nodes(), htoe.DefaultConfig())
+		f, err := htoe.New(set.Engine(0), topo.Nodes(), htoe.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
 		f.InjectFaults(c.inj)
 		c.fabric = f
 	default:
-		c.meshFab = mesh.NewFabric(eng, topo, p, c.inj)
+		c.meshFab = mesh.NewFabric(set.Engine(0), topo, p, c.inj)
 		c.fabric = c.meshFab
 	}
+	for i := 0; i < set.Shards(); i++ {
+		c.exch = append(c.exch, rmc.NewExchange(set.Engine(i)))
+	}
+	c.exSet = rmc.NewExchangeSet(c.exch)
+	set.OnBarrier(c.exSet.Drain)
 	for id := addr.NodeID(1); int(id) <= topo.Nodes(); id++ {
 		n, err := newNode(c, id)
 		if err != nil {
@@ -78,11 +103,13 @@ func New(eng *sim.Engine, p params.Params) (*Cluster, error) {
 	}
 	if c.inj != nil {
 		// Stall windows are scheduled events: at each window's start the
-		// node's server RMC loses the window's worth of capacity.
+		// node's server RMC loses the window's worth of capacity. The
+		// event runs on the stalled node's own engine — the stall mutates
+		// that node's server resource.
 		for _, w := range p.Faults.Stalls {
 			w := w
 			n := c.nodes[w.Node-1]
-			eng.At(sim.Time(w.Start), func() {
+			n.eng.At(sim.Time(w.Start), func() {
 				n.rmc.StallServer(sim.Time(w.Start), sim.Time(w.End-w.Start))
 			})
 		}
@@ -115,8 +142,15 @@ func validatePlanTopology(plan *faults.Plan, topo mesh.Topology) error {
 // Params returns the cluster's calibration.
 func (c *Cluster) Params() params.Params { return c.p }
 
-// Engine returns the simulation engine.
-func (c *Cluster) Engine() *sim.Engine { return c.eng }
+// Set returns the shard set driving the cluster.
+func (c *Cluster) Set() *sim.ShardSet { return c.set }
+
+// Partition returns the mesh-region-to-shard assignment.
+func (c *Cluster) Partition() mesh.Partition { return c.part }
+
+// Exchanges returns the per-shard exchange set (for the oracle tests'
+// trace hook).
+func (c *Cluster) Exchanges() *rmc.ExchangeSet { return c.exSet }
 
 // Topology returns the mesh geometry.
 func (c *Cluster) Topology() mesh.Topology { return c.topo }
@@ -193,9 +227,11 @@ type Node struct {
 	// issueOps is the free list of reified Issue continuations; one op
 	// carries a single access from issue to completion with its
 	// callbacks prebound, so the steady-state hit/fill/remote paths
-	// schedule without allocating. bulkIssues is its twin for IssueBulk.
+	// schedule without allocating. bulkIssues is its twin for IssueBulk,
+	// pfOps for prefetch fills.
 	issueOps   []*issueOp
 	bulkIssues []*bulkIssue
+	pfOps      []*pfOp
 
 	// LocalOps and RemoteOps count issued line operations by
 	// destination; Prefetches counts prefetch fills requested;
@@ -231,33 +267,37 @@ func newNode(c *Cluster, id addr.NodeID) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	shard := c.part.ShardOf(id)
+	eng := c.set.Engine(shard)
 	n := &Node{
 		id:      id,
 		cluster: c,
 		p:       p,
-		eng:     c.eng,
+		eng:     eng,
 		memmap:  mm,
 		bars:    bars,
 		rmcU:    rmcUnit,
 		caches:  caches,
-		bank:    dram.NewBank(c.eng, id, p),
+		bank:    dram.NewBank(eng, id, p),
 		store:   store,
 		pf:      pf,
 	}
 	n.rmc, err = rmc.New(rmc.Config{
 		Self:   id,
-		Engine: c.eng,
+		Engine: eng,
 		Params: p,
 		Fabric: c.fabric,
 		Peers:  c,
 		Bank:   n.bank,
 		Store:  store,
 		Faults: c.inj,
+		Exch:   c.exch[shard],
+		Now:    c.set.Now,
 	})
 	if err != nil {
 		return nil, err
 	}
-	n.register(c.eng.Metrics())
+	n.register(c.set.Metrics())
 	return n, nil
 }
 
@@ -281,6 +321,13 @@ func (n *Node) register(m *metrics.Registry) {
 
 // ID returns the node identifier.
 func (n *Node) ID() addr.NodeID { return n.id }
+
+// Engine returns the shard engine the node's events run on. Threads
+// driving this node must schedule here.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// Shard returns the node's shard index.
+func (n *Node) Shard() int { return n.cluster.part.ShardOf(n.id) }
 
 // RMC returns the node's remote memory controller.
 func (n *Node) RMC() *rmc.RMC { return n.rmc }
@@ -436,6 +483,56 @@ func (n *Node) Issue(now sim.Time, core int, a cpu.Access, express bool, done fu
 	}
 }
 
+// pfOp carries one prefetch fill from request to install, its callback
+// prebound like issueOp's — the RMC invokes done exactly once per
+// request (even under faults), so recycling is unconditional and the
+// steady-state prefetch stream schedules without allocating.
+type pfOp struct {
+	n      *Node
+	line   addr.Phys
+	socket int
+
+	doneFn func(sim.Time, ht.Packet, error)
+}
+
+func (n *Node) getPfOp() *pfOp {
+	if l := len(n.pfOps); l > 0 {
+		op := n.pfOps[l-1]
+		n.pfOps = n.pfOps[:l-1]
+		return op
+	}
+	op := &pfOp{n: n}
+	op.doneFn = func(t sim.Time, rsp ht.Packet, rerr error) {
+		n := op.n
+		line, socket := op.line, op.socket
+		n.putPfOp(op)
+		n.pf.Completed(line)
+		if rerr != nil {
+			// A prefetch that could not reach its donor is simply lost
+			// speculation; the demand stream will retry.
+			return
+		}
+		if rsp.Cmd == ht.CmdTgtAbort {
+			// The stream ran past what this node was granted; the
+			// serving RMC refused the fill. Drop it silently — a
+			// prefetcher must never widen the protection domain.
+			return
+		}
+		res, err := n.caches.Install(socket, line)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: node %d prefetch install: %v", n.id, err))
+		}
+		if res.VictimDirty {
+			n.writeback(t, res.Victim)
+		}
+	}
+	return op
+}
+
+func (n *Node) putPfOp(op *pfOp) {
+	n.pfOps = append(n.pfOps, op)
+}
+
 // maybePrefetch feeds the demand miss to the stream detector and issues
 // RMC reads for whatever it asks, installing the lines into the issuing
 // core's cache when the fills return. Prefetch traffic uses the ordinary
@@ -443,7 +540,6 @@ func (n *Node) Issue(now sim.Time, core int, a cpu.Access, express bool, done fu
 // does not apply (the prefetcher is the RMC's engine, not the core's).
 func (n *Node) maybePrefetch(now sim.Time, core int, line addr.Phys) {
 	for _, pf := range n.pf.Observe(core, line) {
-		pf := pf
 		if uint64(pf.Local())+n.caches.LineSize() > n.p.MemPerNode {
 			n.pf.Completed(pf) // past the end of the donor's memory
 			continue
@@ -454,28 +550,10 @@ func (n *Node) maybePrefetch(now sim.Time, core int, line addr.Phys) {
 		}
 		n.tagseq++
 		req := ht.Packet{Cmd: ht.CmdRdSized, SrcTag: n.tagseq, Addr: pf, Count: int(n.caches.LineSize())}
-		socket := n.socketOf(core)
-		if err := n.rmc.Request(now, req, false, func(t sim.Time, rsp ht.Packet, rerr error) {
-			n.pf.Completed(pf)
-			if rerr != nil {
-				// A prefetch that could not reach its donor is simply
-				// lost speculation; the demand stream will retry.
-				return
-			}
-			if rsp.Cmd == ht.CmdTgtAbort {
-				// The stream ran past what this node was granted; the
-				// serving RMC refused the fill. Drop it silently — a
-				// prefetcher must never widen the protection domain.
-				return
-			}
-			res, err := n.caches.Install(socket, pf)
-			if err != nil {
-				panic(fmt.Sprintf("cluster: node %d prefetch install: %v", n.id, err))
-			}
-			if res.VictimDirty {
-				n.writeback(t, res.Victim)
-			}
-		}); err != nil {
+		op := n.getPfOp()
+		op.line, op.socket = pf, n.socketOf(core)
+		if err := n.rmc.Request(now, req, false, op.doneFn); err != nil {
+			n.putPfOp(op)
 			n.pf.Completed(pf)
 			continue
 		}
@@ -484,44 +562,23 @@ func (n *Node) maybePrefetch(now sim.Time, core int, line addr.Phys) {
 }
 
 // linePacket builds a line-granular fill/write packet. Timed-path writes
-// carry the line's current contents (the cpu layer models instruction
+// are functionally idempotent — the cpu layer models instruction
 // streams, not payloads; real data movement uses ReadBytes/WriteBytes in
-// the core package), so they are functionally idempotent.
+// the core package — so the write packet carries no payload slice:
+// ht.FlitBytes prices Count bytes on the wire for a payload-less sized
+// write, and the serving RMC skips the (no-op) functional store write.
+// Reading the owner's current contents here would touch another shard's
+// store mid-window.
 func (n *Node) linePacket(line addr.Phys, write bool) (ht.Packet, error) {
 	size := int(n.caches.LineSize())
 	n.tagseq++
 	pkt := ht.Packet{SrcUnit: 0, SrcTag: n.tagseq, Addr: line, Count: size}
-	if !write {
+	if write {
+		pkt.Cmd = ht.CmdWrSized
+	} else {
 		pkt.Cmd = ht.CmdRdSized
-		return pkt, nil
 	}
-	owner, local, err := n.resolve(line)
-	if err != nil {
-		return ht.Packet{}, err
-	}
-	// The buffer comes from the RMC's line pool and returns to it when
-	// the request completes (ownership of pkt.Data transfers on Request).
-	data := n.rmc.LineBuf(size)
-	if err := owner.ReadAt(local, data); err != nil {
-		return ht.Packet{}, err
-	}
-	pkt.Cmd = ht.CmdWrSized
-	pkt.Data = data
 	return pkt, nil
-}
-
-// resolve returns the functional store owning the (possibly prefixed)
-// address along with its local form.
-func (n *Node) resolve(a addr.Phys) (*mem.Store, addr.Phys, error) {
-	canon := a.Canonical(n.id)
-	if canon.IsLocal() {
-		return n.store, canon, nil
-	}
-	st, err := n.cluster.Store(canon.Node())
-	if err != nil {
-		return nil, 0, err
-	}
-	return st, canon.Local(), nil
 }
 
 // writeback pushes a dirty victim line to its owner: local lines cost a

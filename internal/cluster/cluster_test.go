@@ -11,7 +11,7 @@ import (
 
 func build(t *testing.T) *Cluster {
 	t.Helper()
-	c, err := New(sim.New(), params.Default())
+	c, err := New(sim.WrapEngine(sim.New(), params.Default().HopLatency), params.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestBuildPrototype(t *testing.T) {
 func TestInvalidParams(t *testing.T) {
 	p := params.Default()
 	p.MeshWidth = 0
-	if _, err := New(sim.New(), p); err == nil {
+	if _, err := New(sim.WrapEngine(sim.New(), p.HopLatency), p); err == nil {
 		t.Error("invalid params accepted")
 	}
 }
@@ -74,7 +74,7 @@ func TestLocalAccessTiming(t *testing.T) {
 	p := c.Params()
 	var first, second sim.Time
 	n.Issue(0, 0, cpu.Access{Addr: 0x4000}, false, func(ts sim.Time) { first = ts })
-	c.Engine().Run()
+	c.Set().Run()
 	// Miss: cache latency + controller occupancy + DRAM latency.
 	want := p.L1Latency + p.DRAMOccupancy + p.DRAMLatency
 	if first != want {
@@ -82,7 +82,7 @@ func TestLocalAccessTiming(t *testing.T) {
 	}
 	// Second access to the same line hits in cache.
 	n.Issue(first, 0, cpu.Access{Addr: 0x4008}, false, func(ts sim.Time) { second = ts })
-	c.Engine().Run()
+	c.Set().Run()
 	if second-first != p.L1Latency {
 		t.Errorf("cache hit = %d, want %d", second-first, p.L1Latency)
 	}
@@ -98,7 +98,7 @@ func TestRemoteAccessTiming(t *testing.T) {
 	a := addr.Phys(0x8000).WithNode(2) // 1 hop
 	var done sim.Time
 	n.Issue(0, 0, cpu.Access{Addr: a}, false, func(ts sim.Time) { done = ts })
-	c.Engine().Run()
+	c.Set().Run()
 	lo := p.RemoteRoundTrip(1)
 	hi := lo + 10*p.LinkOccupancy + p.DRAMOccupancy + p.L1Latency
 	if done < lo || done > hi {
@@ -111,7 +111,7 @@ func TestRemoteAccessTiming(t *testing.T) {
 	// Remote line is cached write-back: the second access hits locally.
 	var hit sim.Time
 	n.Issue(done, 0, cpu.Access{Addr: a + 8}, false, func(ts sim.Time) { hit = ts })
-	c.Engine().Run()
+	c.Set().Run()
 	if hit-done != p.L1Latency {
 		t.Errorf("cached remote hit = %d, want %d", hit-done, p.L1Latency)
 	}
@@ -131,26 +131,25 @@ func TestRemoteReadSeesRemoteStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := c.MustNode(1)
-	owner, local, err := n.resolve(addr.Phys(0x9000).WithNode(2))
-	if err != nil {
-		t.Fatal(err)
+	done := false
+	n.Issue(0, 0, cpu.Access{Addr: addr.Phys(0x9000).WithNode(2)}, false, func(sim.Time) { done = true })
+	c.Set().Run()
+	if !done {
+		t.Fatal("remote read did not complete")
 	}
 	got := make([]byte, 8)
-	if err := owner.ReadAt(local, got); err != nil {
+	if err := st.ReadAt(0x9000, got); err != nil {
 		t.Fatal(err)
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("resolve read %v, want %v", got, want)
+			t.Fatalf("owner store read %v, want %v", got, want)
 		}
 	}
-	// Loopback resolves to the node's own store.
-	own, lb, err := n.resolve(addr.Phys(0x100).WithNode(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if own != n.Store() || lb != 0x100 {
-		t.Error("loopback did not resolve to the local store")
+	// Loopback addresses live in the node's own store.
+	own, _ := c.Store(1)
+	if own != n.Store() {
+		t.Error("loopback store is not the node's own store")
 	}
 }
 
@@ -167,7 +166,7 @@ func TestThreadOverCluster(t *testing.T) {
 		accs[i] = cpu.Access{Addr: addr.Phys(uint64(i) * 4096).WithNode(2)}
 	}
 	th, err := cpu.NewThread(cpu.ThreadConfig{
-		Name: "t0", Engine: c.Engine(), Memory: n,
+		Name: "t0", Engine: n.Engine(), Memory: n,
 		Stream:      cpu.NewSliceStream(accs),
 		WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 	})
@@ -175,7 +174,7 @@ func TestThreadOverCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	th.Start(0)
-	c.Engine().Run()
+	c.Set().Run()
 	if !th.Done {
 		t.Fatal("thread did not finish")
 	}
@@ -194,15 +193,15 @@ func TestDirtyRemoteVictimWritesBack(t *testing.T) {
 	// stream enough conflicting lines through the same set to evict it.
 	target := addr.Phys(0).WithNode(2)
 	n.Issue(0, 0, cpu.Access{Addr: target, Write: true}, false, func(sim.Time) {})
-	c.Engine().Run()
+	c.Set().Run()
 	servedBefore := srv.RMC().ServedHere
 
 	cfg := n.Caches()
 	setSpan := uint64(1024) * cfg.LineSize() // DefaultConfig: 1024 sets
 	for i := 1; i <= 9; i++ {                // > 8 ways
 		a := addr.Phys(uint64(i) * setSpan).WithNode(2)
-		n.Issue(c.Engine().Now(), 0, cpu.Access{Addr: a}, false, func(sim.Time) {})
-		c.Engine().Run()
+		n.Issue(c.Set().Now(), 0, cpu.Access{Addr: a}, false, func(sim.Time) {})
+		c.Set().Run()
 	}
 	if srv.RMC().ServedHere <= servedBefore+9 {
 		t.Errorf("no victim writeback reached the server (served %d -> %d)",
@@ -233,14 +232,14 @@ func TestDeterministicRuns(t *testing.T) {
 			accs = append(accs, cpu.Access{Addr: addr.Phys(uint64(i*7919%4096) * 64).WithNode(addr.NodeID(2 + i%3))})
 		}
 		th, err := cpu.NewThread(cpu.ThreadConfig{
-			Engine: c.Engine(), Memory: n, Stream: cpu.NewSliceStream(accs),
+			Engine: n.Engine(), Memory: n, Stream: cpu.NewSliceStream(accs),
 			WindowLocal: 8, WindowRemote: 1,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		th.Start(0)
-		c.Engine().Run()
+		c.Set().Run()
 		return th.FinishTime
 	}
 	if a, b := run(), run(); a != b {
@@ -255,7 +254,7 @@ func TestPrefetchAcceleratesStreams(t *testing.T) {
 		if depth > 0 {
 			p.RMCQueueDepth = depth + 1
 		}
-		c, err := New(sim.New(), p)
+		c, err := New(sim.WrapEngine(sim.New(), p.HopLatency), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -266,14 +265,14 @@ func TestPrefetchAcceleratesStreams(t *testing.T) {
 			accs[i] = cpu.Access{Addr: addr.Phys(uint64(i) * 64).WithNode(2)}
 		}
 		th, err := cpu.NewThread(cpu.ThreadConfig{
-			Engine: c.Engine(), Memory: n, Stream: cpu.NewSliceStream(accs),
+			Engine: n.Engine(), Memory: n, Stream: cpu.NewSliceStream(accs),
 			WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		th.Start(0)
-		c.Engine().Run()
+		c.Set().Run()
 		if !th.Done {
 			t.Fatal("stream did not finish")
 		}
@@ -298,7 +297,7 @@ func TestPrefetchPreservesRandomAccessTime(t *testing.T) {
 	run := func(depth int) sim.Time {
 		p := params.Default()
 		p.PrefetchDepth = depth
-		c, err := New(sim.New(), p)
+		c, err := New(sim.WrapEngine(sim.New(), p.HopLatency), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -308,14 +307,14 @@ func TestPrefetchPreservesRandomAccessTime(t *testing.T) {
 			accs[i] = cpu.Access{Addr: addr.Phys(uint64((i*7919)%100000) * 4096).WithNode(2)}
 		}
 		th, err := cpu.NewThread(cpu.ThreadConfig{
-			Engine: c.Engine(), Memory: n, Stream: cpu.NewSliceStream(accs),
+			Engine: n.Engine(), Memory: n, Stream: cpu.NewSliceStream(accs),
 			WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		th.Start(0)
-		c.Engine().Run()
+		c.Set().Run()
 		return th.Elapsed()
 	}
 	if off, on := run(0), run(8); off != on {
@@ -327,13 +326,13 @@ func TestFlushCaches(t *testing.T) {
 	c := build(t)
 	n := c.MustNode(1)
 	for i := 0; i < 32; i++ {
-		n.Issue(c.Engine().Now(), 0, cpu.Access{Addr: addr.Phys(uint64(i) * 64), Write: true}, false, func(sim.Time) {})
-		c.Engine().Run()
+		n.Issue(c.Set().Now(), 0, cpu.Access{Addr: addr.Phys(uint64(i) * 64), Write: true}, false, func(sim.Time) {})
+		c.Set().Run()
 	}
-	if dirty := n.FlushCaches(c.Engine().Now()); dirty != 32 {
+	if dirty := n.FlushCaches(c.Set().Now()); dirty != 32 {
 		t.Errorf("flush wrote back %d lines, want 32", dirty)
 	}
-	if n.FlushCaches(c.Engine().Now()) != 0 {
+	if n.FlushCaches(c.Set().Now()) != 0 {
 		t.Error("second flush found dirty lines")
 	}
 }
@@ -343,7 +342,7 @@ func TestHToEClusterEndToEnd(t *testing.T) {
 	// higher per-line cost, no express links.
 	p := params.Default()
 	p.Fabric = params.FabricHToE
-	c, err := New(sim.New(), p)
+	c, err := New(sim.WrapEngine(sim.New(), p.HopLatency), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,11 +351,11 @@ func TestHToEClusterEndToEnd(t *testing.T) {
 	}
 	n := c.MustNode(1)
 	measure := func(dst addr.NodeID) sim.Time {
-		start := c.Engine().Now()
+		start := c.Set().Now()
 		var done sim.Time
 		n.Issue(start, 0, cpu.Access{Addr: addr.Phys(uint64(dst) * 4096).WithNode(dst)}, false,
 			func(ts sim.Time) { done = ts })
-		c.Engine().Run()
+		c.Set().Run()
 		return done - start
 	}
 	near, far := measure(2), measure(16)
@@ -388,11 +387,11 @@ func TestLocalDirtyVictimWritesBackToBank(t *testing.T) {
 	// Dirty a local line, then stream conflicting local lines through the
 	// same set until it evicts: the victim must cost a bank write.
 	n.Issue(0, 0, cpu.Access{Addr: 0, Write: true}, false, func(sim.Time) {})
-	c.Engine().Run()
+	c.Set().Run()
 	setSpan := uint64(1024) * n.Caches().LineSize()
 	for i := 1; i <= 9; i++ {
-		n.Issue(c.Engine().Now(), 0, cpu.Access{Addr: addr.Phys(uint64(i) * setSpan)}, false, func(sim.Time) {})
-		c.Engine().Run()
+		n.Issue(c.Set().Now(), 0, cpu.Access{Addr: addr.Phys(uint64(i) * setSpan)}, false, func(sim.Time) {})
+		c.Set().Run()
 	}
 	_, writes := n.Bank().Stats()
 	if writes == 0 {

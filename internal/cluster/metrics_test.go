@@ -18,15 +18,15 @@ func TestMetricsInstrumentation(t *testing.T) {
 	noop := func(sim.Time) {}
 
 	n.Issue(0, 0, cpu.Access{Addr: 0x4000}, false, noop) // local miss
-	c.Engine().Run()
+	c.Set().Run()
 	remote := addr.Phys(0x8000).WithNode(2)
-	n.Issue(c.Engine().Now(), 0, cpu.Access{Addr: remote, Write: true}, false, noop)
-	c.Engine().Run()
-	if flushed := n.FlushCaches(c.Engine().Now()); flushed == 0 {
+	n.Issue(c.Set().Now(), 0, cpu.Access{Addr: remote, Write: true}, false, noop)
+	c.Set().Run()
+	if flushed := n.FlushCaches(c.Set().Now()); flushed == 0 {
 		t.Fatal("no dirty lines to flush")
 	}
 
-	snap := c.Engine().Metrics().Snapshot()
+	snap := c.Set().Metrics().Snapshot()
 	val := func(name string) float64 {
 		v, _ := snap.Value(name, metrics.L("node", "1"))
 		return v

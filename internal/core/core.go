@@ -25,21 +25,36 @@ import (
 // System is one assembled machine.
 type System struct {
 	p       params.Params
+	set     *sim.ShardSet
 	cl      *cluster.Cluster
 	dir     *memdir.Directory
 	agents  map[addr.NodeID]*osmodel.Agent
 	regions map[addr.NodeID]*Region
 }
 
-// NewSystem builds the cluster hardware and boots one OS per node.
-func NewSystem(eng *sim.Engine, p params.Params) (*System, error) {
-	cl, err := cluster.New(eng, p)
+// NewSystem builds the cluster hardware and boots one OS per node. The
+// simulation runs on p.Shards conservative-PDES shards (default one);
+// the lookahead window is the hop latency, the minimum time any frame
+// needs to cross a region boundary.
+func NewSystem(p params.Params) (*System, error) {
+	k := p.Shards
+	if k < 1 {
+		k = 1
+	}
+	var set *sim.ShardSet
+	if k == 1 {
+		set = sim.WrapEngine(sim.New(), p.HopLatency)
+	} else {
+		set = sim.NewShardSet(k, p.HopLatency)
+	}
+	cl, err := cluster.New(set, p)
 	if err != nil {
 		return nil, err
 	}
 	topo := cl.Topology()
 	s := &System{
 		p:       p,
+		set:     set,
 		cl:      cl,
 		dir:     memdir.New(func(a, b addr.NodeID) int { return topo.Hops(a, b) }),
 		agents:  make(map[addr.NodeID]*osmodel.Agent),
@@ -69,13 +84,13 @@ func NewSystem(eng *sim.Engine, p params.Params) (*System, error) {
 			r.SetProtection(a)
 		}
 	}
-	eng.Metrics().GaugeFunc(metrics.FamPoolFreeBytes,
+	set.Metrics().GaugeFunc(metrics.FamPoolFreeBytes,
 		"free bytes in the cluster-wide memory pool", nil,
 		func() float64 { return float64(s.dir.TotalFree()) })
 	// Directory-transaction families register lazily on the first donor
 	// search or grant, so systems that never borrow memory snapshot
 	// exactly as before.
-	s.dir.Instrument(eng.Metrics())
+	s.dir.Instrument(set.Metrics())
 	return s, nil
 }
 
@@ -85,8 +100,28 @@ func (s *System) Params() params.Params { return s.p }
 // Cluster returns the hardware assembly.
 func (s *System) Cluster() *cluster.Cluster { return s.cl }
 
-// Engine returns the simulation engine.
-func (s *System) Engine() *sim.Engine { return s.cl.Engine() }
+// Set returns the shard set driving the simulation.
+func (s *System) Set() *sim.ShardSet { return s.set }
+
+// Run drives the shard set until every shard is drained (or Stop) and
+// returns the final simulated time.
+func (s *System) Run() sim.Time { return s.set.Run() }
+
+// Now returns the current simulated time (the furthest shard's clock).
+func (s *System) Now() sim.Time { return s.set.Now() }
+
+// Stop requests a deterministic stop at the end of the current window.
+func (s *System) Stop() { s.set.Stop() }
+
+// Registry returns the metrics registry shared by every shard.
+func (s *System) Registry() *metrics.Registry { return s.set.Metrics() }
+
+// EngineFor returns the shard engine a node's events run on; work
+// driving that node (cpu threads, experiment continuations) must be
+// scheduled there.
+func (s *System) EngineFor(n addr.NodeID) *sim.Engine {
+	return s.cl.MustNode(n).Engine()
+}
 
 // Directory returns the free-memory directory.
 func (s *System) Directory() *memdir.Directory { return s.dir }
@@ -129,7 +164,7 @@ func (s *System) Region(n addr.NodeID) (*Region, error) {
 		return nil, err
 	}
 	r.heap = heap
-	s.Engine().Metrics().GaugeFunc(metrics.FamRegionBorrowed,
+	s.Registry().GaugeFunc(metrics.FamRegionBorrowed,
 		"bytes this region has borrowed from other nodes",
 		metrics.L("node", fmt.Sprintf("%d", n)),
 		func() float64 { return float64(r.agent.BorrowedBytes()) })
@@ -511,7 +546,7 @@ func (r *Region) Access(now sim.Time, core int, va vm.Virt, write bool, done fun
 func (r *Region) NewThread(name string, core int, stream cpu.Stream, onDone func(*cpu.Thread, sim.Time)) (*cpu.Thread, error) {
 	return cpu.NewThread(cpu.ThreadConfig{
 		Name:         name,
-		Engine:       r.sys.Engine(),
+		Engine:       r.node.Engine(),
 		Memory:       r.node,
 		Stream:       &translatingStream{r: r, core: core, inner: stream},
 		Core:         core,

@@ -15,7 +15,7 @@ import (
 
 func newSystem(t *testing.T) *System {
 	t.Helper()
-	s, err := NewSystem(sim.New(), params.Default())
+	s, err := NewSystem(params.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestMallocSpillsToRemote(t *testing.T) {
 	p.MemPerNode = 1 << 30
 	p.PrivateMemPerNode = 128 << 20
 	p.OSReserveBytes = 16 << 20
-	s, err := NewSystem(sim.New(), p)
+	s, err := NewSystem(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestTimedAccessThroughRegion(t *testing.T) {
 	if err := r.Access(0, 0, va, false, func(ts sim.Time) { done = ts }); err != nil {
 		t.Fatal(err)
 	}
-	s.Engine().Run()
+	s.Run()
 	p := s.Params()
 	if done < p.RemoteRoundTrip(1) {
 		t.Errorf("remote access completed in %d, below the physical round trip", done)
@@ -291,7 +291,7 @@ func TestRegionThreadEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	th.Start(0)
-	s.Engine().Run()
+	s.Run()
 	if !th.Done || th.Issued != 32 {
 		t.Fatalf("thread issued %d", th.Issued)
 	}
@@ -401,16 +401,16 @@ func TestPhaseDiscipline(t *testing.T) {
 	noop := func(sim.Time) {}
 
 	// Serial phase: core 0 claims the binding; core 1 is rejected.
-	if err := r.Access(s.Engine().Now(), 0, va, true, noop); err != nil {
+	if err := r.Access(s.Now(), 0, va, true, noop); err != nil {
 		t.Fatal(err)
 	}
-	s.Engine().Run()
-	if err := r.Access(s.Engine().Now(), 1, va, false, noop); err == nil {
+	s.Run()
+	if err := r.Access(s.Now(), 1, va, false, noop); err == nil {
 		t.Error("second core accessed during a serial phase")
 	}
 
 	// Parallel-read phase: everyone reads, nobody writes.
-	dirty := r.BeginParallelRead(s.Engine().Now())
+	dirty := r.BeginParallelRead(s.Now())
 	if dirty == 0 {
 		t.Error("flush found no dirty lines after a write")
 	}
@@ -418,24 +418,24 @@ func TestPhaseDiscipline(t *testing.T) {
 		t.Fatalf("phase = %v", r.Phase())
 	}
 	for coreID := 0; coreID < 4; coreID++ {
-		if err := r.Access(s.Engine().Now(), coreID, va, false, noop); err != nil {
+		if err := r.Access(s.Now(), coreID, va, false, noop); err != nil {
 			t.Errorf("core %d read rejected in parallel phase: %v", coreID, err)
 		}
 	}
-	s.Engine().Run()
-	if err := r.Access(s.Engine().Now(), 0, va, true, noop); err == nil {
+	s.Run()
+	if err := r.Access(s.Now(), 0, va, true, noop); err == nil {
 		t.Error("write accepted during a parallel-read phase")
 	}
 
 	// Back to serial, rebound to core 3.
 	r.BeginSerial(3)
-	if err := r.Access(s.Engine().Now(), 3, va, true, noop); err != nil {
+	if err := r.Access(s.Now(), 3, va, true, noop); err != nil {
 		t.Errorf("bound core rejected: %v", err)
 	}
-	if err := r.Access(s.Engine().Now(), 0, va, true, noop); err == nil {
+	if err := r.Access(s.Now(), 0, va, true, noop); err == nil {
 		t.Error("unbound core wrote in the new serial phase")
 	}
-	s.Engine().Run()
+	s.Run()
 	if PhaseSerial.String() == "" || PhaseParallelRead.String() == "" || Phase(9).String() == "" {
 		t.Error("phase names empty")
 	}
@@ -452,7 +452,7 @@ func TestThreadStreamEnforcesDiscipline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.BeginParallelRead(s.Engine().Now())
+	r.BeginParallelRead(s.Now())
 	th, err := r.NewThread("violator", 2, cpu.NewSliceStream([]cpu.Access{
 		{Addr: addr.Phys(va), Write: true},
 	}), nil)
@@ -464,8 +464,8 @@ func TestThreadStreamEnforcesDiscipline(t *testing.T) {
 			t.Error("writing thread in a parallel-read phase did not panic")
 		}
 	}()
-	th.Start(s.Engine().Now())
-	s.Engine().Run()
+	th.Start(s.Now())
+	s.Run()
 }
 
 func TestOSReserveWatermark(t *testing.T) {
@@ -473,7 +473,7 @@ func TestOSReserveWatermark(t *testing.T) {
 	p.MemPerNode = 1 << 30
 	p.PrivateMemPerNode = 512 << 20
 	p.OSReserveBytes = 256 << 20
-	s, err := NewSystem(sim.New(), p)
+	s, err := NewSystem(p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,12 +9,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/memmodel"
 	"repro/internal/params"
-	"repro/internal/sim"
 )
 
 func newTable(t *testing.T) (*Table, *core.System) {
 	t.Helper()
-	sys, err := core.NewSystem(sim.New(), params.Default())
+	sys, err := core.NewSystem(params.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +34,7 @@ func TestCreateValidation(t *testing.T) {
 	if _, err := Create(nil, "x", 0); err == nil {
 		t.Error("nil region accepted")
 	}
-	sys, err := core.NewSystem(sim.New(), params.Default())
+	sys, err := core.NewSystem(params.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +179,7 @@ func TestRowsSpillToRemoteNodes(t *testing.T) {
 	p.MemPerNode = 256 << 20
 	p.PrivateMemPerNode = 64 << 20
 	p.OSReserveBytes = 8 << 20
-	sys, err := core.NewSystem(sim.New(), p)
+	sys, err := core.NewSystem(p)
 	if err != nil {
 		t.Fatal(err)
 	}

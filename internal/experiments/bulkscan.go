@@ -82,7 +82,7 @@ func ratio(a, b sim.Time) float64 {
 // dependent single-line accesses (each issued from the previous one's
 // completion, the dependence a pointer chase imposes).
 func runScanShape(o Options, bulk, remote bool, bytes int) (sim.Time, metrics.Snapshot, error) {
-	sys, err := core.NewSystem(sim.New(), o.P)
+	sys, err := core.NewSystem(o.P)
 	if err != nil {
 		return 0, metrics.Snapshot{}, err
 	}
@@ -139,9 +139,9 @@ func runScanShape(o Options, bulk, remote bool, bytes int) (sim.Time, metrics.Sn
 			return 0, metrics.Snapshot{}, err
 		}
 	}
-	sys.Engine().Run()
+	sys.Run()
 	if done == 0 {
 		return 0, metrics.Snapshot{}, fmt.Errorf("experiments: %v-byte scan (bulk=%v remote=%v) did not finish", bytes, bulk, remote)
 	}
-	return done, sys.Engine().Metrics().Snapshot(), nil
+	return done, sys.Registry().Snapshot(), nil
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/sim"
@@ -102,6 +103,7 @@ func Registry() []struct {
 		{"G", AblationIndexes},
 		{"H", ConsistencyCost},
 		{"I", BulkScan},
+		{"scale", Scale},
 	}
 }
 
@@ -180,7 +182,7 @@ func (mr microRun) launch(sys *core.System, seed int64) ([]*cpu.Thread, error) {
 		}
 		th, err := cpu.NewThread(cpu.ThreadConfig{
 			Name:         fmt.Sprintf("n%d/t%d", mr.Client, t),
-			Engine:       sys.Engine(),
+			Engine:       node.Engine(),
 			Memory:       node,
 			Stream:       stream,
 			Core:         t % p.CoresPerNode,
@@ -201,7 +203,7 @@ func (mr microRun) launch(sys *core.System, seed int64) ([]*cpu.Thread, error) {
 // run executes the microbenchmark on a fresh system and waits for all
 // client threads.
 func (mr microRun) run(o Options) (microResult, error) {
-	sys, err := core.NewSystem(sim.New(), o.P)
+	sys, err := core.NewSystem(o.P)
 	if err != nil {
 		return microResult{}, err
 	}
@@ -209,9 +211,9 @@ func (mr microRun) run(o Options) (microResult, error) {
 	if err != nil {
 		return microResult{}, err
 	}
-	sys.Engine().Run()
+	sys.Run()
 	res, err := collect(threads)
-	res.Metrics = sys.Engine().Metrics().Snapshot()
+	res.Metrics = sys.Registry().Snapshot()
 	return res, err
 }
 
@@ -236,13 +238,14 @@ func collect(threads []*cpu.Thread) (microResult, error) {
 }
 
 // serversAt picks n distinct server nodes exactly h hops from the
-// client, preferring low identifiers for determinism.
+// client, preferring low identifiers for determinism. Pure geometry — no
+// system is built.
 func serversAt(o Options, client addr.NodeID, h, n int) ([]addr.NodeID, error) {
-	sys, err := core.NewSystem(sim.New(), o.P)
+	topo, err := mesh.NewTopology(o.P.MeshWidth, o.P.MeshHeight)
 	if err != nil {
 		return nil, err
 	}
-	cands := sys.Cluster().Topology().AtDistance(client, h)
+	cands := topo.AtDistance(client, h)
 	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 	if len(cands) < n {
 		return nil, fmt.Errorf("experiments: only %d nodes at distance %d from node %d, need %d", len(cands), h, client, n)

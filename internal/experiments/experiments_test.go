@@ -34,7 +34,7 @@ func ys(s *stats.Series) []float64 {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 17 {
+	if len(reg) != 18 {
 		t.Fatalf("registry has %d entries", len(reg))
 	}
 	for _, e := range reg {

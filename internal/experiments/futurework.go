@@ -83,7 +83,7 @@ func AblationPrefetch(o Options) (*stats.Figure, error) {
 // runSequential streams one thread over consecutive remote lines and
 // returns the elapsed time plus the run's metrics snapshot.
 func runSequential(o Options, lines int) (sim.Time, metrics.Snapshot, error) {
-	sys, err := core.NewSystem(sim.New(), o.P)
+	sys, err := core.NewSystem(o.P)
 	if err != nil {
 		return 0, metrics.Snapshot{}, err
 	}
@@ -111,18 +111,18 @@ func runSequential(o Options, lines int) (sim.Time, metrics.Snapshot, error) {
 	})
 	p := sys.Params()
 	th, err := cpu.NewThread(cpu.ThreadConfig{
-		Name: "seq", Engine: sys.Engine(), Memory: node, Stream: stream,
+		Name: "seq", Engine: node.Engine(), Memory: node, Stream: stream,
 		WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 	})
 	if err != nil {
 		return 0, metrics.Snapshot{}, err
 	}
 	th.Start(0)
-	sys.Engine().Run()
+	sys.Run()
 	if !th.Done {
 		return 0, metrics.Snapshot{}, fmt.Errorf("experiments: sequential stream did not finish")
 	}
-	return th.Elapsed(), sys.Engine().Metrics().Snapshot(), nil
+	return th.Elapsed(), sys.Registry().Snapshot(), nil
 }
 
 // AblationParallelPhase demonstrates the prototype's concession and its
@@ -164,7 +164,7 @@ func AblationParallelPhase(o Options) (*stats.Figure, error) {
 // node's caches, then measures a read-only phase with the given number
 // of threads. Returns the phase time and the run's metrics snapshot.
 func runParallelPhase(o Options, threads, totalReads int) (sim.Time, metrics.Snapshot, error) {
-	sys, err := core.NewSystem(sim.New(), o.P)
+	sys, err := core.NewSystem(o.P)
 	if err != nil {
 		return 0, metrics.Snapshot{}, err
 	}
@@ -181,7 +181,7 @@ func runParallelPhase(o Options, threads, totalReads int) (sim.Time, metrics.Sna
 		return 0, metrics.Snapshot{}, err
 	}
 	p := sys.Params()
-	eng := sys.Engine()
+	eng := node.Engine()
 
 	// Serial write phase: one core writes the first lines of the buffer.
 	writeLines := o.scaled(2000, 100)
@@ -202,17 +202,17 @@ func runParallelPhase(o Options, threads, totalReads int) (sim.Time, metrics.Sna
 		return 0, metrics.Snapshot{}, err
 	}
 	wt.Start(0)
-	eng.Run()
+	sys.Run()
 	if !wt.Done {
 		return 0, metrics.Snapshot{}, fmt.Errorf("experiments: write phase did not finish")
 	}
 
 	// Flush: dirty remote lines go home; after this, caching remote data
 	// read-only is safe on any number of cores.
-	node.FlushCaches(eng.Now())
+	node.FlushCaches(sys.Now())
 
 	// Read-only phase: `threads` cores, random reads over the buffer.
-	start := eng.Now()
+	start := sys.Now()
 	var threadsDone []*cpu.Thread
 	for t := 0; t < threads; t++ {
 		stream, err := randomReadStream(o.Seed+int64(t)*31, rng, totalReads/threads)
@@ -229,7 +229,7 @@ func runParallelPhase(o Options, threads, totalReads int) (sim.Time, metrics.Sna
 		th.Start(start)
 		threadsDone = append(threadsDone, th)
 	}
-	eng.Run()
+	sys.Run()
 	var end sim.Time
 	for _, th := range threadsDone {
 		if !th.Done {
@@ -239,7 +239,7 @@ func runParallelPhase(o Options, threads, totalReads int) (sim.Time, metrics.Sna
 			end = th.FinishTime
 		}
 	}
-	return end - start, eng.Metrics().Snapshot(), nil
+	return end - start, sys.Registry().Snapshot(), nil
 }
 
 func randomReadStream(seed int64, rng addr.Range, count int) (cpu.Stream, error) {

@@ -21,9 +21,10 @@ type timedPoint struct {
 	snap metrics.Snapshot
 }
 
-// fig7Client sits at (1,1) of the 4×4 mesh so it has neighbors at one,
-// two, and three hops in all the multiplicities Figure 7 needs.
-const fig7Client = addr.NodeID(6)
+// fig7Client sits at (1,1) of the mesh — node 6 on the calibrated 4×4
+// — so it has neighbors at one, two, and three hops in all the
+// multiplicities Figure 7 needs, at any mesh size.
+func fig7Client(o Options) addr.NodeID { return addr.NodeID(o.P.MeshWidth + 2) }
 
 // Table1 characterizes the prototype: the configuration constants and
 // the measured unloaded access latencies that anchor every other
@@ -47,7 +48,7 @@ func Table1(o Options) (*stats.Figure, error) {
 	accesses := o.scaled(20000, 200)
 
 	// Local latency: a thread streaming distinct local lines.
-	sys, err := core.NewSystem(sim.New(), p)
+	sys, err := core.NewSystem(p)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +56,7 @@ func Table1(o Options) (*stats.Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	o.addMetrics(sys.Engine().Metrics().Snapshot())
+	o.addMetrics(sys.Registry().Snapshot())
 	meas.AddLabeled("local access (µs)", 10, localLat/float64(params.Microsecond))
 
 	// Remote latency at 1 and 6 hops, single thread, unloaded. The p99
@@ -108,12 +109,12 @@ func measureLocal(sys *core.System, accesses int) (float64, error) {
 		start := now
 		var done sim.Time
 		node.Issue(now, 0, cpuAccess(a), false, func(ts sim.Time) { done = ts })
-		sys.Engine().Run()
+		sys.Run()
 		total += done - start
 		now = done
 		// Scheduled fault windows (node stalls) are engine events too;
 		// never issue behind a clock they have already advanced.
-		if t := sys.Engine().Now(); t > now {
+		if t := sys.Now(); t > now {
 			now = t
 		}
 	}
@@ -183,12 +184,12 @@ func Fig7(o Options) (*stats.Figure, error) {
 	}
 	times, err := runner.Map(o.Parallel, len(specs), func(i int) (timedPoint, error) {
 		s := specs[i]
-		servers, err := serversAt(o, fig7Client, s.hops, s.servers)
+		servers, err := serversAt(o, fig7Client(o), s.hops, s.servers)
 		if err != nil {
 			return timedPoint{}, err
 		}
 		res, err := (microRun{
-			Client: fig7Client, Servers: servers,
+			Client: fig7Client(o), Servers: servers,
 			Threads: s.threads, AccessesPerThread: total / s.threads,
 		}).run(o)
 		if err != nil {
@@ -261,7 +262,7 @@ func fig8Point(o Options, s fig8Setup, controlAccesses int) (timedPoint, error) 
 	)
 	stressors := []addr.NodeID{1, 2, 3, 4, 5, 7, 9, 10, 11, 13}
 
-	sys, err := core.NewSystem(sim.New(), o.P)
+	sys, err := core.NewSystem(o.P)
 	if err != nil {
 		return timedPoint{}, err
 	}
@@ -272,14 +273,14 @@ func fig8Point(o Options, s fig8Setup, controlAccesses int) (timedPoint, error) 
 	if err := meshFab.AddExpressLink(control, server); err != nil {
 		return timedPoint{}, err
 	}
-	// Control thread: express-routed loads against the server. The
-	// run ends the moment it finishes; the stressors exist only to
-	// load the server while it runs.
-	eng := sys.Engine()
+	// Control thread: express-routed loads against the server. The run
+	// ends (at the next window barrier, deterministically) the moment it
+	// finishes; the stressors exist only to load the server while it
+	// runs.
 	ctrlRun := microRun{
 		Client: control, Servers: []addr.NodeID{server},
 		Threads: 1, AccessesPerThread: controlAccesses, Express: true,
-		OnThreadDone: func(*cpu.Thread, sim.Time) { eng.Stop() },
+		OnThreadDone: func(*cpu.Thread, sim.Time) { sys.Stop() },
 	}
 	ctrlThreads, err := ctrlRun.launch(sys, o.Seed)
 	if err != nil {
@@ -297,14 +298,14 @@ func fig8Point(o Options, s fig8Setup, controlAccesses int) (timedPoint, error) 
 		}
 	}
 	for !ctrlThreads[0].Done {
-		if eng.Pending() == 0 {
+		if sys.Set().Pending() == 0 {
 			return timedPoint{}, fmt.Errorf("experiments: fig8 run stalled")
 		}
-		eng.Run()
+		sys.Run()
 	}
 	return timedPoint{
 		v:    float64(ctrlThreads[0].FinishTime) / float64(params.Millisecond),
-		snap: eng.Metrics().Snapshot(),
+		snap: sys.Registry().Snapshot(),
 	}, nil
 }
 
@@ -369,12 +370,12 @@ func AblationRetry(o Options) (*stats.Figure, error) {
 		p.RMCQueueDepth = depth
 		od := o
 		od.P = p
-		servers, err := serversAt(od, fig7Client, hop, 4)
+		servers, err := serversAt(od, fig7Client(od), hop, 4)
 		if err != nil {
 			return timedPoint{}, err
 		}
 		res, err := (microRun{
-			Client: fig7Client, Servers: servers,
+			Client: fig7Client(od), Servers: servers,
 			Threads: 4, AccessesPerThread: total / 4,
 		}).run(od)
 		if err != nil {

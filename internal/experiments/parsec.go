@@ -9,7 +9,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/params"
 	"repro/internal/runner"
-	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -144,7 +143,7 @@ func AblationCoherency(o Options) (*stats.Figure, error) {
 // its working set over memory borrowed from n-1 donors. The run's
 // metrics snapshot rides along for the caller to fold.
 func rmcAggregateLatency(o Options, nodes, accesses int) (float64, metrics.Snapshot, error) {
-	sys, err := core.NewSystem(sim.New(), o.P)
+	sys, err := core.NewSystem(o.P)
 	if err != nil {
 		return 0, metrics.Snapshot{}, err
 	}
@@ -160,10 +159,10 @@ func rmcAggregateLatency(o Options, nodes, accesses int) (float64, metrics.Snaps
 	if err != nil {
 		return 0, metrics.Snapshot{}, err
 	}
-	sys.Engine().Run()
+	sys.Run()
 	res, err := collect(threads)
 	if err != nil {
 		return 0, metrics.Snapshot{}, err
 	}
-	return res.MeanLatency, sys.Engine().Metrics().Snapshot(), nil
+	return res.MeanLatency, sys.Registry().Snapshot(), nil
 }

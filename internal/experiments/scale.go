@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mesh"
+	"repro/internal/params"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Scale is the sharded-engine stress workload: every node in the mesh
+// runs client threads against the memory of its point reflection
+// through the mesh center, so traffic crosses the whole fabric and
+// every shard of a partitioned run carries both client and server work.
+// It exists to exercise 1000+-node fabrics (-mesh 32x32) and to measure
+// the parallel engine (-shards K): the rendered figure and merged
+// metrics are byte-identical at every shard count, while wall-clock
+// drops with K. The x-axis sweeps threads per node; y is simulated
+// completion time, which grows with per-node injection rate.
+func Scale(o Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("scale", "Whole-fabric load (every node a client)",
+		"threads per node", "completion time (ms)")
+	elapsed := fig.AddSeries("completion time (ms)")
+	lat := fig.AddSeries("mean access latency (µs)")
+
+	perThread := o.scaled(2000, 40)
+	threadCounts := []int{1, 2}
+
+	pts, err := runner.Map(o.Parallel, len(threadCounts), func(i int) ([2]timedPoint, error) {
+		return scalePoint(o, threadCounts[i], perThread)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		o.addMetrics(pt[0].snap)
+		elapsed.AddLabeled(fmt.Sprintf("%dt", threadCounts[i]), float64(threadCounts[i]), pt[0].v)
+		lat.AddLabeled(fmt.Sprintf("%dt", threadCounts[i]), float64(threadCounts[i]), pt[1].v)
+	}
+	fig.Note("all %d nodes issue %d random loads per thread against their diametric partner",
+		o.P.MeshWidth*o.P.MeshHeight, perThread)
+	return fig, nil
+}
+
+// scalePoint simulates one whole-fabric load point and returns
+// (completion ms, mean latency µs) with the run's metrics snapshot on
+// the first.
+func scalePoint(o Options, threadsPer, perThread int) ([2]timedPoint, error) {
+	var z [2]timedPoint
+	sys, err := core.NewSystem(o.P)
+	if err != nil {
+		return z, err
+	}
+	topo, err := mesh.NewTopology(o.P.MeshWidth, o.P.MeshHeight)
+	if err != nil {
+		return z, err
+	}
+	var threads []*cpu.Thread
+	for id := 1; id <= topo.Nodes(); id++ {
+		client := addr.NodeID(id)
+		x, y := topo.Coord(client)
+		partner := topo.NodeAt(topo.W-1-x, topo.H-1-y)
+		if partner == client {
+			continue // odd-sized mesh center reflects onto itself
+		}
+		region, err := sys.Region(client)
+		if err != nil {
+			return z, err
+		}
+		rng, err := region.GrowFrom(partner, 8<<20)
+		if err != nil {
+			return z, err
+		}
+		node, err := sys.Cluster().Node(client)
+		if err != nil {
+			return z, err
+		}
+		for t := 0; t < threadsPer; t++ {
+			stream, err := workloads.RandomStream(o.Seed+int64(id)*104729+int64(t)*7919,
+				[]addr.Range{rng}, perThread, 0)
+			if err != nil {
+				return z, err
+			}
+			th, err := cpu.NewThread(cpu.ThreadConfig{
+				Name:         fmt.Sprintf("n%d/t%d", client, t),
+				Engine:       node.Engine(),
+				Memory:       node,
+				Stream:       stream,
+				Core:         t % o.P.CoresPerNode,
+				WindowLocal:  o.P.LocalOutstanding,
+				WindowRemote: o.P.RemoteOutstanding,
+			})
+			if err != nil {
+				return z, err
+			}
+			th.Start(0)
+			threads = append(threads, th)
+		}
+	}
+	sys.Run()
+	res, err := collect(threads)
+	if err != nil {
+		return z, err
+	}
+	res.Metrics = sys.Registry().Snapshot()
+	return [2]timedPoint{
+		{float64(res.Elapsed) / float64(params.Millisecond), res.Metrics},
+		{v: res.MeanLatency / float64(params.Microsecond)},
+	}, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// shardRun renders one experiment plus its merged metrics under k
+// shards. Figures AND metrics must be byte-identical at every shard
+// count — the determinism contract of DESIGN §16.
+func shardRun(t *testing.T, id string, o Options, k int) (string, string) {
+	t.Helper()
+	gen, err := Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.P.Shards = k
+	var merged metrics.Merged
+	o.Metrics = &merged
+	fig, err := gen(o)
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", id, k, err)
+	}
+	return fig.Render(), merged.Snapshot().Prometheus()
+}
+
+// TestShardCountByteIdentity re-renders table1 and fig7 at 1, 2, and 4
+// shards — fault-free and under an armed fault plan, serial and with
+// concurrent sweep points — and requires byte-identical figures and
+// metrics throughout.
+func TestShardCountByteIdentity(t *testing.T) {
+	plan, err := faults.Parse("seed=2,drop=0.02,corrupt=0.002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig7"} {
+		for _, faulted := range []bool{false, true} {
+			for _, parallel := range []int{1, 4} {
+				id, faulted, parallel := id, faulted, parallel
+				name := id
+				if faulted {
+					name += "/faulted"
+				}
+				if parallel > 1 {
+					name += "/parallel"
+				}
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					o := DefaultOptions()
+					o.Scale = 0.01
+					o.Parallel = parallel
+					if faulted {
+						o.P.Faults = plan
+					}
+					wantFig, wantMet := shardRun(t, id, o, 1)
+					for _, k := range []int{2, 4} {
+						gotFig, gotMet := shardRun(t, id, o, k)
+						if gotFig != wantFig {
+							t.Errorf("shards=%d: figure differs from shards=1:\n--- 1 ---\n%s\n--- %d ---\n%s", k, wantFig, k, gotFig)
+						}
+						if gotMet != wantMet {
+							t.Errorf("shards=%d: merged metrics differ from shards=1", k)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestScaleExperimentLargeMesh is the 1024-RMC smoke: the whole-fabric
+// workload on a 32x32 mesh at 16 shards must complete and match the
+// single-shard rendering.
+func TestScaleExperimentLargeMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node smoke skipped in -short mode")
+	}
+	o := DefaultOptions()
+	o.Scale = 0.005
+	o.Parallel = 1
+	o.P.MeshWidth, o.P.MeshHeight = 32, 32
+	wantFig, wantMet := shardRun(t, "scale", o, 1)
+	gotFig, gotMet := shardRun(t, "scale", o, 16)
+	if gotFig != wantFig {
+		t.Errorf("32x32 scale: figure differs between shards 1 and 16:\n--- 1 ---\n%s\n--- 16 ---\n%s", wantFig, gotFig)
+	}
+	if gotMet != wantMet {
+		t.Error("32x32 scale: merged metrics differ between shards 1 and 16")
+	}
+}

@@ -130,7 +130,7 @@ func (p Packet) Validate() error {
 		return fmt.Errorf("ht: request with count %d", p.Count)
 	case p.Cmd.IsRequest() && !p.Addr.Valid():
 		return fmt.Errorf("ht: request address %v out of range", p.Addr)
-	case p.Cmd == CmdWrSized && len(p.Data) != p.Count:
+	case p.Cmd == CmdWrSized && p.Data != nil && len(p.Data) != p.Count:
 		return fmt.Errorf("ht: write carries %d bytes, count says %d", len(p.Data), p.Count)
 	case p.Cmd == CmdRdResponse && len(p.Data) != p.Count:
 		return fmt.Errorf("ht: read response carries %d bytes, count says %d", len(p.Data), p.Count)
@@ -142,9 +142,14 @@ func (p Packet) Validate() error {
 
 // FlitBytes returns the packet's wire size in bytes: a 8-byte command
 // header plus the data payload, rounded up to 4-byte granularity. Used by
-// link-occupancy models.
+// link-occupancy models. A sized write without an attached payload slice
+// (an idempotent line write the simulator prices but does not copy) still
+// occupies Count bytes on the wire.
 func (p Packet) FlitBytes() int {
 	n := 8 + len(p.Data)
+	if p.Cmd == CmdWrSized && p.Data == nil {
+		n += p.Count
+	}
 	if r := n % 4; r != 0 {
 		n += 4 - r
 	}

@@ -25,7 +25,7 @@ import (
 
 func newSystem(t *testing.T) *core.System {
 	t.Helper()
-	s, err := core.NewSystem(sim.New(), params.Default())
+	s, err := core.NewSystem(params.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,14 +68,14 @@ func TestMicroMacroAgreement(t *testing.T) {
 			t.Fatal(err)
 		}
 		th, err := cpu.NewThread(cpu.ThreadConfig{
-			Engine: sys.Engine(), Memory: node, Stream: stream,
+			Engine: node.Engine(), Memory: node, Stream: stream,
 			WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		th.Start(0)
-		sys.Engine().Run()
+		sys.Run()
 		micro := th.Latency.Mean()
 
 		// Macro: Equation (2) at the same distance.
@@ -120,12 +120,12 @@ func TestEndToEndDataPath(t *testing.T) {
 	}
 	req := ht.Packet{Cmd: ht.CmdRdSized, Addr: rng.Start, Count: 64}
 	var got []byte
-	if err := reader.Request(sys.Engine().Now(), req, false, func(_ sim.Time, rsp ht.Packet, _ error) {
+	if err := reader.Request(sys.Now(), req, false, func(_ sim.Time, rsp ht.Packet, _ error) {
 		got = rsp.Data
 	}); err != nil {
 		t.Fatal(err)
 	}
-	sys.Engine().Run()
+	sys.Run()
 	if !bytes.Equal(got[:len(secret)], secret) {
 		t.Errorf("node 4 read %q through its RMC", got[:len(secret)])
 	}
@@ -140,7 +140,7 @@ func TestPoolExhaustionFailurePath(t *testing.T) {
 	p.MemPerNode = 256 << 20
 	p.PrivateMemPerNode = 128 << 20
 	p.OSReserveBytes = 16 << 20
-	sys, err := core.NewSystem(sim.New(), p)
+	sys, err := core.NewSystem(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestDeterministicWholeSystem(t *testing.T) {
 		p := params.Default()
 		p.PrefetchDepth = 2
 		p.RMCQueueDepth = 3
-		sys, err := core.NewSystem(sim.New(), p)
+		sys, err := core.NewSystem(p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -349,7 +349,7 @@ func TestDeterministicWholeSystem(t *testing.T) {
 				t.Fatal(err)
 			}
 			th, err := cpu.NewThread(cpu.ThreadConfig{
-				Engine: sys.Engine(), Memory: node, Stream: stream,
+				Engine: node.Engine(), Memory: node, Stream: stream,
 				Core: ti, WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 				OnDone: func(_ *cpu.Thread, ts sim.Time) {
 					if ts > end {
@@ -362,7 +362,7 @@ func TestDeterministicWholeSystem(t *testing.T) {
 			}
 			th.Start(0)
 		}
-		sys.Engine().Run()
+		sys.Run()
 		return end
 	}
 	if a, b := run(), run(); a != b {
@@ -376,7 +376,7 @@ func TestDeterministicWholeSystem(t *testing.T) {
 func TestProtectionEndToEnd(t *testing.T) {
 	p := params.Default()
 	p.EnableProtection = true
-	sys, err := core.NewSystem(sim.New(), p)
+	sys, err := core.NewSystem(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,12 +403,12 @@ func TestProtectionEndToEnd(t *testing.T) {
 		}
 		var cmd ht.Command
 		req := ht.Packet{Cmd: ht.CmdRdSized, Addr: rng.Start, Count: 64}
-		if err := r.Request(sys.Engine().Now(), req, false, func(_ sim.Time, rsp ht.Packet, _ error) {
+		if err := r.Request(sys.Now(), req, false, func(_ sim.Time, rsp ht.Packet, _ error) {
 			cmd = rsp.Cmd
 		}); err != nil {
 			t.Fatal(err)
 		}
-		sys.Engine().Run()
+		sys.Run()
 		return cmd
 	}
 	if got := read(1); got != ht.CmdRdResponse {
@@ -439,7 +439,7 @@ func TestAllFeaturesTogether(t *testing.T) {
 	p.EnableProtection = true
 	p.PrefetchDepth = 4
 	p.RMCQueueDepth = 5
-	sys, err := core.NewSystem(sim.New(), p)
+	sys, err := core.NewSystem(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,11 +470,11 @@ func TestAllFeaturesTogether(t *testing.T) {
 	start := rng.Start + addr.Phys(rng.Size) - lines*params.CacheLineSize
 	for i := 0; i < lines; i++ {
 		a := start + addr.Phys(i*params.CacheLineSize)
-		if err := region.Access(sys.Engine().Now(), 0, va+vm.Virt(rng.Size)-lines*params.CacheLineSize+vm.Virt(i*params.CacheLineSize), false, func(sim.Time) {}); err != nil {
+		if err := region.Access(sys.Now(), 0, va+vm.Virt(rng.Size)-lines*params.CacheLineSize+vm.Virt(i*params.CacheLineSize), false, func(sim.Time) {}); err != nil {
 			t.Fatal(err)
 		}
 		_ = a
-		sys.Engine().Run()
+		sys.Run()
 	}
 	srv, err := sys.Cluster().RMC(2)
 	if err != nil {
@@ -524,7 +524,7 @@ func TestWholeClusterConcurrentRegions(t *testing.T) {
 			t.Fatal(err)
 		}
 		th, err := cpu.NewThread(cpu.ThreadConfig{
-			Name: fmt.Sprintf("region-%d", id), Engine: sys.Engine(), Memory: node,
+			Name: fmt.Sprintf("region-%d", id), Engine: node.Engine(), Memory: node,
 			Stream: stream, WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 		})
 		if err != nil {
@@ -533,7 +533,7 @@ func TestWholeClusterConcurrentRegions(t *testing.T) {
 		th.Start(0)
 		threads = append(threads, th)
 	}
-	sys.Engine().Run()
+	sys.Run()
 	var minT, maxT sim.Time
 	for i, th := range threads {
 		if !th.Done {
@@ -570,7 +570,7 @@ func TestSoak(t *testing.T) {
 	p.PrefetchDepth = 2
 	p.RMCQueueDepth = 3
 	p.EnableProtection = true
-	sys, err := core.NewSystem(sim.New(), p)
+	sys, err := core.NewSystem(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -609,14 +609,14 @@ func TestSoak(t *testing.T) {
 				t.Fatal(err)
 			}
 			th, err := cpu.NewThread(cpu.ThreadConfig{
-				Name: fmt.Sprintf("soak-%d-%d", epoch, id), Engine: sys.Engine(), Memory: node,
+				Name: fmt.Sprintf("soak-%d-%d", epoch, id), Engine: node.Engine(), Memory: node,
 				Stream: stream, WindowLocal: p.LocalOutstanding, WindowRemote: p.RemoteOutstanding,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			th.Start(sys.Engine().Now())
-			sys.Engine().Run()
+			th.Start(sys.Now())
+			sys.Run()
 			if !th.Done {
 				t.Fatalf("epoch %d node %d thread stuck", epoch, id)
 			}
@@ -652,7 +652,7 @@ func TestSoak(t *testing.T) {
 func TestHToESystemFunctional(t *testing.T) {
 	p := params.Default()
 	p.Fabric = params.FabricHToE
-	sys, err := core.NewSystem(sim.New(), p)
+	sys, err := core.NewSystem(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -676,10 +676,10 @@ func TestHToESystemFunctional(t *testing.T) {
 		t.Errorf("read back %q", got)
 	}
 	var done sim.Time
-	if err := region.Access(sys.Engine().Now(), 0, ptr+9<<30, false, func(ts sim.Time) { done = ts }); err != nil {
+	if err := region.Access(sys.Now(), 0, ptr+9<<30, false, func(ts sim.Time) { done = ts }); err != nil {
 		t.Fatal(err)
 	}
-	sys.Engine().Run()
+	sys.Run()
 	if done == 0 {
 		t.Error("timed access never completed over HToE")
 	}

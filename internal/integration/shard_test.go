@@ -1,0 +1,105 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mesh"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// traceRec is one cross-shard transmission in canonical drain order.
+type traceRec struct {
+	t   sim.Time
+	src addr.NodeID
+	dst addr.NodeID
+	seq uint64
+}
+
+// shardOracleRun replays a seeded 16x16 workload under k shards and
+// returns the exchange's canonical transmission stream: every RMC send
+// in (time, source, per-source sequence) drain order.
+func shardOracleRun(t *testing.T, k int, seed int64) []traceRec {
+	t.Helper()
+	p := params.Default()
+	p.MeshWidth, p.MeshHeight = 16, 16
+	p.Shards = k
+	sys, err := core.NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []traceRec
+	sys.Cluster().Exchanges().Trace(func(at sim.Time, src, dst addr.NodeID, seq uint64) {
+		stream = append(stream, traceRec{at, src, dst, seq})
+	})
+
+	topo, err := mesh.NewTopology(p.MeshWidth, p.MeshHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight clients spread over every quadrant of the mesh, each loading
+	// from its point reflection — guaranteed cross-shard traffic at
+	// every partition the test uses.
+	clients := []addr.NodeID{1, 24, 60, 86, 115, 150, 200, 250}
+	for _, client := range clients {
+		x, y := topo.Coord(client)
+		partner := topo.NodeAt(topo.W-1-x, topo.H-1-y)
+		region, err := sys.Region(client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng, err := region.GrowFrom(partner, 8<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := sys.Cluster().Node(client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := workloads.RandomStream(seed+int64(client), []addr.Range{rng}, 200, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := cpu.NewThread(cpu.ThreadConfig{
+			Name:         fmt.Sprintf("oracle-n%d", client),
+			Engine:       node.Engine(),
+			Memory:       node,
+			Stream:       ws,
+			WindowLocal:  p.LocalOutstanding,
+			WindowRemote: p.RemoteOutstanding,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th.Start(0)
+	}
+	sys.Run()
+	return stream
+}
+
+// TestShardedEngineMatchesSingleShardOracle replays the same seeded
+// 16x16 workload on the single-shard engine and on 4 and 8 shards, and
+// requires the cross-shard exchange streams to match event for event:
+// same transmissions, same simulated times, same canonical order.
+func TestShardedEngineMatchesSingleShardOracle(t *testing.T) {
+	want := shardOracleRun(t, 1, 42)
+	if len(want) == 0 {
+		t.Fatal("oracle run recorded no transmissions — workload did not reach the fabric")
+	}
+	for _, k := range []int{4, 8} {
+		got := shardOracleRun(t, k, 42)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d transmissions, oracle has %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: transmission %d = %+v, oracle %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+}

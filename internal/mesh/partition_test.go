@@ -1,0 +1,99 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// TestPartitionGeometry checks the region grid the partitioner picks for
+// the shapes the CLIs advertise, and that every node maps to a valid
+// shard with balanced populations.
+func TestPartitionGeometry(t *testing.T) {
+	cases := []struct {
+		w, h, k        int
+		wantKX, wantKY int
+	}{
+		{4, 4, 1, 1, 1},
+		{4, 4, 2, 2, 1}, // 2x1 regions of 2x4 nodes
+		{4, 4, 4, 2, 2},
+		{4, 4, 8, 4, 2},
+		{4, 4, 16, 4, 4},
+		{16, 16, 8, 4, 2},
+		{16, 16, 16, 4, 4},
+		{32, 32, 16, 4, 4},
+		{8, 4, 8, 4, 2},
+	}
+	for _, c := range cases {
+		topo, err := NewTopology(c.w, c.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := topo.Partition(c.k)
+		if err != nil {
+			t.Fatalf("%dx%d k=%d: %v", c.w, c.h, c.k, err)
+		}
+		if p.KX != c.wantKX || p.KY != c.wantKY {
+			t.Errorf("%dx%d k=%d: grid %dx%d, want %dx%d", c.w, c.h, c.k, p.KX, p.KY, c.wantKX, c.wantKY)
+		}
+		if p.Shards() != c.k {
+			t.Errorf("%dx%d k=%d: Shards() = %d", c.w, c.h, c.k, p.Shards())
+		}
+		// Every node lands in range and every shard gets the same count
+		// (all our region grids divide the mesh evenly).
+		counts := make([]int, c.k)
+		for n := 1; n <= topo.Nodes(); n++ {
+			sh := p.ShardOf(addr.NodeID(n))
+			if sh < 0 || sh >= c.k {
+				t.Fatalf("%dx%d k=%d: node %d → shard %d out of range", c.w, c.h, c.k, n, sh)
+			}
+			counts[sh]++
+		}
+		want := topo.Nodes() / c.k
+		for sh, got := range counts {
+			if got != want {
+				t.Errorf("%dx%d k=%d: shard %d holds %d nodes, want %d", c.w, c.h, c.k, sh, got, want)
+			}
+		}
+	}
+}
+
+// TestPartitionContiguity checks a shard's nodes form an axis-aligned
+// rectangle: mesh neighbors in the same region row/column share a shard.
+func TestPartitionContiguity(t *testing.T) {
+	topo, err := NewTopology(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := topo.Partition(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < topo.H; y++ {
+		for x := 0; x < topo.W; x++ {
+			sh := p.ShardOf(topo.NodeAt(x, y))
+			// Within the region extents, shifting by less than the
+			// region size in either axis stays in the same shard.
+			if x%p.RW != 0 && p.ShardOf(topo.NodeAt(x-1, y)) != sh {
+				t.Fatalf("(%d,%d): left neighbor in different shard inside region", x, y)
+			}
+			if y%p.RH != 0 && p.ShardOf(topo.NodeAt(x, y-1)) != sh {
+				t.Fatalf("(%d,%d): up neighbor in different shard inside region", x, y)
+			}
+		}
+	}
+}
+
+// TestPartitionRejectsBadCounts checks the error paths: k that does not
+// tile the mesh, k out of range.
+func TestPartitionRejectsBadCounts(t *testing.T) {
+	topo, err := NewTopology(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, -1, 3, 5, 17} {
+		if _, err := topo.Partition(k); err == nil {
+			t.Errorf("Partition(%d) on 4x4 succeeded, want error", k)
+		}
+	}
+}

@@ -113,6 +113,64 @@ func (t Topology) AtDistance(n addr.NodeID, d int) []addr.NodeID {
 	return out
 }
 
+// Partition is a static kx×ky tiling of the mesh into k = kx·ky
+// rectangular regions, one simulation shard per region. Regions must
+// tile the mesh exactly (kx divides W, ky divides H) so every shard owns
+// the same number of nodes and the assignment is a pure function of the
+// geometry — the determinism contract requires shard membership to be
+// identical on every run.
+type Partition struct {
+	topo   Topology
+	KX, KY int // region grid
+	RW, RH int // region extent in mesh coordinates
+}
+
+// Partition splits the mesh into k regions, choosing the most-square
+// kx×ky factorization that tiles the geometry. It fails when no
+// factorization of k fits (e.g. a prime k that divides neither side).
+func (t Topology) Partition(k int) (Partition, error) {
+	if k < 1 {
+		return Partition{}, fmt.Errorf("mesh: shard count %d < 1", k)
+	}
+	if k > t.Nodes() {
+		return Partition{}, fmt.Errorf("mesh: %d shards exceed %d nodes", k, t.Nodes())
+	}
+	// Scan divisor pairs from the square root down: the first (kx, ky)
+	// with kx | W and ky | H is the most-square tiling. Try both
+	// orientations of each pair so wide meshes can take the wide factor.
+	for d := isqrt(k); d >= 1; d-- {
+		if k%d != 0 {
+			continue
+		}
+		for _, p := range [2][2]int{{k / d, d}, {d, k / d}} {
+			kx, ky := p[0], p[1]
+			if kx <= t.W && ky <= t.H && t.W%kx == 0 && t.H%ky == 0 {
+				return Partition{topo: t, KX: kx, KY: ky, RW: t.W / kx, RH: t.H / ky}, nil
+			}
+		}
+	}
+	return Partition{}, fmt.Errorf("mesh: no %d-shard tiling of a %dx%d mesh (shard count must factor as kx*ky with kx|%d, ky|%d)",
+		k, t.W, t.H, t.W, t.H)
+}
+
+// Shards returns the region count.
+func (p Partition) Shards() int { return p.KX * p.KY }
+
+// ShardOf returns the region index of a node, row-major over the region
+// grid.
+func (p Partition) ShardOf(n addr.NodeID) int {
+	x, y := p.topo.Coord(n)
+	return (y/p.RH)*p.KX + x/p.RW
+}
+
+func isqrt(v int) int {
+	r := 0
+	for (r+1)*(r+1) <= v {
+		r++
+	}
+	return r
+}
+
 func abs(v int) int {
 	if v < 0 {
 		return -v

@@ -172,6 +172,37 @@ func (h *Histogram) N() uint64 { return h.n }
 // Sum returns the total of all samples.
 func (h *Histogram) Sum() int64 { return h.sum }
 
+// NewHistogram returns a standalone histogram that is not attached to any
+// registry. The sharded engine gives each shard a private unregistered
+// delay histogram and merges them into one registered HistogramFunc at
+// snapshot time.
+func NewHistogram(bounds []int64) *Histogram {
+	h := &Histogram{bounds: append([]int64(nil), bounds...), counts: make([]uint64, len(bounds)+1)}
+	h.indexBounds()
+	return h
+}
+
+// Reset zeroes every bucket, the sum, and the count.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum = 0
+	h.n = 0
+}
+
+// AddAll folds another histogram with identical bounds into h.
+func (h *Histogram) AddAll(o *Histogram) {
+	if len(o.counts) != len(h.counts) {
+		panic("metrics: AddAll across mismatched bucket layouts")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.sum += o.sum
+	h.n += o.n
+}
+
 // TimeBuckets are the default latency bounds in picoseconds: 100 ns to
 // 10 ms in a 1-2-5 progression, spanning a cache hit to a congested
 // remote round trip with headroom for swap-path ablations.
@@ -193,6 +224,7 @@ type series struct {
 	gauge   *Gauge
 	gaugeFn func() float64
 	hist    *Histogram
+	histFn  func() *Histogram
 }
 
 // family groups series sharing a metric name.
@@ -293,6 +325,18 @@ func (r *Registry) Histogram(name, help string, ls Labels, bounds []int64) *Hist
 	return h
 }
 
+// HistogramFunc registers a sampling function for a histogram series: fn
+// is evaluated only at snapshot time and must return a histogram whose
+// bounds match the family's. The sharded engine uses this to present the
+// per-shard delay histograms as one merged family.
+func (r *Registry) HistogramFunc(name, help string, ls Labels, bounds []int64, fn func() *Histogram) {
+	f := r.family(name, help, KindHistogram)
+	if f.bounds == nil {
+		f.bounds = append([]int64(nil), bounds...)
+	}
+	f.series[ls.signature()] = &series{labels: ls.sorted(), histFn: fn}
+}
+
 // Snapshot materializes every instrument into an immutable, fully
 // ordered Snapshot: families sorted by name, samples by label
 // signature. Sampling functions are evaluated here.
@@ -331,6 +375,15 @@ func (r *Registry) Snapshot() Snapshot {
 				sample.Buckets[len(s.hist.bounds)] = Bucket{Le: BucketInf, Count: s.hist.counts[len(s.hist.bounds)]}
 				sample.Sum = s.hist.sum
 				sample.Count = s.hist.n
+			case s.histFn != nil:
+				h := s.histFn()
+				sample.Buckets = make([]Bucket, len(h.bounds)+1)
+				for i, b := range h.bounds {
+					sample.Buckets[i] = Bucket{Le: b, Count: h.counts[i]}
+				}
+				sample.Buckets[len(h.bounds)] = Bucket{Le: BucketInf, Count: h.counts[len(h.bounds)]}
+				sample.Sum = h.sum
+				sample.Count = h.n
 			}
 			out.Samples = append(out.Samples, sample)
 		}

@@ -85,8 +85,16 @@ type Params struct {
 	// ---- Cluster geometry ----
 
 	// MeshWidth and MeshHeight give the 2D-mesh dimensions. The prototype
-	// is 4×4 = 16 nodes.
+	// is 4×4 = 16 nodes; larger fabrics (up to the prefix-space limit)
+	// are first-class and can be driven with -mesh NxN on both CLIs.
 	MeshWidth, MeshHeight int
+
+	// Shards is the number of parallel simulation shards (mesh regions
+	// advanced concurrently under conservative lookahead windows).
+	// 0 or 1 selects the single-shard engine; figures are byte-identical
+	// at any valid setting. Shards > 1 requires the mesh fabric and must
+	// tile the geometry (see mesh.Partition).
+	Shards int
 
 	// CoresPerNode is the number of cores in one coherency domain (16 in
 	// the prototype: 4 sockets × 4 cores).
@@ -362,6 +370,12 @@ func (p Params) Validate() error {
 		return fmt.Errorf("params: SwapResidentPages %d < 1", p.SwapResidentPages)
 	case p.Fabric != FabricMesh && p.Fabric != FabricHToE:
 		return fmt.Errorf("params: unknown fabric kind %d", int(p.Fabric))
+	case p.Shards < 0:
+		return fmt.Errorf("params: Shards %d < 0", p.Shards)
+	case p.Shards > 1 && p.Fabric != FabricMesh:
+		return fmt.Errorf("params: Shards %d requires the mesh fabric", p.Shards)
+	case p.Shards > p.Nodes():
+		return fmt.Errorf("params: Shards %d exceed %d nodes", p.Shards, p.Nodes())
 	}
 	// The recovery tunables only matter (and are only required) when a
 	// fault plan can actually lose frames.

@@ -137,6 +137,12 @@ func (r *RMC) RequestBulk(now sim.Time, req BulkRequest) error {
 	if err := r.peersCheck(dst); err != nil {
 		return err
 	}
+	if r.exch != nil && r.exch.multi {
+		// A burst's continuation carries client- and server-side state on
+		// one struct, mutated from both ends of the transfer; that is
+		// sound on a single engine but not across shards.
+		return fmt.Errorf("rmc: bulk bursts are not shard-partitioned; run bulk workloads with a single shard")
+	}
 	maxFrames := r.p.BurstMaxFrames()
 	if maxFrames > ht.MaxBurstFrames {
 		maxFrames = ht.MaxBurstFrames
@@ -358,7 +364,7 @@ func (r *RMC) launchBulk(op *bulkOp) {
 		if err != nil {
 			panic(fmt.Sprintf("rmc%d: bulk outbound bridge failed: %v", r.self, err))
 		}
-		r.sendSealed(now, hnc.Seal(frame), op.dst, op.express, op.descDeliverFn, op.abandonFn)
+		r.sendSealed(now, hnc.Seal(frame), op.dst, op.express, op.r.eng, op.descDeliverFn, op.abandonFn)
 	case BulkWrite:
 		frameLines := r.p.BurstFrameLines()
 		idx, pos := 0, 0
@@ -377,7 +383,7 @@ func (r *RMC) launchBulk(op *bulkOp) {
 				if err != nil {
 					panic(fmt.Sprintf("rmc%d: bulk outbound bridge failed: %v", r.self, err))
 				}
-				r.sendSealed(now, hnc.Seal(frame), op.dst, op.express, op.wrDeliverFn, op.abandonFn)
+				r.sendSealed(now, hnc.Seal(frame), op.dst, op.express, op.r.eng, op.wrDeliverFn, op.abandonFn)
 				idx++
 				pos += nbytes
 			}
@@ -551,13 +557,13 @@ func (r *RMC) sendBulkFrame(f *bulkFrame) {
 		if err != nil {
 			panic(fmt.Sprintf("rmc%d: bulk reply bridge failed: %v", r.self, err))
 		}
-		r.sendSealed(f.at, hnc.Seal(reply), op.r.self, op.express, op.frameDeliverFn, op.abandonFn)
+		r.sendSealed(f.at, hnc.Seal(reply), op.r.self, op.express, op.r.eng, op.frameDeliverFn, op.abandonFn)
 	case frameCopyData:
 		frame, err := r.bridge.Outbound(f.pkt)
 		if err != nil {
 			panic(fmt.Sprintf("rmc%d: bulk outbound bridge failed: %v", r.self, err))
 		}
-		r.sendSealed(f.at, hnc.Seal(frame), f.pkt.Addr.Node(), op.express, op.wrDeliverFn, op.abandonFn)
+		r.sendSealed(f.at, hnc.Seal(frame), f.pkt.Addr.Node(), op.express, op.r.eng, op.wrDeliverFn, op.abandonFn)
 	case frameLocalCopy:
 		r.applyBulkWrite(f.at, f.pkt, op)
 	}
@@ -676,7 +682,7 @@ func (r *RMC) sendBulkAck(now sim.Time, op *bulkOp, abort bool) {
 	if err != nil {
 		panic(fmt.Sprintf("rmc%d: bulk reply bridge failed: %v", r.self, err))
 	}
-	r.sendSealed(now, hnc.Seal(reply), op.r.self, op.express, op.ackDeliverFn, op.abandonFn)
+	r.sendSealed(now, hnc.Seal(reply), op.r.self, op.express, op.r.eng, op.ackDeliverFn, op.abandonFn)
 }
 
 // ackDelivered runs at the client when the cumulative ack arrives.

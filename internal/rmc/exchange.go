@@ -1,0 +1,169 @@
+package rmc
+
+import (
+	"cmp"
+	"slices"
+
+	"repro/internal/addr"
+	"repro/internal/hnc"
+	"repro/internal/sim"
+)
+
+// The windowed exchange is the cross-shard half of the conservative PDES
+// engine (DESIGN §16). In exchange mode an RMC's sendAttempt does not
+// walk the fabric; it appends a transmission intent to its shard's
+// Exchange. At every window barrier the coordinator — with all shards
+// parked — merges the intents of every shard, sorts them by
+// (time, source node, per-source sequence), and replays each through
+// completeSend. That canonical order is a pure function of simulated
+// state, so link occupancies and the fault injector's roll stream are
+// consumed identically at any shard count, which is what keeps figures
+// byte-identical from -shards 1 to -shards N.
+//
+// The window is bounded by the minimum cross-shard link latency, so
+// every delivery scheduled at the barrier lands at or past the window
+// limit — strictly in the destination shard's future. Barrier hand-offs
+// (worker park/release atomics) carry the happens-before edges for the
+// coordinator's reads of shard state.
+
+// xmit is one recorded transmission intent.
+type xmit struct {
+	t   sim.Time
+	src addr.NodeID
+	seq uint64
+	op  *sendOp
+}
+
+// deferredSrv returns a server-role op to its owner's pool at the
+// barrier (its final callback ran on the requester's shard).
+type deferredSrv struct {
+	r  *RMC
+	op *srvOp
+}
+
+// deferredBuf returns a line buffer to another shard's pool.
+type deferredBuf struct {
+	r *RMC
+	b []byte
+}
+
+// deliverEv is a pooled frame-delivery event. The coordinator fills one
+// from the destination exchange's pool at the barrier; it recycles
+// itself when it fires on the destination shard — the two phases are
+// mutually exclusive, so the pool needs no synchronization.
+type deliverEv struct {
+	x       *Exchange
+	deliver func(sim.Time, hnc.Sealed)
+	arrive  sim.Time
+	s       hnc.Sealed
+	fireFn  func()
+}
+
+// Exchange is one shard's side of the windowed exchange: the intents its
+// RMCs recorded this window, the cross-shard pool returns deferred to
+// the barrier, and the shard's delivery-event pool.
+type Exchange struct {
+	eng   *sim.Engine
+	limit sim.Time // current drain's window limit
+	multi bool     // part of a >1-shard set (bulk bursts refuse to run)
+
+	xmits  []xmit
+	defSrv []deferredSrv
+	defBuf []deferredBuf
+	evs    []*deliverEv
+}
+
+// NewExchange returns the exchange for one shard's engine.
+func NewExchange(eng *sim.Engine) *Exchange {
+	return &Exchange{eng: eng}
+}
+
+// Engine returns the shard engine this exchange belongs to.
+func (x *Exchange) Engine() *sim.Engine { return x.eng }
+
+func (x *Exchange) getEv() *deliverEv {
+	if n := len(x.evs); n > 0 {
+		ev := x.evs[n-1]
+		x.evs = x.evs[:n-1]
+		return ev
+	}
+	ev := &deliverEv{x: x}
+	ev.fireFn = func() {
+		deliver, arrive, s := ev.deliver, ev.arrive, ev.s
+		ev.x.putEv(ev)
+		deliver(arrive, s)
+	}
+	return ev
+}
+
+func (x *Exchange) putEv(ev *deliverEv) {
+	ev.deliver = nil
+	ev.s = hnc.Sealed{}
+	x.evs = append(x.evs, ev)
+}
+
+// ExchangeSet drains every shard's exchange at a window barrier. Install
+// its Drain as the shard set's barrier hook.
+type ExchangeSet struct {
+	shards  []*Exchange
+	scratch []xmit
+	trace   func(t sim.Time, src, dst addr.NodeID, seq uint64)
+}
+
+// NewExchangeSet groups the per-shard exchanges.
+func NewExchangeSet(shards []*Exchange) *ExchangeSet {
+	for _, x := range shards {
+		x.multi = len(shards) > 1
+	}
+	return &ExchangeSet{shards: shards}
+}
+
+// Trace installs a hook invoked for every transmission in canonical
+// drain order — the oracle tests compare these streams across shard
+// counts.
+func (es *ExchangeSet) Trace(fn func(t sim.Time, src, dst addr.NodeID, seq uint64)) {
+	es.trace = fn
+}
+
+// Drain replays every recorded intent in (time, source, sequence) order
+// through the fabric, then applies the deferred cross-shard pool
+// returns. It runs on the coordinator with all shards parked.
+func (es *ExchangeSet) Drain(limit sim.Time) {
+	es.scratch = es.scratch[:0]
+	for _, x := range es.shards {
+		x.limit = limit
+		es.scratch = append(es.scratch, x.xmits...)
+		x.xmits = x.xmits[:0]
+	}
+	if len(es.scratch) > 1 {
+		slices.SortFunc(es.scratch, func(a, b xmit) int {
+			if c := cmp.Compare(a.t, b.t); c != 0 {
+				return c
+			}
+			if c := cmp.Compare(a.src, b.src); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.seq, b.seq)
+		})
+	}
+	for i := range es.scratch {
+		m := &es.scratch[i]
+		if es.trace != nil {
+			es.trace(m.t, m.src, m.op.dst, m.seq)
+		}
+		m.op.r.completeSend(m.t, m.op)
+		m.op = nil
+	}
+	for _, x := range es.shards {
+		for i, d := range x.defSrv {
+			d.r.putSrvOp(d.op)
+			x.defSrv[i] = deferredSrv{}
+		}
+		x.defSrv = x.defSrv[:0]
+		for i, d := range x.defBuf {
+			d.r.putLineBuf(d.b)
+			x.defBuf[i] = deferredBuf{}
+		}
+		x.defBuf = x.defBuf[:0]
+	}
+}

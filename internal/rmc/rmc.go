@@ -89,6 +89,16 @@ type RMC struct {
 	peers  Peers
 	inj    *faults.Injector // nil without a fault plan
 
+	// exch, when non-nil, switches the send path to windowed-exchange
+	// mode: transmissions become intents drained at shard barriers in
+	// canonical (time, src, seq) order instead of walking the fabric
+	// inline (see exchange.go). nowFn supplies the cluster-level clock
+	// for utilization gauges (a shard's own clock stops at its last
+	// local event, which would skew post-run utilization under K > 1).
+	exch    *Exchange
+	nowFn   func() sim.Time
+	xmitSeq uint64
+
 	// client is the bounded admission queue + bridging occupancy of the
 	// requester role; server is the FIFO service of the target role.
 	client *sim.Resource
@@ -172,6 +182,13 @@ type Config struct {
 	// NACK storms, stall windows). The injector is shared with the
 	// fabric so the whole system replays one fault stream.
 	Faults *faults.Injector
+	// Exch, when non-nil, routes every transmission through the shard
+	// barrier exchange instead of walking the fabric at send time. It
+	// must be the exchange of the shard that owns Engine.
+	Exch *Exchange
+	// Now, when non-nil, overrides the clock used by snapshot-time
+	// utilization gauges (the cluster passes the shard set's max clock).
+	Now func() sim.Time
 }
 
 // New builds a node's RMC.
@@ -183,6 +200,9 @@ func New(c Config) (*RMC, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.Exch != nil && c.Exch.eng != c.Engine {
+		return nil, fmt.Errorf("rmc: exchange belongs to a different shard engine")
+	}
 	r := &RMC{
 		self:   c.Self,
 		eng:    c.Engine,
@@ -191,11 +211,16 @@ func New(c Config) (*RMC, error) {
 		fabric: c.Fabric,
 		peers:  c.Peers,
 		inj:    c.Faults,
+		exch:   c.Exch,
+		nowFn:  c.Now,
 		client: sim.NewResource(c.Engine, fmt.Sprintf("rmc%d/client", c.Self), c.Params.RMCQueueDepth),
 		server: sim.NewResource(c.Engine, fmt.Sprintf("rmc%d/server", c.Self), 0),
 		bank:   c.Bank,
 		store:  c.Store,
 		verif:  hnc.NewVerifier(c.Self),
+	}
+	if r.nowFn == nil {
+		r.nowFn = c.Engine.Now
 	}
 	r.register(c.Engine.Metrics())
 	return r, nil
@@ -214,9 +239,9 @@ func (r *RMC) register(m *metrics.Registry) {
 	m.CounterFunc(metrics.FamRMCLoopback, "loopback-mode operations", node, func() uint64 { return r.LoopbackOps })
 	m.CounterFunc(metrics.FamRMCAborted, "requests denied by the protection check", node, func() uint64 { return r.Aborted })
 	m.GaugeFunc(metrics.FamRMCClientUtil, "client-role occupancy fraction", node,
-		func() float64 { return r.client.Utilization(r.eng.Now()) })
+		func() float64 { return r.client.Utilization(r.nowFn()) })
 	m.GaugeFunc(metrics.FamRMCServerUtil, "server-role occupancy fraction", node,
-		func() float64 { return r.server.Utilization(r.eng.Now()) })
+		func() float64 { return r.server.Utilization(r.nowFn()) })
 	m.CounterFunc(metrics.FamHNCFrames, "sealed frames accepted at this node", node, func() uint64 { return r.verif.Received })
 	m.CounterFunc(metrics.FamHNCSeqGaps, "dropped-frame gaps observed", node, func() uint64 { return r.verif.Gaps })
 	m.CounterFunc(metrics.FamHNCRegressions, "reordered or replayed frames observed", node, func() uint64 { return r.verif.Regressions })
@@ -253,12 +278,15 @@ func (r *RMC) StallServer(now sim.Time, d sim.Time) {
 // a per-RMC free list — so a steady-state remote load/store schedules
 // every event through prebound funcs and completes without allocating.
 //
-// Recycling rule: ops and line buffers return to their pools only on a
-// fault-free system (inj == nil). Under a fault plan, mangled duplicate
-// deliveries can fire an op's callbacks after its request completed;
-// recycling then would let a late arrival read a *reused* op's fields
-// and corrupt another request's bookkeeping. Fault runs therefore keep
-// the old allocate-per-access behavior, bit-for-bit.
+// Recycling rule: every op sees exactly one clean delivery per frame it
+// owns — a transmission attempt's outcomes are mutually exclusive
+// (Delivered ends the chain; Corrupted/Dropped arm a retransmit), and an
+// injector-mangled duplicate can never pass the CRC, so it is verified
+// and discarded by acceptMangled without ever touching the op that sent
+// it. Ops therefore recycle under a fault plan too. Line buffers are the
+// exception: a mangled frame aliases the original payload slice and the
+// receiver's CRC check reads it at arrival time, so buffers stay
+// unpooled while an injector is armed (see putLineBuf).
 
 // clientOp is the requester role's continuation: admission (with NACK
 // backoff), launch onto the fabric, and final completion.
@@ -297,9 +325,6 @@ func (r *RMC) getClientOp() *clientOp {
 }
 
 func (r *RMC) putClientOp(op *clientOp) {
-	if r.inj != nil {
-		return
-	}
 	op.pkt = ht.Packet{}
 	op.peer = nil
 	op.done = nil
@@ -327,9 +352,10 @@ func (op *clientOp) finish(t sim.Time, rsp ht.Packet, err error) {
 	// serving RMC's line pool — each returns to the pool it was drawn
 	// from, so neither pool drains across repeated round trips. At most
 	// one of the two is non-nil per request, so a buffer can never
-	// enter a pool twice.
+	// enter a pool twice. The server's pool may live on another shard;
+	// putLineBufOf defers that return to the next barrier.
 	r.putLineBuf(reqData)
-	server.putLineBuf(rsp.Data)
+	r.putLineBufOf(server, rsp.Data)
 }
 
 // Request submits a memory request whose address carries a node prefix.
@@ -396,6 +422,22 @@ func (r *RMC) putLineBuf(b []byte) {
 	r.lineBufs = append(r.lineBufs, b)
 }
 
+// putLineBufOf returns a buffer to another RMC's pool. When the owner
+// lives on a different shard, the return is deferred onto the executing
+// shard's exchange and applied by the coordinator at the next barrier —
+// pools are plain slices and must never be touched across shards mid-
+// window.
+func (r *RMC) putLineBufOf(owner *RMC, b []byte) {
+	if owner == r || r.exch == nil || owner.exch == r.exch {
+		owner.putLineBuf(b)
+		return
+	}
+	if owner.inj != nil || cap(b) == 0 { // would be dropped at the drain anyway
+		return
+	}
+	r.exch.defBuf = append(r.exch.defBuf, deferredBuf{r: owner, b: b})
+}
+
 // admitAttempt tries to enter the client queue, retrying on NACK with
 // capped exponential backoff. The backoff matters: a requester retrying
 // at a fixed interval against a full queue would waste RMC capacity
@@ -449,7 +491,7 @@ func (r *RMC) launch(op *clientOp) {
 	// budget, so link timing (and the paper calibration) is unchanged.
 	sealed := hnc.Seal(frame)
 	op.peer, _ = r.peers.RMC(dst)
-	r.sendSealed(now, sealed, dst, op.express, op.deliverFn, op.abandonFn)
+	r.sendSealed(now, sealed, dst, op.express, r.eng, op.deliverFn, op.abandonFn)
 }
 
 // sendOp is one sealed frame's journey under the retransmission
@@ -465,6 +507,11 @@ type sendOp struct {
 	arrive  sim.Time
 	deliver func(sim.Time, hnc.Sealed)
 	abandon func(sim.Time, int)
+	// owner is the engine of the shard that owns the abandon
+	// continuation (the requester's shard for both legs: a client op
+	// completes there directly, and a server reply's abandon hands the
+	// completion to the requester's callbacks too).
+	owner *sim.Engine
 
 	attemptFn func()
 	deliverFn func()
@@ -487,11 +534,9 @@ func (r *RMC) getSendOp() *sendOp {
 }
 
 func (r *RMC) putSendOp(op *sendOp) {
-	if r.inj != nil {
-		return
-	}
 	op.s = hnc.Sealed{}
 	op.deliver, op.abandon = nil, nil
+	op.owner = nil
 	r.sendOps = append(r.sendOps, op)
 }
 
@@ -501,34 +546,97 @@ func (r *RMC) putSendOp(op *sendOp) {
 // resend after RetransmitTimeout with capped exponential backoff, until
 // the budget runs out and abandon fires. On a fault-free fabric the
 // frame is simply delivered — one arrival event, exactly as before the
-// fault layer existed.
-func (r *RMC) sendSealed(now sim.Time, s hnc.Sealed, dst addr.NodeID, express bool, deliver func(sim.Time, hnc.Sealed), abandon func(sim.Time, int)) {
+// fault layer existed. owner is the engine of the shard that owns the
+// abandon continuation.
+func (r *RMC) sendSealed(now sim.Time, s hnc.Sealed, dst addr.NodeID, express bool, owner *sim.Engine, deliver func(sim.Time, hnc.Sealed), abandon func(sim.Time, int)) {
 	op := r.getSendOp()
 	op.s, op.dst, op.express, op.wire = s, dst, express, s.Frame.WireBytes()
 	op.n = 0
 	op.deliver, op.abandon = deliver, abandon
+	op.owner = owner
 	r.sendAttempt(now, op)
 }
 
+// sendAttempt transmits one attempt. In windowed-exchange mode it only
+// records the intent; the coordinator replays all intents through
+// completeSend at the barrier in canonical (time, src, seq) order, so
+// link acquisition and the injector's roll stream are consumed in an
+// order that is a pure function of simulated state — identical at any
+// shard count.
 func (r *RMC) sendAttempt(now sim.Time, op *sendOp) {
+	if r.exch != nil {
+		r.xmitSeq++
+		r.exch.xmits = append(r.exch.xmits, xmit{t: now, src: r.self, seq: r.xmitSeq, op: op})
+		return
+	}
+	r.completeSend(now, op)
+}
+
+// completeSend walks the fabric for one attempt and schedules its
+// consequences. In exchange mode it runs on the coordinator with every
+// shard parked, so it may touch any shard's engine and fabric state.
+func (r *RMC) completeSend(now sim.Time, op *sendOp) {
 	out := r.deliverOutcome(now, op.dst, op.wire, op.express)
 	switch out.Status {
 	case faults.Delivered:
-		op.arrive = sim.Time(out.Arrive)
-		r.eng.At(op.arrive, op.deliverFn)
+		arrive := sim.Time(out.Arrive)
+		if r.exch == nil {
+			op.arrive = arrive
+			r.eng.At(arrive, op.deliverFn)
+			return
+		}
+		// The lookahead window is no longer than the minimum link
+		// latency, so arrive lands at or past the window limit — in the
+		// destination shard's future. The delivery event comes from the
+		// destination exchange's pool and the send op recycles now; the
+		// horizon observed is arrive-now, the same sample the inline
+		// path records.
+		dst, err := r.peers.RMC(op.dst)
+		if err != nil {
+			panic(fmt.Sprintf("rmc%d: destination node %d vanished: %v", r.self, op.dst, err))
+		}
+		ev := dst.exch.getEv()
+		ev.deliver, ev.arrive, ev.s = op.deliver, arrive, op.s
+		dst.exch.eng.AtFrom(now, arrive, ev.fireFn)
+		r.putSendOp(op)
 	case faults.Corrupted:
 		// The mangled copy still arrives — the receiver's CRC check
 		// counts and discards it — and the sender, hearing nothing,
-		// retransmits. Fault-only path: the fresh closure captures the
-		// callback by value, so it stays valid however long it lingers.
+		// retransmits. Fault-only path; the closure captures everything
+		// by value, so it never touches the (recyclable) op.
 		arrive := sim.Time(out.Arrive)
 		mangled := hnc.Sealed{Frame: op.s.Frame, CRC: r.inj.MangleCRC(op.s.CRC)}
-		deliver := op.deliver
-		r.eng.At(arrive, func() { deliver(arrive, mangled) })
+		r.scheduleMangled(now, arrive, mangled)
 		r.resend(now, op)
 	default: // Dropped, Unreachable
 		r.resend(now, op)
 	}
+}
+
+// scheduleMangled arranges for an injector-corrupted frame to reach its
+// destination's verifier, on the destination's shard.
+func (r *RMC) scheduleMangled(sent, arrive sim.Time, s hnc.Sealed) {
+	dst, err := r.peers.RMC(s.Frame.Dst)
+	if err != nil {
+		panic(fmt.Sprintf("rmc%d: corrupted frame for unknown node %d: %v", r.self, s.Frame.Dst, err))
+	}
+	eng := r.eng
+	if r.exch != nil {
+		eng = dst.exch.eng
+	}
+	eng.AtFrom(sent, arrive, func() { dst.acceptMangled(s) })
+}
+
+// acceptMangled runs the receiver-side integrity check on a frame the
+// injector corrupted in flight: the verifier counts and discards it,
+// exactly as serve/acceptReply would. A mangled frame can never pass the
+// CRC, so it never reaches the op that sent it — which is what lets ops
+// recycle under a fault plan.
+func (r *RMC) acceptMangled(s hnc.Sealed) {
+	if _, err := r.verif.AcceptLoose(s); err != nil {
+		return
+	}
+	panic(fmt.Sprintf("rmc%d: injector-mangled frame passed the CRC check", r.self))
 }
 
 // resend arms the retransmission timer for the op's current attempt, or
@@ -536,9 +644,19 @@ func (r *RMC) sendAttempt(now sim.Time, op *sendOp) {
 func (r *RMC) resend(now sim.Time, op *sendOp) {
 	if op.n >= r.p.RetransmitBudget {
 		r.Abandoned++
-		// Abandons happen only under a fault plan, where ops are never
-		// recycled; the op may die with its callbacks in flight.
-		op.abandon(now, op.n+1)
+		ab, attempts := op.abandon, op.n+1
+		if r.exch == nil {
+			r.putSendOp(op)
+			ab(now, attempts)
+			return
+		}
+		// The abandon continuation belongs to the requester's shard;
+		// running at the barrier, hand it to that engine at the window
+		// limit (the earliest instant that is deterministically in every
+		// shard's future).
+		owner, lim := op.owner, r.exch.limit
+		r.putSendOp(op)
+		owner.AtFrom(now, lim, func() { ab(lim, attempts) })
 		return
 	}
 	r.Retransmits++
@@ -548,7 +666,13 @@ func (r *RMC) resend(now sim.Time, op *sendOp) {
 	}
 	wait := r.p.RetransmitTimeout << shift
 	op.n++
-	r.eng.At(now+wait, op.attemptFn)
+	if r.exch == nil {
+		r.eng.At(now+wait, op.attemptFn)
+	} else {
+		// Timer on the sender's shard; RetransmitTimeout >= the window,
+		// so the wake-up is in the shard's future.
+		r.eng.AtFrom(now, now+wait, op.attemptFn)
+	}
 }
 
 // deliverOutcome routes one frame over the chosen path. Express links
@@ -600,31 +724,50 @@ func (r *RMC) getSrvOp() *srvOp {
 	op.serviceFn = func() { op.service() }
 	op.respondFn = func() { op.respond() }
 	op.replyDeliverFn = func(t sim.Time, s hnc.Sealed) {
+		// Only the one clean arrival of the reply frame reaches this
+		// callback (mangled duplicates go through acceptMangled), so
+		// the op is live here by construction.
 		if op.r.acceptReply(op.src, s) {
-			done, rsp := op.done, op.rsp
-			op.r.putSrvOp(op)
+			done, rsp, src := op.done, op.rsp, op.src
+			op.r.reclaimSrvOp(src, op)
 			done(t, rsp, nil)
 		}
-		// A corrupted arrival is counted and dropped by the
-		// requester's verifier; this sender's retransmission will
-		// complete the request on a later, clean arrival.
 	}
 	op.replyAbandonFn = func(t sim.Time, attempts int) {
 		// The requester became unreachable for the response. The
 		// server holds the completion, so it can still fail the
 		// request instead of leaving the issuer hanging.
-		op.done(t, ht.Packet{}, &UnreachableError{Dst: op.src, Attempts: attempts})
+		done, src := op.done, op.src
+		op.r.reclaimSrvOp(src, op)
+		done(t, ht.Packet{}, &UnreachableError{Dst: src, Attempts: attempts})
 	}
 	return op
 }
 
 func (r *RMC) putSrvOp(op *srvOp) {
-	if r.inj != nil {
-		return
-	}
 	op.local, op.rsp = ht.Packet{}, ht.Packet{}
 	op.done = nil
 	r.srvOps = append(r.srvOps, op)
+}
+
+// reclaimSrvOp recycles a server-role op whose final callback executed
+// on the requester's shard (reply delivery and reply abandon both run
+// there). A cross-shard return is deferred onto the executing shard's
+// exchange and applied at the next barrier.
+func (r *RMC) reclaimSrvOp(requester addr.NodeID, op *srvOp) {
+	if r.exch == nil {
+		r.putSrvOp(op)
+		return
+	}
+	req, err := r.peers.RMC(requester)
+	if err != nil {
+		panic(fmt.Sprintf("rmc%d: requester node %d vanished: %v", r.self, requester, err))
+	}
+	if req.exch == r.exch {
+		r.putSrvOp(op)
+		return
+	}
+	req.exch.defSrv = append(req.exch.defSrv, deferredSrv{r: r, op: op})
 }
 
 // serve handles a sealed frame arriving from the fabric: verify
@@ -692,7 +835,20 @@ func (r *RMC) sendReply(now sim.Time, op *srvOp) {
 	if err != nil {
 		panic(fmt.Sprintf("rmc%d: reply bridge failed: %v", r.self, err))
 	}
-	r.sendSealed(now, hnc.Seal(reply), op.src, op.express, op.replyDeliverFn, op.replyAbandonFn)
+	r.sendSealed(now, hnc.Seal(reply), op.src, op.express, r.replyOwner(op.src), op.replyDeliverFn, op.replyAbandonFn)
+}
+
+// replyOwner resolves the engine that owns a reply's completion — the
+// requester's shard, where the clientOp callbacks live.
+func (r *RMC) replyOwner(requester addr.NodeID) *sim.Engine {
+	if r.exch == nil {
+		return r.eng
+	}
+	req, err := r.peers.RMC(requester)
+	if err != nil {
+		panic(fmt.Sprintf("rmc%d: requester node %d vanished: %v", r.self, requester, err))
+	}
+	return req.eng
 }
 
 // acceptReply runs the requester-side integrity check on a sealed
@@ -741,8 +897,14 @@ func (r *RMC) access(op *srvOp) {
 		}
 		op.rsp = op.local.Response(data)
 	case ht.CmdWrSized:
-		if err := r.store.WriteAt(op.local.Addr, op.local.Data); err != nil {
-			panic(fmt.Sprintf("rmc%d: functional write failed: %v", r.self, err))
+		// A nil-Data write is the idempotent line writeback the cluster
+		// issues for cached lines it owns functionally already: priced on
+		// the wire and at the bank, but with nothing to copy (writing the
+		// bytes back would be a no-op on the store).
+		if op.local.Data != nil {
+			if err := r.store.WriteAt(op.local.Addr, op.local.Data); err != nil {
+				panic(fmt.Sprintf("rmc%d: functional write failed: %v", r.self, err))
+			}
 		}
 		op.rsp = op.local.Response(nil)
 	default:

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// ShardSet drives K engines under conservative windowed execution: every
+// iteration picks the globally earliest pending event time T, lets each
+// shard execute its events in [T, T+window) concurrently, then runs the
+// barrier hook on the coordinator with all shards parked. The window is
+// the lookahead: as long as no cross-shard interaction can take effect
+// sooner than `window` after it is initiated (the minimum inter-shard
+// link latency guarantees this for HNC frames), events inside a window
+// are causally independent across shards and barrier-merged traffic
+// always lands in a later window. See DESIGN §16.
+//
+// A ShardSet with one engine runs entirely inline — no goroutines, no
+// atomics on the event path — so the single-shard configuration keeps
+// the exact execution profile of the plain engine.
+type ShardSet struct {
+	engines []*Engine
+	window  Time
+	met     *metrics.Registry
+	barrier func(limit Time)
+
+	stopReq atomic.Bool
+
+	// Worker release/join machinery (K > 1). The coordinator publishes
+	// limit, resets done, then bumps epoch; workers spin on epoch, run
+	// their shard's window, and count themselves into done. The atomic
+	// epoch/done pairs carry the happens-before edges both ways.
+	epoch atomic.Uint32
+	done  atomic.Int32
+	limit atomic.Int64
+
+	// workers holds one reusable spawn closure per non-coordinator
+	// shard, built on first use so repeated Run calls do not allocate
+	// (steady-state zero-alloc contract). spawnEpoch passes the epoch a
+	// batch of workers should treat as already seen; the go statement's
+	// happens-before edge publishes it.
+	workers    []func()
+	spawnEpoch uint32
+
+	merged *metrics.Histogram // snapshot-time scratch for the delay merge
+}
+
+// quitLimit released through the window protocol tells workers to exit.
+const quitLimit = math.MinInt64
+
+// WrapEngine adapts a self-registered engine (from New) into a
+// single-shard set: same registry, same families, inline execution.
+func WrapEngine(e *Engine, window Time) *ShardSet {
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead window %d", window))
+	}
+	return &ShardSet{engines: []*Engine{e}, window: window, met: e.met}
+}
+
+// NewShardSet builds k bare engines over one fresh shared registry and
+// registers aggregated sim_* families matching what a single engine
+// self-registers, so snapshots are byte-identical across shard counts.
+func NewShardSet(k int, window Time) *ShardSet {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: shard count %d < 1", k))
+	}
+	if k == 1 {
+		return WrapEngine(New(), window)
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead window %d", window))
+	}
+	met := metrics.NewRegistry()
+	s := &ShardSet{window: window, met: met, merged: metrics.NewHistogram(metrics.TimeBuckets())}
+	for i := 0; i < k; i++ {
+		s.engines = append(s.engines, newBare(met))
+	}
+	met.CounterFunc(metrics.FamSimEvents, "events executed by the engine", nil,
+		func() uint64 {
+			var n uint64
+			for _, e := range s.engines {
+				n += e.Processed
+			}
+			return n
+		})
+	met.GaugeFunc(metrics.FamSimPending, "live events still queued", nil,
+		func() float64 { return float64(s.Pending()) })
+	met.GaugeFunc(metrics.FamSimNow, "current simulated time", nil,
+		func() float64 { return float64(s.Now()) / 1e12 })
+	met.HistogramFunc(metrics.FamSimDelay, "scheduling horizon: how far ahead events are placed", nil,
+		metrics.TimeBuckets(), func() *metrics.Histogram {
+			s.merged.Reset()
+			for _, e := range s.engines {
+				s.merged.AddAll(e.delay)
+			}
+			return s.merged
+		})
+	return s
+}
+
+// Shards returns the number of engines in the set.
+func (s *ShardSet) Shards() int { return len(s.engines) }
+
+// Engine returns shard i's engine.
+func (s *ShardSet) Engine(i int) *Engine { return s.engines[i] }
+
+// Metrics returns the registry shared by every shard.
+func (s *ShardSet) Metrics() *metrics.Registry { return s.met }
+
+// Window returns the lookahead window.
+func (s *ShardSet) Window() Time { return s.window }
+
+// OnBarrier installs the hook run on the coordinator after each window,
+// with every shard parked. The cluster drains the cross-shard exchange
+// here; the hook may schedule onto any shard's engine.
+func (s *ShardSet) OnBarrier(fn func(limit Time)) { s.barrier = fn }
+
+// Now returns the maximum engine clock across shards: the time of the
+// last event executed anywhere, which is what a single engine's Now
+// reports after the same run. Call it with the shards parked — between
+// Run calls, from the barrier hook, or from a metrics sampler — not
+// from inside an executing event, where sibling shards are advancing
+// their clocks concurrently.
+func (s *ShardSet) Now() Time {
+	var t Time
+	for _, e := range s.engines {
+		if e.now > t {
+			t = e.now
+		}
+	}
+	return t
+}
+
+// Pending returns the total live events queued across shards. Like
+// Now, call it only with the shards parked.
+func (s *ShardSet) Pending() int {
+	var n int
+	for _, e := range s.engines {
+		n += e.live
+	}
+	return n
+}
+
+// Stop makes Run return at the end of the current window. Safe to call
+// from an event executing on any shard; the coordinator checks the flag
+// after the barrier, so the stop point is deterministic regardless of
+// which shard requested it or how far the others had advanced.
+func (s *ShardSet) Stop() { s.stopReq.Store(true) }
+
+// Run executes windows until every shard's queue drains or Stop is
+// called, and returns the final time. Like Engine.Run it may be called
+// again to resume after a Stop.
+func (s *ShardSet) Run() Time {
+	if len(s.engines) == 1 {
+		e := s.engines[0]
+		for {
+			t, ok := e.nextTime()
+			if !ok {
+				break
+			}
+			lim := t + s.window
+			e.runWindow(lim)
+			if s.barrier != nil {
+				s.barrier(lim)
+			}
+			if s.stopReq.Load() {
+				s.stopReq.Store(false)
+				break
+			}
+		}
+		return s.Now()
+	}
+	return s.runParallel()
+}
+
+func (s *ShardSet) runParallel() Time {
+	k := len(s.engines)
+	if s.workers == nil {
+		for i := 1; i < k; i++ {
+			i := i
+			s.workers = append(s.workers, func() { s.work(i, s.spawnEpoch) })
+		}
+	}
+	s.spawnEpoch = s.epoch.Load()
+	for _, w := range s.workers {
+		go w()
+	}
+	for {
+		var t Time
+		ok := false
+		for _, e := range s.engines {
+			if et, eok := e.nextTime(); eok && (!ok || et < t) {
+				t, ok = et, true
+			}
+		}
+		if !ok {
+			break
+		}
+		lim := t + s.window
+		s.limit.Store(lim)
+		s.done.Store(0)
+		s.epoch.Add(1)
+		s.engines[0].runWindow(lim) // the coordinator is shard 0's worker
+		s.await(k - 1)
+		if s.barrier != nil {
+			s.barrier(lim)
+		}
+		if s.stopReq.Load() {
+			s.stopReq.Store(false)
+			break
+		}
+	}
+	s.limit.Store(quitLimit)
+	s.done.Store(0)
+	s.epoch.Add(1)
+	s.await(k - 1)
+	return s.Now()
+}
+
+// work is one shard's worker loop: spin until the coordinator opens a
+// new window, run it, report done. Windows are microseconds apart, so a
+// short spin before yielding wins over channel parking.
+func (s *ShardSet) work(i int, seen uint32) {
+	spins := 0
+	for {
+		e := s.epoch.Load()
+		if e == seen {
+			if spins++; spins > 256 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		seen = e
+		spins = 0
+		lim := s.limit.Load()
+		if lim == quitLimit {
+			s.done.Add(1)
+			return
+		}
+		s.engines[i].runWindow(lim)
+		s.done.Add(1)
+	}
+}
+
+// await spins until n workers have finished the current window.
+func (s *ShardSet) await(n int) {
+	spins := 0
+	for int(s.done.Load()) < n {
+		if spins++; spins > 256 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -74,6 +74,14 @@ func New() *Engine {
 	return e
 }
 
+// newBare returns an engine that reports into a shared registry but does
+// not register the engine-level families: a ShardSet owns those and
+// presents the per-shard values aggregated, so a sharded system's
+// snapshot carries the same sim_* families as a single-engine one.
+func newBare(met *metrics.Registry) *Engine {
+	return &Engine{free: -1, met: met, delay: metrics.NewHistogram(metrics.TimeBuckets())}
+}
+
 // Metrics returns the registry every substrate sharing this engine
 // reports into. One registry per simulated system keeps snapshots
 // deterministic under the parallel harness.
@@ -187,10 +195,23 @@ func (e *Engine) pop() entry {
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // panics: it would silently corrupt causality in a model.
 func (e *Engine) At(at Time, fn func()) Handle {
+	return e.schedule(at, at-e.now, fn)
+}
+
+// AtFrom schedules fn at the absolute time at, recording the scheduling
+// horizon relative to base instead of the engine's clock. The barrier
+// coordinator uses it when placing cross-shard deliveries: the horizon it
+// observes (arrival minus send time) is a pure function of simulated
+// state, so the delay histogram stays byte-identical at any shard count.
+func (e *Engine) AtFrom(base, at Time, fn func()) Handle {
+	return e.schedule(at, at-base, fn)
+}
+
+func (e *Engine) schedule(at, horizon Time, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
 	}
-	e.delay.Observe(at - e.now)
+	e.delay.Observe(horizon)
 	sl := e.alloc(fn)
 	e.push(at, e.seq, sl)
 	e.seq++
@@ -260,3 +281,23 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // the engine maintains the count on schedule, fire, and cancel (the
 // metrics layer samples it on every snapshot).
 func (e *Engine) Pending() int { return e.live }
+
+// nextTime returns the firing time of the earliest queued entry (which
+// may be a canceled slot: popping it is a cheap no-op, so the window
+// coordinator does not need to distinguish).
+func (e *Engine) nextTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// runWindow executes every event with a firing time strictly below
+// limit. It is the per-shard half of the conservative PDES loop: events
+// at or past the window limit may still be affected by cross-shard
+// traffic merged at the barrier, so they stay queued.
+func (e *Engine) runWindow(limit Time) {
+	for len(e.queue) > 0 && e.queue[0].at < limit {
+		e.fire()
+	}
+}

@@ -34,6 +34,8 @@ package ncdsm
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"repro/internal/addr"
 	"repro/internal/consistency"
@@ -96,6 +98,25 @@ type BulkSpec = params.BulkSpec
 // "frame=16,maxframes=256".
 func ParseBulkSpec(spec string) (BulkSpec, error) { return params.ParseBulk(spec) }
 
+// ParseMesh reads the CLI -mesh syntax "WxH" (e.g. "16x16") and returns
+// the dimensions. An empty spec returns (0, 0): keep the calibrated
+// default.
+func ParseMesh(spec string) (w, h int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	i := strings.IndexByte(spec, 'x')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("ncdsm: mesh spec %q is not WxH (e.g. 16x16)", spec)
+	}
+	w, errW := strconv.Atoi(spec[:i])
+	h, errH := strconv.Atoi(spec[i+1:])
+	if errW != nil || errH != nil || w < 2 || h < 2 {
+		return 0, 0, fmt.Errorf("ncdsm: mesh spec %q must be WxH with both dimensions >= 2", spec)
+	}
+	return w, h, nil
+}
+
 // UnreachableError is the typed failure a request ends with when its
 // destination stays unreachable past the retransmit budget. Only timed
 // accesses under a fault plan can observe it.
@@ -122,7 +143,7 @@ type System struct {
 
 // New builds a system from a configuration.
 func New(cfg Config) (*System, error) {
-	s, err := core.NewSystem(sim.New(), cfg)
+	s, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -151,11 +172,11 @@ func (s *System) Region(n NodeID) (*Region, error) {
 // Run advances the simulation until all scheduled work completes and
 // returns the final simulated time. Timed accesses (Region.Access) only
 // complete under Run.
-func (s *System) Run() Time { return s.inner.Engine().Run() }
+func (s *System) Run() Time { return s.inner.Run() }
 
 // Now returns the current simulated time — pass it as the issue time of
 // accesses submitted after a previous Run.
-func (s *System) Now() Time { return s.inner.Engine().Now() }
+func (s *System) Now() Time { return s.inner.Now() }
 
 // Core returns the underlying core.System for advanced use (experiment
 // drivers, direct cluster access). The internal API is not covered by
@@ -181,7 +202,7 @@ type LinkMetrics = metrics.LinkView
 // instrument is sampled lazily at snapshot time, so calling it after
 // Run reflects the whole simulation; snapshots taken from the same
 // sequence of operations are byte-identical run to run.
-func (s *System) Metrics() Snapshot { return s.inner.Engine().Metrics().Snapshot() }
+func (s *System) Metrics() Snapshot { return s.inner.Registry().Snapshot() }
 
 // MemoryMap writes a node's view of the cluster memory map (the paper's
 // Figure 3) to w.
@@ -420,6 +441,14 @@ type ExperimentOptions struct {
 	// simulated point (the CLIs' -bulk flag). The zero value keeps the
 	// defaults and is byte-identical to not setting it.
 	Bulk BulkSpec
+	// MeshWidth and MeshHeight override the fabric mesh dimensions (the
+	// CLIs' -mesh WxH flag). Zero keeps the calibrated 4×4. Both must be
+	// set together.
+	MeshWidth, MeshHeight int
+	// Shards splits the mesh across that many concurrent conservative
+	// PDES shards (the CLIs' -shards flag). 0 or 1 is single-shard;
+	// results are byte-identical at every setting.
+	Shards int
 }
 
 // DefaultExperimentOptions returns paper-scale, all-cores options.
@@ -448,6 +477,18 @@ func (o ExperimentOptions) internal() (experiments.Options, error) {
 			return experiments.Options{}, err
 		}
 		o.Bulk.Apply(&io.P)
+	}
+	if o.MeshWidth != 0 || o.MeshHeight != 0 {
+		if o.MeshWidth <= 0 || o.MeshHeight <= 0 {
+			return experiments.Options{}, fmt.Errorf("ncdsm: MeshWidth and MeshHeight must be set together and positive (got %dx%d)", o.MeshWidth, o.MeshHeight)
+		}
+		io.P.MeshWidth, io.P.MeshHeight = o.MeshWidth, o.MeshHeight
+	}
+	if o.Shards != 0 {
+		io.P.Shards = o.Shards
+	}
+	if err := io.P.Validate(); err != nil {
+		return experiments.Options{}, err
 	}
 	return io, nil
 }

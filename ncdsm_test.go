@@ -176,7 +176,7 @@ func TestTimedAccess(t *testing.T) {
 
 func TestExperimentAPI(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("Experiments lists %d ids", len(ids))
 	}
 	opts := DefaultExperimentOptions()
