@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench perf-gate fuzz
+.PHONY: check build vet fmt test race bench perf-gate scale-bench fuzz
 
 check: fmt vet build test race
 
@@ -33,6 +33,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./cmd/ncdsm-perf -out BENCH_sim.json
+
+# scale-bench sweeps GOMAXPROCS over the paper-scale sharded benchmark
+# (16x16 mesh, 8 shards) and records events/sec at each worker width in
+# BENCH_scale.json. Informational, not a CI gate: parallel speedup is a
+# property of the host, unlike the deterministic results it produces.
+scale-bench:
+	$(GO) run ./cmd/ncdsm-perf -scale BENCH_scale.json
 
 # perf-gate re-measures and fails on >20% ns/op regression (after
 # calibration rescaling for host speed) or any allocs/op growth against

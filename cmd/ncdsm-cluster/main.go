@@ -45,6 +45,8 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "worker count for -explore (0 = all cores); output is identical at any setting")
 		meshSpec   = flag.String("mesh", "", "mesh fabric dimensions WxH, e.g. 16x16 (default: calibrated 4x4)")
 		shards     = flag.Int("shards", 0, "concurrent PDES shards the mesh is partitioned into (0/1 = single shard; results are byte-identical at any count)")
+		window     = flag.String("window", "", "sharded lookahead schedule: uniform, distance, or elide (default elide; results are byte-identical under every mode)")
+		linkLat    = flag.String("linklat", "", "per-edge mesh link latencies, e.g. x=100ns,y=140ns,edge=1.0-2.0:250ns (default: uniform hop latency)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,16 @@ func main() {
 	if *shards != 0 {
 		cfg.Shards = *shards
 	}
+	if mode, err := ncdsmfacade.ParseWindowMode(*window); err != nil {
+		fatal(err)
+	} else {
+		cfg.Window = mode
+	}
+	if ll, err := ncdsmfacade.ParseLinkLatSpec(*linkLat); err != nil {
+		fatal(err)
+	} else if !ll.Empty() {
+		cfg.LinkLat = ll
+	}
 	plan, err := ncdsmfacade.ParseFaultPlan(*faultSpec)
 	if err != nil {
 		fatal(err)
@@ -67,6 +79,11 @@ func main() {
 	bulk, err := ncdsmfacade.ParseBulkSpec(*bulkSpec)
 	if err != nil {
 		fatal(err)
+	}
+	if !bulk.Empty() && cfg.Shards > 1 {
+		// Fail loudly instead of letting the bulk demo die mid-walkthrough:
+		// the bulk data plane only runs on the single-shard engine.
+		fatal(&ncdsmfacade.ShardGateError{Feature: "the bulk data plane", Shards: cfg.Shards})
 	}
 	bulk.Apply(&cfg)
 	sys, err := ncdsmfacade.New(cfg)

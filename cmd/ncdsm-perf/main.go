@@ -9,6 +9,7 @@
 //	ncdsm-perf -out BENCH_sim.json          # refresh the baseline
 //	ncdsm-perf -check BENCH_sim.json        # gate: fail on regression
 //	ncdsm-perf -check BENCH_sim.json -tolerance 0.3
+//	ncdsm-perf -scale BENCH_scale.json      # GOMAXPROCS scaling sweep
 //
 // The check fails when any benchmark's ns/op regresses more than the
 // tolerance (default 20%) or its allocs/op grows at all. Because ns/op
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/addr"
@@ -72,13 +74,32 @@ func main() {
 	var (
 		out       = flag.String("out", "", "write measurements to this baseline file")
 		check     = flag.String("check", "", "compare measurements against this baseline file")
+		scaleOut  = flag.String("scale", "", "write a GOMAXPROCS scaling sweep of the sharded benchmark to this file")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression in -check mode")
 	)
 	testing.Init()
 	flag.Parse()
-	if (*out == "") == (*check == "") {
-		fmt.Fprintln(os.Stderr, "ncdsm-perf: exactly one of -out or -check is required")
+	modes := 0
+	for _, m := range []string{*out, *check, *scaleOut} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "ncdsm-perf: exactly one of -out, -check, or -scale is required")
 		os.Exit(2)
+	}
+
+	if *scaleOut != "" {
+		doc, err := json.MarshalIndent(measureScale(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*scaleOut, append(doc, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ncdsm-perf: wrote %s\n", *scaleOut)
+		return
 	}
 
 	cur := measure()
@@ -169,6 +190,60 @@ func measure() Baseline {
 	run("fig9_search_hot_loop", "500ms", 3, 0, nil, benchFig9SearchHotLoop)
 	run("linecached_batch_4k", "500ms", 3, 0, nil, benchLineCachedBatch)
 	run("swap_batch_4k", "500ms", 3, 0, nil, benchSwapBatch)
+	return doc
+}
+
+// ScalePoint is one GOMAXPROCS setting's measurement in the scaling
+// sweep: the paper-scale sharded benchmark's throughput at that worker
+// width, plus its speedup over the single-proc run of the same sweep.
+type ScalePoint struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup_vs_1"`
+}
+
+// ScaleDoc is the BENCH_scale.json document. Unlike BENCH_sim.json it
+// is not a CI gate — parallel speedup depends on the runner's core
+// count and load — but it records how the sharded engine's throughput
+// scales with worker width on the machine that generated it.
+type ScaleDoc struct {
+	Note      string       `json:"note"`
+	Benchmark string       `json:"benchmark"`
+	NumCPU    int          `json:"num_cpu"`
+	Points    []ScalePoint `json:"points"`
+}
+
+// measureScale sweeps GOMAXPROCS over the 16x16/8-shard benchmark. The
+// shard count stays fixed — the partition is part of the deterministic
+// schedule — so the sweep isolates how much of the 8-way decomposition
+// the host can actually run concurrently.
+func measureScale() ScaleDoc {
+	doc := ScaleDoc{
+		Note:      "regenerate with `make scale-bench`; informational (host-dependent), not a CI gate",
+		Benchmark: "sharded_16x16_events_per_sec",
+		NumCPU:    runtime.NumCPU(),
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var base float64
+	for _, procs := range []int{1, 2, 4, 8} {
+		if procs > runtime.NumCPU() && procs != 1 {
+			break // oversubscribed widths only measure scheduler thrash
+		}
+		runtime.GOMAXPROCS(procs)
+		r := bench("200x", 8, func(testing.BenchmarkResult) float64 { return shardedEvents }, benchSharded16x16)
+		pt := ScalePoint{GOMAXPROCS: procs, NsPerOp: r.NsPerOp, EventsPerSec: r.EventsPerSec}
+		if procs == 1 {
+			base = r.NsPerOp
+		}
+		if base > 0 && r.NsPerOp > 0 {
+			pt.Speedup = base / r.NsPerOp
+		}
+		doc.Points = append(doc.Points, pt)
+		fmt.Printf("GOMAXPROCS=%-2d %12.1f ns/op %14.0f events/sec %6.2fx\n",
+			procs, pt.NsPerOp, pt.EventsPerSec, pt.Speedup)
+	}
 	return doc
 }
 

@@ -77,24 +77,24 @@ type line struct {
 	lru   uint64
 }
 
-// socketCache is one socket's set-associative array.
+// socketCache is one socket's set-associative array. The lines live in
+// one flat backing slice, set-major — building a large experiment sweep
+// constructs thousands of sockets, and per-set slices would dominate
+// its allocation count.
 type socketCache struct {
 	cfg   Config
-	sets  [][]line
+	lines []line
 	clock uint64
 }
 
 func newSocketCache(cfg Config) *socketCache {
-	sets := make([][]line, cfg.Sets)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Ways)
-	}
-	return &socketCache{cfg: cfg, sets: sets}
+	return &socketCache{cfg: cfg, lines: make([]line, cfg.Sets*cfg.Ways)}
 }
 
 func (c *socketCache) setOf(tag addr.Phys) []line {
 	idx := (uint64(tag) / c.cfg.LineSize) % uint64(c.cfg.Sets)
-	return c.sets[idx]
+	ways := uint64(c.cfg.Ways)
+	return c.lines[idx*ways : idx*ways+ways]
 }
 
 // find returns the way holding tag, or -1.
@@ -349,13 +349,11 @@ func (h *Hierarchy) StateIn(socket int, a addr.Phys) State {
 func (h *Hierarchy) FlushAll() int {
 	dirty := 0
 	for _, c := range h.sockets {
-		for _, set := range c.sets {
-			for w := range set {
-				if set[w].state == Modified {
-					dirty++
-				}
-				set[w].state = Invalid
+		for i := range c.lines {
+			if c.lines[i].state == Modified {
+				dirty++
 			}
+			c.lines[i].state = Invalid
 		}
 	}
 	h.Writebacks += uint64(dirty)

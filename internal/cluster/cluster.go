@@ -94,6 +94,34 @@ func New(set *sim.ShardSet, p params.Params) (*Cluster, error) {
 	}
 	c.exSet = rmc.NewExchangeSet(c.exch)
 	set.OnBarrier(c.exSet.Drain)
+	set.SetIntentSource(c.exSet.Earliest)
+	if set.Shards() > 1 && c.meshFab != nil {
+		// Upgrade the uniform window to the distance-aware machinery:
+		// B[j][i] from the mesh geometry (and any -linklat table), the
+		// policy from -window, and — under an armed fault plan — the
+		// retransmit-timeout cap that keeps drain-time timers in every
+		// shard's future. Express links added later tighten the matrix,
+		// so the fabric recomputes it on topology changes.
+		policy := sim.PolicyUniform
+		switch p.Window {
+		case params.WindowDistance:
+			policy = sim.PolicyDistance
+		case params.WindowElide:
+			policy = sim.PolicyElide
+		}
+		var capOver sim.Time
+		if c.inj != nil {
+			capOver = p.RetransmitTimeout
+		}
+		b := c.meshFab.MinDelayMatrix(part)
+		set.ConfigureLookahead(policy, b, capOver)
+		c.exSet.SetSelfBounds(b)
+		c.meshFab.OnTopologyChange(func() {
+			nb := c.meshFab.MinDelayMatrix(c.part)
+			set.ConfigureLookahead(policy, nb, capOver)
+			c.exSet.SetSelfBounds(nb)
+		})
+	}
 	for id := addr.NodeID(1); int(id) <= topo.Nodes(); id++ {
 		n, err := newNode(c, id)
 		if err != nil {

@@ -34,18 +34,22 @@ type System struct {
 
 // NewSystem builds the cluster hardware and boots one OS per node. The
 // simulation runs on p.Shards conservative-PDES shards (default one);
-// the lookahead window is the hop latency, the minimum time any frame
-// needs to cross a region boundary.
+// the uniform lookahead window is the minimum single-link traversal
+// latency — HopLatency, unless a -linklat table names a faster edge —
+// the floor on the time any frame needs to cross a region boundary.
+// The cluster upgrades the window machinery to the distance-aware
+// bounds of p.Window once the mesh geometry is known.
 func NewSystem(p params.Params) (*System, error) {
 	k := p.Shards
 	if k < 1 {
 		k = 1
 	}
+	window := p.LinkLat.MinLatency(p.HopLatency)
 	var set *sim.ShardSet
 	if k == 1 {
-		set = sim.WrapEngine(sim.New(), p.HopLatency)
+		set = sim.WrapEngine(sim.New(), window)
 	} else {
-		set = sim.NewShardSet(k, p.HopLatency)
+		set = sim.NewShardSet(k, window)
 	}
 	cl, err := cluster.New(set, p)
 	if err != nil {

@@ -1,11 +1,29 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
 )
+
+// stripShardSchedule removes the ncdsm_shard_* families from a
+// Prometheus rendering. Barrier and elision counts are properties of
+// the multi-shard schedule — inherently shard-count-dependent — so the
+// identity contract covers everything except them (they do not even
+// exist at one shard).
+func stripShardSchedule(prom string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(prom, "\n") {
+		if strings.Contains(line, metrics.ShardScheduleFamilyPrefix) {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}
 
 // shardRun renders one experiment plus its merged metrics under k
 // shards. Figures AND metrics must be byte-identical at every shard
@@ -23,7 +41,7 @@ func shardRun(t *testing.T, id string, o Options, k int) (string, string) {
 	if err != nil {
 		t.Fatalf("%s shards=%d: %v", id, k, err)
 	}
-	return fig.Render(), merged.Snapshot().Prometheus()
+	return fig.Render(), stripShardSchedule(merged.Snapshot().Prometheus())
 }
 
 // TestShardCountByteIdentity re-renders table1 and fig7 at 1, 2, and 4

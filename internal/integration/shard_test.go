@@ -7,6 +7,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/faults"
 	"repro/internal/mesh"
 	"repro/internal/params"
 	"repro/internal/sim"
@@ -21,14 +22,19 @@ type traceRec struct {
 	seq uint64
 }
 
-// shardOracleRun replays a seeded 16x16 workload under k shards and
-// returns the exchange's canonical transmission stream: every RMC send
-// in (time, source, per-source sequence) drain order.
-func shardOracleRun(t *testing.T, k int, seed int64) []traceRec {
+// shardOracleRun replays a seeded 16x16 workload under k shards with
+// the given window policy (and optional fault plan) and returns the
+// exchange's canonical transmission stream: every RMC send in
+// (time, source, per-source sequence) drain order.
+func shardOracleRun(t *testing.T, k int, seed int64, window params.WindowMode, plan *faults.Plan) []traceRec {
 	t.Helper()
 	p := params.Default()
 	p.MeshWidth, p.MeshHeight = 16, 16
 	p.Shards = k
+	p.Window = window
+	if !plan.Empty() {
+		p.Faults = plan
+	}
 	sys, err := core.NewSystem(p)
 	if err != nil {
 		t.Fatal(err)
@@ -82,24 +88,64 @@ func shardOracleRun(t *testing.T, k int, seed int64) []traceRec {
 	return stream
 }
 
+// diffStreams fails the test at the first event where two canonical
+// streams deviate.
+func diffStreams(t *testing.T, label string, want, got []traceRec) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d transmissions, oracle has %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: transmission %d = %+v, oracle %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
 // TestShardedEngineMatchesSingleShardOracle replays the same seeded
 // 16x16 workload on the single-shard engine and on 4 and 8 shards, and
 // requires the cross-shard exchange streams to match event for event:
 // same transmissions, same simulated times, same canonical order.
 func TestShardedEngineMatchesSingleShardOracle(t *testing.T) {
-	want := shardOracleRun(t, 1, 42)
+	want := shardOracleRun(t, 1, 42, params.WindowElide, nil)
 	if len(want) == 0 {
 		t.Fatal("oracle run recorded no transmissions — workload did not reach the fabric")
 	}
 	for _, k := range []int{4, 8} {
-		got := shardOracleRun(t, k, 42)
-		if len(got) != len(want) {
-			t.Fatalf("shards=%d: %d transmissions, oracle has %d", k, len(got), len(want))
-		}
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("shards=%d: transmission %d = %+v, oracle %+v", k, i, got[i], want[i])
+		got := shardOracleRun(t, k, 42, params.WindowElide, nil)
+		diffStreams(t, fmt.Sprintf("shards=%d", k), want, got)
+	}
+}
+
+// TestWindowPolicyOracleEquivalence is the widened/elided-window oracle:
+// the same seeded 16x16 workload on 4 shards must produce event-for-
+// event identical canonical streams under uniform, distance, and elide
+// scheduling — fault-free and under an armed fault plan — and each must
+// match the single-shard stream. The policies change only how often the
+// shards meet, never what the simulation computes.
+func TestWindowPolicyOracleEquivalence(t *testing.T) {
+	plan, err := faults.Parse("seed=7,drop=0.02,corrupt=0.002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		plan *faults.Plan
+	}{
+		{"fault-free", nil},
+		{"armed-plan", plan},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want := shardOracleRun(t, 1, 42, params.WindowUniform, tc.plan)
+			if len(want) == 0 {
+				t.Fatal("oracle run recorded no transmissions")
 			}
-		}
+			for _, mode := range []params.WindowMode{params.WindowUniform, params.WindowDistance, params.WindowElide} {
+				got := shardOracleRun(t, 4, 42, mode, tc.plan)
+				diffStreams(t, fmt.Sprintf("shards=4 window=%v", mode), want, got)
+			}
+		})
 	}
 }

@@ -16,10 +16,12 @@ type linkKey struct {
 	from, to addr.NodeID
 }
 
-// link is one directed link: its timed occupancy plus traffic tallies
-// the metrics layer samples lazily.
+// link is one directed link: its timed occupancy, its traversal latency
+// (per-edge under a -linklat table, HopLatency otherwise), plus traffic
+// tallies the metrics layer samples lazily.
 type link struct {
 	res    *sim.Resource
+	lat    sim.Time
 	frames uint64
 	bytes  uint64
 }
@@ -30,12 +32,13 @@ type link struct {
 // Express links are dedicated point-to-point connections outside the
 // mesh, used only by traffic that explicitly asks for them.
 type Fabric struct {
-	topo    Topology
-	eng     *sim.Engine
-	p       params.Params
-	inj     *faults.Injector // nil on a fault-free fabric
-	links   map[linkKey]*link
-	express map[linkKey]*link
+	topo     Topology
+	eng      *sim.Engine
+	p        params.Params
+	inj      *faults.Injector // nil on a fault-free fabric
+	links    map[linkKey]*link
+	express  map[linkKey]*link
+	onChange func() // invoked after link-set changes (express additions)
 
 	// Delivered counts frames fully delivered; Hops counts link
 	// traversals (mesh only — an express crossing is not a mesh hop).
@@ -67,6 +70,9 @@ func NewFabric(eng *sim.Engine, topo Topology, p params.Params, inj *faults.Inje
 		for _, nb := range topo.Neighbors(id) {
 			k := linkKey{id, nb}
 			f.links[k] = f.newLink(k, "mesh", 0)
+			fx, fy := topo.Coord(id)
+			tx, ty := topo.Coord(nb)
+			f.links[k].lat = p.LinkLat.EdgeLatency(fx, fy, tx, ty, p.HopLatency)
 		}
 	}
 	m := eng.Metrics()
@@ -91,7 +97,7 @@ func (f *Fabric) newLink(k linkKey, class string, queue int) *link {
 	if class == "express" {
 		name = fmt.Sprintf("express %d->%d", k.from, k.to)
 	}
-	l := &link{res: sim.NewResource(f.eng, name, queue)}
+	l := &link{res: sim.NewResource(f.eng, name, queue), lat: f.p.HopLatency}
 	ls := metrics.L(
 		"from", fmt.Sprintf("%d", k.from),
 		"to", fmt.Sprintf("%d", k.to),
@@ -121,8 +127,17 @@ func (f *Fabric) AddExpressLink(a, b addr.NodeID) error {
 		}
 		f.express[k] = f.newLink(k, "express", 0)
 	}
+	if f.onChange != nil {
+		f.onChange()
+	}
 	return nil
 }
+
+// OnTopologyChange installs a hook invoked after the link set changes
+// (today: express-link additions). The sharded engine recomputes its
+// lookahead bound matrix here — an express link is a new fastest path
+// between its endpoints' regions.
+func (f *Fabric) OnTopologyChange(fn func()) { f.onChange = fn }
 
 // occupancy returns the link occupancy of a frame of the given wire size:
 // the calibrated per-packet occupancy covers one cache-line frame; larger
@@ -187,7 +202,7 @@ func (f *Fabric) DeliverOutcome(now sim.Time, src, dst addr.NodeID, wireBytes in
 		l.frames++
 		l.bytes += uint64(wireBytes)
 		f.Hops++
-		t = done + f.p.HopLatency
+		t = done + l.lat
 		hops++
 		if f.inj != nil {
 			if d, ok := f.inj.RollDelay(); ok {

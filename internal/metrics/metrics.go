@@ -24,8 +24,10 @@
 package metrics
 
 import (
+	"cmp"
 	"fmt"
 	"math/bits"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -66,19 +68,28 @@ func (ls Labels) Get(key string) string {
 // signature is the canonical sorted key=value form used as a map key and
 // as the deterministic sample sort order.
 func (ls Labels) signature() string {
-	s := make([]string, len(ls))
-	sorted := append(Labels(nil), ls...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
-	for i, l := range sorted {
-		s[i] = l.Key + "=" + l.Value
+	sorted := ls.sorted()
+	n := 0
+	for _, l := range sorted {
+		n += len(l.Key) + len(l.Value) + 2
 	}
-	return strings.Join(s, ",")
+	var b strings.Builder
+	b.Grow(n)
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
 }
 
 // sorted returns a copy with labels ordered by key.
 func (ls Labels) sorted() Labels {
 	out := append(Labels(nil), ls...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	slices.SortFunc(out, func(a, b Label) int { return cmp.Compare(a.Key, b.Key) })
 	return out
 }
 

@@ -15,6 +15,18 @@ const (
 	FamSimNow     = "ncdsm_sim_now_seconds"
 	FamSimDelay   = "ncdsm_sim_event_delay_seconds"
 
+	// sharded-engine window schedule. These exist only on multi-shard
+	// sets: barrier cadence is a property of the parallel schedule, not
+	// of the simulated system, so cross-shard-count byte-identity
+	// comparisons filter them (see ShardScheduleFamilyPrefix).
+	FamShardBarriers = "ncdsm_shard_barriers_total"
+	FamShardElided   = "ncdsm_shard_windows_elided_total"
+
+	// ShardScheduleFamilyPrefix is the common prefix of the families
+	// above; identity tests and the CI smoke strip matching lines before
+	// diffing snapshots across shard counts or window modes.
+	ShardScheduleFamilyPrefix = "ncdsm_shard_"
+
 	// remote memory controller
 	FamRMCRequests    = "ncdsm_rmc_requests_total"
 	FamRMCRetries     = "ncdsm_rmc_retries_total"

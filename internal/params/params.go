@@ -96,6 +96,16 @@ type Params struct {
 	// tile the geometry (see mesh.Partition).
 	Shards int
 
+	// Window selects the sharded engine's lookahead schedule (see
+	// WindowMode). Output is byte-identical across modes; they trade
+	// barrier frequency only. Ignored on the single-shard engine.
+	Window WindowMode
+
+	// LinkLat optionally overrides per-edge mesh link latencies (the
+	// -linklat flag). The empty spec keeps every edge at HopLatency, so
+	// defaults reproduce the uniform fabric exactly.
+	LinkLat LinkLatSpec
+
 	// CoresPerNode is the number of cores in one coherency domain (16 in
 	// the prototype: 4 sockets × 4 cores).
 	CoresPerNode int
@@ -266,6 +276,7 @@ func Default() Params {
 	return Params{
 		MeshWidth:      4,
 		MeshHeight:     4,
+		Window:         WindowElide,
 		CoresPerNode:   16,
 		SocketsPerNode: 4,
 
@@ -372,10 +383,16 @@ func (p Params) Validate() error {
 		return fmt.Errorf("params: unknown fabric kind %d", int(p.Fabric))
 	case p.Shards < 0:
 		return fmt.Errorf("params: Shards %d < 0", p.Shards)
-	case p.Shards > 1 && p.Fabric != FabricMesh:
-		return fmt.Errorf("params: Shards %d requires the mesh fabric", p.Shards)
 	case p.Shards > p.Nodes():
 		return fmt.Errorf("params: Shards %d exceed %d nodes", p.Shards, p.Nodes())
+	case !p.Window.Valid():
+		return fmt.Errorf("params: unknown window mode %d", int(p.Window))
+	}
+	if p.Shards > 1 && p.Fabric != FabricMesh {
+		return &ShardGateError{Feature: "the " + p.Fabric.String() + " fabric", Shards: p.Shards}
+	}
+	if err := p.LinkLat.validateFor(p.MeshWidth, p.MeshHeight); err != nil {
+		return err
 	}
 	// The recovery tunables only matter (and are only required) when a
 	// fault plan can actually lose frames.

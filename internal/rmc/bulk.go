@@ -137,11 +137,11 @@ func (r *RMC) RequestBulk(now sim.Time, req BulkRequest) error {
 	if err := r.peersCheck(dst); err != nil {
 		return err
 	}
-	if r.exch != nil && r.exch.multi {
+	if r.exch != nil && r.exch.setSize > 1 {
 		// A burst's continuation carries client- and server-side state on
 		// one struct, mutated from both ends of the transfer; that is
 		// sound on a single engine but not across shards.
-		return fmt.Errorf("rmc: bulk bursts are not shard-partitioned; run bulk workloads with a single shard")
+		return &params.ShardGateError{Feature: "the bulk data plane", Shards: int(r.exch.setSize)}
 	}
 	maxFrames := r.p.BurstMaxFrames()
 	if maxFrames > ht.MaxBurstFrames {

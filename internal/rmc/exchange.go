@@ -14,24 +14,30 @@ import (
 // walk the fabric; it appends a transmission intent to its shard's
 // Exchange. At every window barrier the coordinator — with all shards
 // parked — merges the intents of every shard, sorts them by
-// (time, source node, per-source sequence), and replays each through
-// completeSend. That canonical order is a pure function of simulated
-// state, so link occupancies and the fault injector's roll stream are
-// consumed identically at any shard count, which is what keeps figures
+// (time, source node, per-source sequence), and replays those below the
+// barrier's replay horizon through completeSend, holding the rest for a
+// later barrier. The horizon guarantees no future intent can be
+// recorded below it, so the replayed prefix extends one canonical
+// stream — a pure function of simulated state — and link occupancies
+// and the fault injector's roll stream are consumed identically at any
+// shard count and under any window policy, which is what keeps figures
 // byte-identical from -shards 1 to -shards N.
 //
-// The window is bounded by the minimum cross-shard link latency, so
-// every delivery scheduled at the barrier lands at or past the window
-// limit — strictly in the destination shard's future. Barrier hand-offs
-// (worker park/release atomics) carry the happens-before edges for the
-// coordinator's reads of shard state.
+// Every per-shard window limit is bounded by the minimum cross-shard
+// delivery bound of the lookahead matrix, so every delivery scheduled at
+// the barrier lands at or past the destination shard's limit — strictly
+// in its future. Barrier hand-offs (worker park/release atomics) carry
+// the happens-before edges for the coordinator's reads of shard state.
 
-// xmit is one recorded transmission intent.
+// xmit is one recorded transmission intent. shard is the recording
+// exchange's index: a held intent counts as pending work of its source
+// shard, bounded into shard i by B[shard][i].
 type xmit struct {
-	t   sim.Time
-	src addr.NodeID
-	seq uint64
-	op  *sendOp
+	t     sim.Time
+	src   addr.NodeID
+	seq   uint64
+	shard int32
+	op    *sendOp
 }
 
 // deferredSrv returns a server-role op to its owner's pool at the
@@ -63,9 +69,18 @@ type deliverEv struct {
 // RMCs recorded this window, the cross-shard pool returns deferred to
 // the barrier, and the shard's delivery-event pool.
 type Exchange struct {
-	eng   *sim.Engine
-	limit sim.Time // current drain's window limit
-	multi bool     // part of a >1-shard set (bulk bursts refuse to run)
+	eng     *sim.Engine
+	idx     int32 // shard index within the set
+	setSize int32 // engines in the owning set (>1: bulk bursts refuse to run)
+
+	// selfBound, when positive, is B[idx][idx] of the lookahead matrix:
+	// the minimum delivery bound of any frame this shard sends into
+	// itself. Recording a send clamps the shard's running window to the
+	// send time plus this bound, which is what lets the scheduler plan
+	// windows past the shard's next event — until the shard actually
+	// sends, nothing it does can deliver into itself, and the first
+	// send pulls the limit back to exactly what remains provable.
+	selfBound sim.Time
 
 	xmits  []xmit
 	defSrv []deferredSrv
@@ -80,6 +95,16 @@ func NewExchange(eng *sim.Engine) *Exchange {
 
 // Engine returns the shard engine this exchange belongs to.
 func (x *Exchange) Engine() *sim.Engine { return x.eng }
+
+// record holds one transmission intent for the next barrier drain and,
+// when a self-delivery bound is installed, clamps the running window so
+// the shard cannot outrun the send it just recorded.
+func (x *Exchange) record(m xmit) {
+	x.xmits = append(x.xmits, m)
+	if x.selfBound > 0 {
+		x.eng.ClampWindow(m.t + x.selfBound)
+	}
+}
 
 func (x *Exchange) getEv() *deliverEv {
 	if n := len(x.evs); n > 0 {
@@ -103,40 +128,68 @@ func (x *Exchange) putEv(ev *deliverEv) {
 }
 
 // ExchangeSet drains every shard's exchange at a window barrier. Install
-// its Drain as the shard set's barrier hook.
+// its Drain as the shard set's barrier hook and Earliest as its intent
+// source. held is the sorted suffix of intents past every horizon so
+// far; heldMin[j] is the earliest held time attributable to source
+// shard j (sim.MaxTime when none), the elision scheduler's view of
+// in-flight cross-shard work.
 type ExchangeSet struct {
 	shards  []*Exchange
-	scratch []xmit
+	held    []xmit
+	heldMin []sim.Time
 	trace   func(t sim.Time, src, dst addr.NodeID, seq uint64)
 }
 
 // NewExchangeSet groups the per-shard exchanges.
 func NewExchangeSet(shards []*Exchange) *ExchangeSet {
-	for _, x := range shards {
-		x.multi = len(shards) > 1
+	hm := make([]sim.Time, len(shards))
+	for i, x := range shards {
+		x.idx = int32(i)
+		x.setSize = int32(len(shards))
+		hm[i] = sim.MaxTime
 	}
-	return &ExchangeSet{shards: shards}
+	return &ExchangeSet{shards: shards, heldMin: hm}
 }
 
 // Trace installs a hook invoked for every transmission in canonical
 // drain order — the oracle tests compare these streams across shard
-// counts.
+// counts and window policies.
 func (es *ExchangeSet) Trace(fn func(t sim.Time, src, dst addr.NodeID, seq uint64)) {
 	es.trace = fn
 }
 
-// Drain replays every recorded intent in (time, source, sequence) order
-// through the fabric, then applies the deferred cross-shard pool
-// returns. It runs on the coordinator with all shards parked.
-func (es *ExchangeSet) Drain(limit sim.Time) {
-	es.scratch = es.scratch[:0]
+// Earliest returns the earliest recorded-but-not-yet-replayed
+// transmission time attributable to shard j, or sim.MaxTime. It is the
+// shard set's intent source (ShardSet.SetIntentSource).
+func (es *ExchangeSet) Earliest(j int) sim.Time { return es.heldMin[j] }
+
+// Held returns the number of intents currently held past the horizon,
+// for diagnostics and tests.
+func (es *ExchangeSet) Held() int { return len(es.held) }
+
+// SetSelfBounds installs each shard's own-shard delivery bound — the
+// diagonal of the lookahead matrix — into its exchange, arming the
+// record-time window clamp. Call it whenever the matrix is recomputed.
+func (es *ExchangeSet) SetSelfBounds(bounds [][]sim.Time) {
+	for i, x := range es.shards {
+		x.selfBound = bounds[i][i]
+	}
+}
+
+// Drain merges the freshly recorded intents into the held set, replays
+// every intent with time strictly below horizon in canonical
+// (time, source, sequence) order through the fabric, keeps the rest
+// held, then applies the deferred cross-shard pool returns. It runs on
+// the coordinator with all shards parked. Replays never record new
+// intents (completeSend schedules deliveries and timers as events), so
+// the sort is stable under replay.
+func (es *ExchangeSet) Drain(horizon sim.Time) {
 	for _, x := range es.shards {
-		x.limit = limit
-		es.scratch = append(es.scratch, x.xmits...)
+		es.held = append(es.held, x.xmits...)
 		x.xmits = x.xmits[:0]
 	}
-	if len(es.scratch) > 1 {
-		slices.SortFunc(es.scratch, func(a, b xmit) int {
+	if len(es.held) > 1 {
+		slices.SortFunc(es.held, func(a, b xmit) int {
 			if c := cmp.Compare(a.t, b.t); c != 0 {
 				return c
 			}
@@ -146,13 +199,28 @@ func (es *ExchangeSet) Drain(limit sim.Time) {
 			return cmp.Compare(a.seq, b.seq)
 		})
 	}
-	for i := range es.scratch {
-		m := &es.scratch[i]
+	n := 0
+	for n < len(es.held) && es.held[n].t < horizon {
+		m := &es.held[n]
 		if es.trace != nil {
 			es.trace(m.t, m.src, m.op.dst, m.seq)
 		}
 		m.op.r.completeSend(m.t, m.op)
-		m.op = nil
+		n++
+	}
+	if n > 0 {
+		kept := copy(es.held, es.held[n:])
+		clear(es.held[kept:])
+		es.held = es.held[:kept]
+	}
+	for j := range es.heldMin {
+		es.heldMin[j] = sim.MaxTime
+	}
+	for i := range es.held {
+		m := &es.held[i]
+		if m.t < es.heldMin[m.shard] {
+			es.heldMin[m.shard] = m.t
+		}
 	}
 	for _, x := range es.shards {
 		for i, d := range x.defSrv {

@@ -283,10 +283,10 @@ func (r *RMC) StallServer(now sim.Time, d sim.Time) {
 // (Delivered ends the chain; Corrupted/Dropped arm a retransmit), and an
 // injector-mangled duplicate can never pass the CRC, so it is verified
 // and discarded by acceptMangled without ever touching the op that sent
-// it. Ops therefore recycle under a fault plan too. Line buffers are the
-// exception: a mangled frame aliases the original payload slice and the
-// receiver's CRC check reads it at arrival time, so buffers stay
-// unpooled while an injector is armed (see putLineBuf).
+// it. Ops and line buffers therefore recycle under a fault plan too:
+// the mangled duplicate — the one frame that outlives its op's buffer
+// ownership — carries its own copy of the payload (see completeSend),
+// so a recycled buffer is never read after its request completed.
 
 // clientOp is the requester role's continuation: admission (with NACK
 // backoff), launch onto the fabric, and final completion.
@@ -401,8 +401,7 @@ func (r *RMC) peersCheck(dst addr.NodeID) error {
 // LineBuf returns a pooled buffer of n bytes for packet data. Callers
 // that build write packets from it get it recycled automatically when
 // the request completes; it may contain stale bytes (every consumer
-// overwrites the full length). Under a fault plan nothing is ever
-// recycled, so this degenerates to make([]byte, n).
+// overwrites the full length).
 func (r *RMC) LineBuf(n int) []byte { return r.getLineBuf(n) }
 
 func (r *RMC) getLineBuf(n int) []byte {
@@ -416,7 +415,7 @@ func (r *RMC) getLineBuf(n int) []byte {
 }
 
 func (r *RMC) putLineBuf(b []byte) {
-	if r.inj != nil || cap(b) == 0 {
+	if cap(b) == 0 {
 		return
 	}
 	r.lineBufs = append(r.lineBufs, b)
@@ -432,7 +431,7 @@ func (r *RMC) putLineBufOf(owner *RMC, b []byte) {
 		owner.putLineBuf(b)
 		return
 	}
-	if owner.inj != nil || cap(b) == 0 { // would be dropped at the drain anyway
+	if cap(b) == 0 { // would be dropped at the drain anyway
 		return
 	}
 	r.exch.defBuf = append(r.exch.defBuf, deferredBuf{r: owner, b: b})
@@ -566,7 +565,7 @@ func (r *RMC) sendSealed(now sim.Time, s hnc.Sealed, dst addr.NodeID, express bo
 func (r *RMC) sendAttempt(now sim.Time, op *sendOp) {
 	if r.exch != nil {
 		r.xmitSeq++
-		r.exch.xmits = append(r.exch.xmits, xmit{t: now, src: r.self, seq: r.xmitSeq, op: op})
+		r.exch.record(xmit{t: now, src: r.self, seq: r.xmitSeq, shard: r.exch.idx, op: op})
 		return
 	}
 	r.completeSend(now, op)
@@ -603,9 +602,17 @@ func (r *RMC) completeSend(now sim.Time, op *sendOp) {
 		// The mangled copy still arrives — the receiver's CRC check
 		// counts and discards it — and the sender, hearing nothing,
 		// retransmits. Fault-only path; the closure captures everything
-		// by value, so it never touches the (recyclable) op.
+		// by value, so it never touches the (recyclable) op. The payload
+		// is deep-copied: the duplicate outlives the op's ownership of
+		// the original buffer (the retransmitted request may complete and
+		// recycle it before the duplicate's CRC check reads it), and this
+		// rare per-corruption allocation is what lets every line buffer
+		// recycle under an armed fault plan.
 		arrive := sim.Time(out.Arrive)
 		mangled := hnc.Sealed{Frame: op.s.Frame, CRC: r.inj.MangleCRC(op.s.CRC)}
+		if d := op.s.Frame.Payload.Data; d != nil {
+			mangled.Frame.Payload.Data = append([]byte(nil), d...)
+		}
 		r.scheduleMangled(now, arrive, mangled)
 		r.resend(now, op)
 	default: // Dropped, Unreachable
@@ -651,12 +658,14 @@ func (r *RMC) resend(now sim.Time, op *sendOp) {
 			return
 		}
 		// The abandon continuation belongs to the requester's shard;
-		// running at the barrier, hand it to that engine at the window
-		// limit (the earliest instant that is deterministically in every
-		// shard's future).
-		owner, lim := op.owner, r.exch.limit
+		// running at the barrier, hand it to that engine one retransmit
+		// timeout after the final attempt — a pure function of simulated
+		// state (unlike the window limit, which depends on the barrier
+		// schedule), and never in the owner's past: limits are capped at
+		// the global minimum plus the timeout while a plan is armed.
+		owner, at := op.owner, now+r.p.RetransmitTimeout
 		r.putSendOp(op)
-		owner.AtFrom(now, lim, func() { ab(lim, attempts) })
+		owner.AtFrom(now, at, func() { ab(at, attempts) })
 		return
 	}
 	r.Retransmits++
@@ -669,8 +678,10 @@ func (r *RMC) resend(now sim.Time, op *sendOp) {
 	if r.exch == nil {
 		r.eng.At(now+wait, op.attemptFn)
 	} else {
-		// Timer on the sender's shard; RetransmitTimeout >= the window,
-		// so the wake-up is in the shard's future.
+		// Timer on the sender's shard. Every replayed send time is at or
+		// past the global minimum G of its scheduling round, and window
+		// limits are capped at G + RetransmitTimeout while a plan is
+		// armed, so the wake-up is in the shard's future.
 		r.eng.AtFrom(now, now+wait, op.attemptFn)
 	}
 }

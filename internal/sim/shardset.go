@@ -9,15 +9,35 @@ import (
 	"repro/internal/metrics"
 )
 
-// ShardSet drives K engines under conservative windowed execution: every
-// iteration picks the globally earliest pending event time T, lets each
-// shard execute its events in [T, T+window) concurrently, then runs the
-// barrier hook on the coordinator with all shards parked. The window is
-// the lookahead: as long as no cross-shard interaction can take effect
-// sooner than `window` after it is initiated (the minimum inter-shard
-// link latency guarantees this for HNC frames), events inside a window
-// are causally independent across shards and barrier-merged traffic
-// always lands in a later window. See DESIGN §16.
+// WindowPolicy selects how a multi-shard set sizes its lookahead
+// windows. The policies trade barrier frequency only: simulated output
+// is byte-identical under all of them (DESIGN §16).
+type WindowPolicy int
+
+const (
+	// PolicyUniform is the PR 9 baseline: every shard runs the same
+	// global window [G, G+window) derived from the minimum single-hop
+	// bound, and every barrier drains the whole exchange.
+	PolicyUniform WindowPolicy = iota
+	// PolicyDistance widens shard i's window to G + min_j B[j][i]: the
+	// provable minimum delivery bound into i from anywhere, so shards
+	// far from every boundary run multi-hop-wide windows.
+	PolicyDistance
+	// PolicyElide additionally consults each shard's earliest pending
+	// work e_j (queued events and held cross-shard intents): shard i may
+	// run to min_j (e_j + B[j][i]), fast-forwarding past windows no
+	// in-flight frame can touch — an appointment, not a guess.
+	PolicyElide
+)
+
+// MaxTime is the "no pending work" sentinel of the window scheduler.
+const MaxTime = Time(math.MaxInt64)
+
+// ShardSet drives K engines under conservative windowed execution:
+// every iteration derives a per-shard window limit no cross-shard
+// interaction can beat, lets each shard execute its events below its
+// limit concurrently, then runs the barrier hook on the coordinator
+// with all shards parked. See DESIGN §16 for the safety argument.
 //
 // A ShardSet with one engine runs entirely inline — no goroutines, no
 // atomics on the event path — so the single-shard configuration keeps
@@ -26,17 +46,40 @@ type ShardSet struct {
 	engines []*Engine
 	window  Time
 	met     *metrics.Registry
-	barrier func(limit Time)
+	barrier func(horizon Time)
+
+	// Lookahead configuration, installed by the cluster before Run.
+	// bounds[j][i] lower-bounds the delivery time of any frame sent by
+	// shard j into shard i; nil bounds fall back to the uniform window.
+	policy   WindowPolicy
+	bounds   [][]Time
+	minInto  []Time // min over j != i of bounds[j][i]
+	minB     Time   // min over all bounds entries (incl. self rows)
+	capOver  Time   // limit cap above G (0 = none; retransmit timeout under a fault plan)
+	earliest func(shard int) Time
+
+	// Barriers counts scheduler iterations (one barrier each); Elided
+	// counts the iterations whose narrowest planned window was wider
+	// than the uniform baseline would have allowed — windows the PR 9
+	// cadence would have split into several barriers. Registered as
+	// metric families only on multi-shard sets, so single-shard output
+	// is untouched.
+	Barriers uint64
+	Elided   uint64
 
 	stopReq atomic.Bool
 
 	// Worker release/join machinery (K > 1). The coordinator publishes
-	// limit, resets done, then bumps epoch; workers spin on epoch, run
-	// their shard's window, and count themselves into done. The atomic
-	// epoch/done pairs carry the happens-before edges both ways.
-	epoch atomic.Uint32
-	done  atomic.Int32
-	limit atomic.Int64
+	// the per-shard limits, resets done, then bumps epoch; workers spin
+	// on epoch, run their shard's window, and count themselves into
+	// done. The atomic epoch/done pairs carry the happens-before edges
+	// both ways; limits and quit ride them as plain slice writes.
+	epoch  atomic.Uint32
+	done   atomic.Int32
+	quit   atomic.Bool
+	limits []Time
+	ev     []Time // scratch: per-shard earliest pending work e_j
+	hv     []Time // scratch: per-shard earliest held cross-shard intent h_j
 
 	// workers holds one reusable spawn closure per non-coordinator
 	// shard, built on first use so repeated Run calls do not allocate
@@ -48,9 +91,6 @@ type ShardSet struct {
 
 	merged *metrics.Histogram // snapshot-time scratch for the delay merge
 }
-
-// quitLimit released through the window protocol tells workers to exit.
-const quitLimit = math.MinInt64
 
 // WrapEngine adapts a self-registered engine (from New) into a
 // single-shard set: same registry, same families, inline execution.
@@ -64,6 +104,9 @@ func WrapEngine(e *Engine, window Time) *ShardSet {
 // NewShardSet builds k bare engines over one fresh shared registry and
 // registers aggregated sim_* families matching what a single engine
 // self-registers, so snapshots are byte-identical across shard counts.
+// The barrier/elision families exist only here — they are properties of
+// the multi-shard schedule, inherently shard-count-dependent, and a
+// single-shard run must stay byte-identical to its pre-sharding output.
 func NewShardSet(k int, window Time) *ShardSet {
 	if k < 1 {
 		panic(fmt.Sprintf("sim: shard count %d < 1", k))
@@ -75,7 +118,14 @@ func NewShardSet(k int, window Time) *ShardSet {
 		panic(fmt.Sprintf("sim: non-positive lookahead window %d", window))
 	}
 	met := metrics.NewRegistry()
-	s := &ShardSet{window: window, met: met, merged: metrics.NewHistogram(metrics.TimeBuckets())}
+	s := &ShardSet{
+		window: window,
+		met:    met,
+		merged: metrics.NewHistogram(metrics.TimeBuckets()),
+		limits: make([]Time, k),
+		ev:     make([]Time, k),
+		hv:     make([]Time, k),
+	}
 	for i := 0; i < k; i++ {
 		s.engines = append(s.engines, newBare(met))
 	}
@@ -99,6 +149,10 @@ func NewShardSet(k int, window Time) *ShardSet {
 			}
 			return s.merged
 		})
+	met.CounterFunc(metrics.FamShardBarriers, "window barriers run by the sharded engine", nil,
+		func() uint64 { return s.Barriers })
+	met.CounterFunc(metrics.FamShardElided, "barriers whose window ran wider than the uniform single-hop baseline", nil,
+		func() uint64 { return s.Elided })
 	return s
 }
 
@@ -111,13 +165,72 @@ func (s *ShardSet) Engine(i int) *Engine { return s.engines[i] }
 // Metrics returns the registry shared by every shard.
 func (s *ShardSet) Metrics() *metrics.Registry { return s.met }
 
-// Window returns the lookahead window.
+// Window returns the uniform lookahead window (the PolicyUniform width
+// and the accounting unit of the elision counter).
 func (s *ShardSet) Window() Time { return s.window }
 
 // OnBarrier installs the hook run on the coordinator after each window,
 // with every shard parked. The cluster drains the cross-shard exchange
-// here; the hook may schedule onto any shard's engine.
-func (s *ShardSet) OnBarrier(fn func(limit Time)) { s.barrier = fn }
+// here: horizon is the replay horizon — the hook must replay exactly
+// the pending intents with time strictly below it (in canonical order)
+// and hold the rest for a later barrier. No future intent can be
+// recorded below the horizon, so the replayed prefix extends the
+// canonical stream deterministically at any shard count. The hook may
+// schedule onto any shard's engine.
+func (s *ShardSet) OnBarrier(fn func(horizon Time)) { s.barrier = fn }
+
+// ConfigureLookahead installs the window policy of a multi-shard set.
+// bounds[j][i] must lower-bound the delivery time into shard i of any
+// frame sent by shard j (mesh.MinDelayMatrix); nil keeps the uniform
+// fallback. capOver, when positive, caps every limit at G+capOver: with
+// a fault plan armed, drain-time retransmission timers land at least a
+// full timeout after the send they re-arm, so no shard may run past the
+// earliest possible timer. Calling it again (after an express link
+// tightens the matrix) takes effect at the next window; shrinking
+// bounds mid-run is safe because frames already in flight were bounded
+// by the wider matrix.
+func (s *ShardSet) ConfigureLookahead(policy WindowPolicy, bounds [][]Time, capOver Time) {
+	if len(s.engines) == 1 {
+		return
+	}
+	if bounds != nil && len(bounds) != len(s.engines) {
+		panic(fmt.Sprintf("sim: %d bound rows for %d shards", len(bounds), len(s.engines)))
+	}
+	s.policy, s.bounds, s.capOver = policy, bounds, capOver
+	s.minInto, s.minB = nil, 0
+	if bounds == nil {
+		return
+	}
+	s.minB = MaxTime
+	s.minInto = make([]Time, len(s.engines))
+	for i := range s.minInto {
+		m := MaxTime
+		for j := range bounds {
+			if bounds[j][i] < s.minB {
+				s.minB = bounds[j][i]
+			}
+			if j != i && bounds[j][i] < m {
+				m = bounds[j][i]
+			}
+		}
+		// The self bound bounds[i][i] is deliberately absent from the
+		// static limit: a shard's own fresh sends clamp its window the
+		// moment they are recorded (Engine.ClampWindow, wired through
+		// the exchange), and its already-held sends enter plan through
+		// the held-intent term. Until shard i actually sends, nothing it
+		// does can deliver into itself, so its window may run as far as
+		// the other shards' bounds allow.
+		s.minInto[i] = m
+	}
+}
+
+// SetIntentSource installs the exchange's held-intent probe: fn(j)
+// returns the earliest recorded-but-not-yet-replayed transmission time
+// attributable to shard j, or MaxTime. The elision policy treats it as
+// pending work (a held intent is an appointment: its delivery lands at
+// or after t + B[j][i]), and the replay horizon uses the global minimum
+// to keep the canonical stream prefix-closed.
+func (s *ShardSet) SetIntentSource(fn func(shard int) Time) { s.earliest = fn }
 
 // Now returns the maximum engine clock across shards: the time of the
 // last event executed anywhere, which is what a single engine's Now
@@ -147,9 +260,16 @@ func (s *ShardSet) Pending() int {
 
 // Stop makes Run return at the end of the current window. Safe to call
 // from an event executing on any shard; the coordinator checks the flag
-// after the barrier, so the stop point is deterministic regardless of
-// which shard requested it or how far the others had advanced.
+// after the barrier.
 func (s *ShardSet) Stop() { s.stopReq.Store(true) }
+
+// satAdd adds a bound to a time without overflowing the sentinel.
+func satAdd(t, d Time) Time {
+	if t >= MaxTime-d {
+		return MaxTime
+	}
+	return t + d
+}
 
 // Run executes windows until every shard's queue drains or Stop is
 // called, and returns the final time. Like Engine.Run it may be called
@@ -162,10 +282,9 @@ func (s *ShardSet) Run() Time {
 			if !ok {
 				break
 			}
-			lim := t + s.window
-			e.runWindow(lim)
+			e.runWindow(t + s.window)
 			if s.barrier != nil {
-				s.barrier(lim)
+				s.barrier(MaxTime)
 			}
 			if s.stopReq.Load() {
 				s.stopReq.Store(false)
@@ -177,6 +296,119 @@ func (s *ShardSet) Run() Time {
 	return s.runParallel()
 }
 
+// plan computes this iteration's per-shard limits into s.limits and
+// returns G, the globally earliest pending work (MaxTime when idle).
+//
+// Safety: shard i's planned limit never exceeds e_j + B[j][i] for any
+// other shard j, nor h_i + B[i][i] for its own held intents, so every
+// frame another shard can send — and every frame already held — arrives
+// at or after the limit of the shard it lands in. The one source the
+// static plan does not cover, a fresh send by shard i into itself, is
+// covered dynamically: recording the send clamps i's running window to
+// its time plus B[i][i] (Engine.ClampWindow). Deliveries placed at the
+// barrier therefore always land in the destination shard's future, and
+// the canonical replay stream stays (time, source, sequence)-sorted.
+// Under PolicyUniform the limit degrades to G + window, the PR 9
+// cadence (the clamp never binds there: any send in the window lands at
+// or after G + one edge cost >= G + window).
+func (s *ShardSet) plan() Time {
+	g := MaxTime
+	for j, e := range s.engines {
+		ej := MaxTime
+		if t, ok := e.nextTime(); ok {
+			ej = t
+		}
+		hj := MaxTime
+		if s.earliest != nil {
+			hj = s.earliest(j)
+		}
+		if hj < ej {
+			ej = hj
+		}
+		s.ev[j] = ej
+		s.hv[j] = hj
+		if ej < g {
+			g = ej
+		}
+	}
+	if g == MaxTime {
+		return g
+	}
+	switch {
+	case s.bounds == nil || s.policy == PolicyUniform:
+		lim := g + s.window
+		for i := range s.limits {
+			s.limits[i] = lim
+		}
+	case s.policy == PolicyDistance:
+		for i := range s.limits {
+			lim := satAdd(g, s.minInto[i])
+			if h := satAdd(s.hv[i], s.bounds[i][i]); h < lim {
+				lim = h
+			}
+			s.limits[i] = lim
+		}
+	default: // PolicyElide
+		for i := range s.limits {
+			lim := satAdd(s.hv[i], s.bounds[i][i])
+			for j := range s.engines {
+				if j == i {
+					continue
+				}
+				if b := satAdd(s.ev[j], s.bounds[j][i]); b < lim {
+					lim = b
+				}
+			}
+			s.limits[i] = lim
+		}
+	}
+	if s.capOver > 0 {
+		capAt := satAdd(g, s.capOver)
+		for i := range s.limits {
+			if s.limits[i] > capAt {
+				s.limits[i] = capAt
+			}
+		}
+	}
+	s.Barriers++
+	minLim := s.limits[0]
+	for _, l := range s.limits[1:] {
+		if l < minLim {
+			minLim = l
+		}
+	}
+	if minLim > satAdd(g, s.window) {
+		s.Elided++
+	}
+	return g
+}
+
+// horizon returns the barrier's replay horizon: no pending or future
+// transmission intent can carry a time below it. Future sends originate
+// either from an already-queued event (bounded by the earliest queue
+// head) or from the delivery cascade of a pending intent (bounded by
+// the earliest intent plus the global minimum delivery bound).
+func (s *ShardSet) horizon() Time {
+	h := MaxTime
+	for _, e := range s.engines {
+		if t, ok := e.nextTime(); ok && t < h {
+			h = t
+		}
+	}
+	if s.earliest != nil && s.bounds != nil {
+		m := MaxTime
+		for j := range s.engines {
+			if t := s.earliest(j); t < m {
+				m = t
+			}
+		}
+		if hb := satAdd(m, s.minB); hb < h {
+			h = hb
+		}
+	}
+	return h
+}
+
 func (s *ShardSet) runParallel() Time {
 	k := len(s.engines)
 	if s.workers == nil {
@@ -185,36 +417,28 @@ func (s *ShardSet) runParallel() Time {
 			s.workers = append(s.workers, func() { s.work(i, s.spawnEpoch) })
 		}
 	}
+	s.quit.Store(false)
 	s.spawnEpoch = s.epoch.Load()
 	for _, w := range s.workers {
 		go w()
 	}
 	for {
-		var t Time
-		ok := false
-		for _, e := range s.engines {
-			if et, eok := e.nextTime(); eok && (!ok || et < t) {
-				t, ok = et, true
-			}
-		}
-		if !ok {
+		if s.plan() == MaxTime {
 			break
 		}
-		lim := t + s.window
-		s.limit.Store(lim)
 		s.done.Store(0)
 		s.epoch.Add(1)
-		s.engines[0].runWindow(lim) // the coordinator is shard 0's worker
+		s.engines[0].runWindow(s.limits[0]) // the coordinator is shard 0's worker
 		s.await(k - 1)
 		if s.barrier != nil {
-			s.barrier(lim)
+			s.barrier(s.horizon())
 		}
 		if s.stopReq.Load() {
 			s.stopReq.Store(false)
 			break
 		}
 	}
-	s.limit.Store(quitLimit)
+	s.quit.Store(true)
 	s.done.Store(0)
 	s.epoch.Add(1)
 	s.await(k - 1)
@@ -236,12 +460,11 @@ func (s *ShardSet) work(i int, seen uint32) {
 		}
 		seen = e
 		spins = 0
-		lim := s.limit.Load()
-		if lim == quitLimit {
+		if s.quit.Load() {
 			s.done.Add(1)
 			return
 		}
-		s.engines[i].runWindow(lim)
+		s.engines[i].runWindow(s.limits[i])
 		s.done.Add(1)
 	}
 }

@@ -58,33 +58,115 @@ func TestShardSetWindowedOrder(t *testing.T) {
 
 // TestShardSetBarrierScheduling checks the barrier hook can schedule
 // onto any shard and the events land strictly past the window limit —
-// the safety property the cross-shard exchange relies on.
+// the safety property the cross-shard exchange relies on. It also pins
+// the hook's argument: with every queue drained and no held intents,
+// the replay horizon is MaxTime (a full drain).
 func TestShardSetBarrierScheduling(t *testing.T) {
 	const window = Time(50)
 	s := NewShardSet(3, window)
 	var mu sync.Mutex
 	fired := make([]Time, 0, 4)
-	s.OnBarrier(func(limit Time) {
-		mu.Lock()
-		n := len(fired)
-		mu.Unlock()
-		if n == 0 && limit < 100 {
-			// Inject into every shard at limit+1 — the earliest a
-			// conservative exchange may deliver.
-			for i := 0; i < s.Shards(); i++ {
-				eng := s.Engine(i)
-				eng.AtFrom(limit, limit+1, func() {
-					mu.Lock()
-					fired = append(fired, eng.Now())
-					mu.Unlock()
-				})
-			}
+	injected := false
+	s.OnBarrier(func(horizon Time) {
+		if injected {
+			return
+		}
+		injected = true
+		if horizon != MaxTime {
+			t.Errorf("first barrier horizon = %d, want MaxTime (all queues drained)", horizon)
+		}
+		// Inject into every shard past the first window's limit (5+50) —
+		// the earliest a conservative exchange may deliver.
+		for i := 0; i < s.Shards(); i++ {
+			eng := s.Engine(i)
+			eng.AtFrom(5, 56, func() {
+				mu.Lock()
+				fired = append(fired, eng.Now())
+				mu.Unlock()
+			})
 		}
 	})
 	s.Engine(0).At(5, func() {})
 	s.Run()
 	if len(fired) != 3 {
 		t.Fatalf("barrier-scheduled events fired %d times, want one per shard (3)", len(fired))
+	}
+	for _, at := range fired {
+		if at != 56 {
+			t.Errorf("barrier-scheduled event fired at %d, want 56", at)
+		}
+	}
+}
+
+// TestShardSetDistancePolicyWidensWindows pins the point of the
+// lookahead matrix: with a provable 10x-the-window delivery bound, the
+// distance policy runs the same event program in a tenth of the
+// barriers, and the elision counter accounts for the skipped uniform
+// windows. The program itself must execute identically.
+func TestShardSetDistancePolicyWidensWindows(t *testing.T) {
+	const window = Time(10)
+	run := func(policy WindowPolicy, bounds [][]Time) (int, uint64, uint64) {
+		s := NewShardSet(2, window)
+		s.ConfigureLookahead(policy, bounds, 0)
+		ran := 0
+		var tick func()
+		tick = func() {
+			ran++
+			e := s.Engine(0)
+			if e.Now() < 1000 {
+				e.At(e.Now()+window, tick)
+			}
+		}
+		s.Engine(0).At(0, tick)
+		s.Run()
+		return ran, s.Barriers, s.Elided
+	}
+	b := [][]Time{{100, 100}, {100, 100}}
+	wantRan, uniformBarriers, _ := run(PolicyUniform, b)
+	for _, policy := range []WindowPolicy{PolicyDistance, PolicyElide} {
+		ran, barriers, elided := run(policy, b)
+		if ran != wantRan {
+			t.Fatalf("policy %d: ran %d events, uniform ran %d", policy, ran, wantRan)
+		}
+		if barriers*5 > uniformBarriers {
+			t.Errorf("policy %d: %d barriers, want <= uniform's %d / 5", policy, barriers, uniformBarriers)
+		}
+		if elided == 0 {
+			t.Errorf("policy %d: elision counter stayed zero across widened windows", policy)
+		}
+	}
+}
+
+// TestShardSetElisionHonorsHeldIntents checks the elide policy treats a
+// held cross-shard intent as pending work: the shard it targets may not
+// run past intent time + bound, and the replay horizon eventually
+// exposes the intent for replay.
+func TestShardSetElisionHonorsHeldIntents(t *testing.T) {
+	const window = Time(10)
+	s := NewShardSet(2, window)
+	b := [][]Time{{50, 50}, {50, 50}}
+	s.ConfigureLookahead(PolicyElide, b, 0)
+	held := Time(500) // intent recorded by shard 0, not yet replayed
+	var replayed Time
+	s.SetIntentSource(func(shard int) Time {
+		if shard == 0 && held > 0 {
+			return held
+		}
+		return MaxTime
+	})
+	s.OnBarrier(func(horizon Time) {
+		if held > 0 && held < horizon {
+			// The scheduler promised no pending intent below horizon is
+			// held back; replay it as a delivery into shard 1.
+			at := held + b[0][1]
+			s.Engine(1).AtFrom(held, at, func() { replayed = at })
+			held = 0
+		}
+	})
+	s.Engine(0).At(0, func() {})
+	s.Run()
+	if replayed != 550 {
+		t.Fatalf("held intent replayed at %d, want delivery at 550", replayed)
 	}
 }
 

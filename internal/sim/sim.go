@@ -53,6 +53,13 @@ type Engine struct {
 	free    int32 // head of the slot free list, -1 when empty
 	live    int   // scheduled events not yet fired or canceled
 	stopped bool
+	// limit is the live bound of the window runWindow is executing.
+	// The windowed send path lowers it mid-window (ClampWindow) when
+	// the shard records a transmission whose own-shard delivery bound
+	// lands before the planned limit — the scheduler can then hand out
+	// limits that assume "no send yet", and the first actual send pulls
+	// the window back to what it provably may run to.
+	limit Time
 	// Processed counts executed events, for instrumentation.
 	Processed uint64
 
@@ -192,28 +199,43 @@ func (e *Engine) pop() entry {
 	return top
 }
 
+// replayBand is OR'd into the heap sequence of every entry scheduled
+// through AtFrom. Heap ties at equal time break by sequence, and the
+// sequence an event gets depends on when it was scheduled — which, for
+// a cross-shard replay, depends on which barrier replayed it. The band
+// bit pins that order independent of the barrier schedule: a replayed
+// event always fires after every same-time local (At/After) event, and
+// replayed events order among themselves by replay-stream position,
+// both of which are pure functions of simulated state. Without it, a
+// wider window could interleave a replay between two same-time local
+// events that a narrower window kept apart, breaking byte-identity
+// across shard counts and window policies.
+const replayBand = uint64(1) << 63
+
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // panics: it would silently corrupt causality in a model.
 func (e *Engine) At(at Time, fn func()) Handle {
-	return e.schedule(at, at-e.now, fn)
+	return e.schedule(at, at-e.now, 0, fn)
 }
 
 // AtFrom schedules fn at the absolute time at, recording the scheduling
-// horizon relative to base instead of the engine's clock. The barrier
-// coordinator uses it when placing cross-shard deliveries: the horizon it
-// observes (arrival minus send time) is a pure function of simulated
-// state, so the delay histogram stays byte-identical at any shard count.
+// horizon relative to base instead of the engine's clock, and placing
+// the event in the replay band (see replayBand). The barrier
+// coordinator uses it when placing cross-shard deliveries: the horizon
+// it observes (arrival minus send time) is a pure function of simulated
+// state, so the delay histogram stays byte-identical at any shard
+// count, and the band keeps same-time tie order schedule-invariant.
 func (e *Engine) AtFrom(base, at Time, fn func()) Handle {
-	return e.schedule(at, at-base, fn)
+	return e.schedule(at, at-base, replayBand, fn)
 }
 
-func (e *Engine) schedule(at, horizon Time, fn func()) Handle {
+func (e *Engine) schedule(at, horizon Time, band uint64, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
 	}
 	e.delay.Observe(horizon)
 	sl := e.alloc(fn)
-	e.push(at, e.seq, sl)
+	e.push(at, band|e.seq, sl)
 	e.seq++
 	e.live++
 	return Handle{eng: e, slot: sl, gen: e.arena[sl].gen}
@@ -297,7 +319,19 @@ func (e *Engine) nextTime() (Time, bool) {
 // at or past the window limit may still be affected by cross-shard
 // traffic merged at the barrier, so they stay queued.
 func (e *Engine) runWindow(limit Time) {
-	for len(e.queue) > 0 && e.queue[0].at < limit {
+	e.limit = limit
+	for len(e.queue) > 0 && e.queue[0].at < e.limit {
 		e.fire()
+	}
+}
+
+// ClampWindow lowers the current window's limit. Only the goroutine
+// executing this engine's window may call it — in practice the windowed
+// exchange, from inside a sending event — so the write needs no
+// synchronization. Raising the limit is not possible: the scheduler's
+// published bound stays the ceiling.
+func (e *Engine) ClampWindow(t Time) {
+	if t < e.limit {
+		e.limit = t
 	}
 }

@@ -98,6 +98,32 @@ type BulkSpec = params.BulkSpec
 // "frame=16,maxframes=256".
 func ParseBulkSpec(spec string) (BulkSpec, error) { return params.ParseBulk(spec) }
 
+// WindowMode selects the sharded engine's lookahead schedule (the CLIs'
+// -window flag): uniform single-hop windows, distance-aware windows
+// from partition geometry, or adaptive barrier elision (the default).
+// Figures and metrics are byte-identical under every mode; only the
+// barrier frequency — wall-clock speed — changes.
+type WindowMode = params.WindowMode
+
+// ParseWindowMode reads the CLI -window syntax: "uniform", "distance",
+// or "elide". The empty string selects the default (elide).
+func ParseWindowMode(s string) (WindowMode, error) { return params.ParseWindowMode(s) }
+
+// LinkLatSpec is the parsed -linklat flag: per-axis and per-edge mesh
+// link traversal latencies. The zero value overrides nothing (every
+// edge at the calibrated hop latency); String renders exactly what
+// ParseLinkLatSpec reads.
+type LinkLatSpec = params.LinkLatSpec
+
+// ParseLinkLatSpec reads the CLI -linklat syntax, e.g.
+// "x=100ns,y=140ns,edge=1.0-2.0:250ns".
+func ParseLinkLatSpec(spec string) (LinkLatSpec, error) { return params.ParseLinkLat(spec) }
+
+// ShardGateError is returned when a feature that only runs on the
+// single-shard engine (today: the bulk data plane) is combined with
+// Shards > 1. Detect it with errors.As.
+type ShardGateError = params.ShardGateError
+
 // ParseMesh reads the CLI -mesh syntax "WxH" (e.g. "16x16") and returns
 // the dimensions. An empty spec returns (0, 0): keep the calibrated
 // default.
@@ -449,6 +475,14 @@ type ExperimentOptions struct {
 	// PDES shards (the CLIs' -shards flag). 0 or 1 is single-shard;
 	// results are byte-identical at every setting.
 	Shards int
+	// Window selects the sharded engine's lookahead schedule (the CLIs'
+	// -window flag): "uniform", "distance", or "elide". Empty keeps the
+	// default (elide). Results are byte-identical under every mode.
+	Window string
+	// LinkLat overrides mesh link traversal latencies per axis or per
+	// edge (the CLIs' -linklat flag). The zero value keeps the uniform
+	// calibrated hop latency and is byte-identical to not setting it.
+	LinkLat LinkLatSpec
 }
 
 // DefaultExperimentOptions returns paper-scale, all-cores options.
@@ -486,6 +520,20 @@ func (o ExperimentOptions) internal() (experiments.Options, error) {
 	}
 	if o.Shards != 0 {
 		io.P.Shards = o.Shards
+	}
+	mode, err := params.ParseWindowMode(o.Window)
+	if err != nil {
+		return experiments.Options{}, err
+	}
+	io.P.Window = mode
+	if !o.LinkLat.Empty() {
+		io.P.LinkLat = o.LinkLat
+	}
+	if !o.Bulk.Empty() && io.P.Shards > 1 {
+		// Fail loudly up front: the bulk data plane only runs on the
+		// single-shard engine, and silently downgrading the shard count
+		// would change what the user asked to measure.
+		return experiments.Options{}, &params.ShardGateError{Feature: "the bulk data plane", Shards: io.P.Shards}
 	}
 	if err := io.P.Validate(); err != nil {
 		return experiments.Options{}, err
