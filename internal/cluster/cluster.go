@@ -101,7 +101,12 @@ func New(set *sim.ShardSet, p params.Params) (*Cluster, error) {
 		// policy from -window, and — under an armed fault plan — the
 		// retransmit-timeout cap that keeps drain-time timers in every
 		// shard's future. Express links added later tighten the matrix,
-		// so the fabric recomputes it on topology changes.
+		// so the fabric recomputes it on topology changes — which must
+		// happen with the set parked (before Run or between Run calls):
+		// ConfigureLookahead panics mid-run, because a frame routed over
+		// the new link inside the current window would be bounded by the
+		// tighter matrix while the destination shard's limit was planned
+		// with the old one.
 		policy := sim.PolicyUniform
 		switch p.Window {
 		case params.WindowDistance:

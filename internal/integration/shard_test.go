@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/addr"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/faults"
@@ -114,6 +115,93 @@ func TestShardedEngineMatchesSingleShardOracle(t *testing.T) {
 	for _, k := range []int{4, 8} {
 		got := shardOracleRun(t, k, 42, params.WindowElide, nil)
 		diffStreams(t, fmt.Sprintf("shards=%d", k), want, got)
+	}
+}
+
+// sparseStreamRun replays a sparse, distance-asymmetric workload — the
+// locality smoke's shape: staggered clients running long dependent
+// local stretches with occasional remote reads toward the far corner,
+// over an asymmetric -linklat table — and returns the exchange's
+// canonical transmission stream. The queues here are mostly empty or
+// stalled, so the replay horizon is carried by the pending-intent
+// cascade term rather than the queue heads; this is the regime where a
+// horizon blind to freshly recorded intents replays a late send ahead
+// of an earlier send's still-unrecorded response.
+func sparseStreamRun(t *testing.T, k int, window params.WindowMode) []traceRec {
+	t.Helper()
+	p := params.Default()
+	p.MeshWidth, p.MeshHeight = 16, 16
+	p.Shards = k
+	p.Window = window
+	p.PrefetchDepth = 0
+	// Expensive columns, cheap rows, one very cheap edge far from the
+	// busy corners: the minimum delivery bound (the horizon's cascade
+	// term) is much tighter than the bounds between the busy shards, so
+	// windows legitimately span several sends' worth of slack.
+	ll, err := params.ParseLinkLat("x=200ns,y=60ns,edge=0.7-0.8:20ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LinkLat = ll
+	set := sim.NewShardSet(k, p.LinkLat.MinLatency(p.HopLatency))
+	c, err := cluster.New(set, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []traceRec
+	c.Exchanges().Trace(func(at sim.Time, src, dst addr.NodeID, seq uint64) {
+		stream = append(stream, traceRec{at, src, dst, seq})
+	})
+	topo := c.Topology()
+	// The hazard shape: one chatty client whose partner sits one cheap
+	// hop across its region boundary — every send's response cascades
+	// back within nanoseconds — while far-away clients run long
+	// dependent local stretches inside windows widened by the expensive
+	// columns, recording sparse sends well after that cascade's time.
+	for ci, cl := range []struct{ cx, cy, px, py, period int }{
+		{0, 7, 0, 8, 6},    // cheap-edge round trips, fast cascades
+		{15, 0, 0, 15, 16}, // far corner, sparse distant sends
+		{12, 2, 3, 13, 24},
+		{3, 15, 15, 1, 20},
+	} {
+		id := topo.NodeAt(cl.cx, cl.cy)
+		partner := topo.NodeAt(cl.px, cl.py)
+		n := c.MustNode(id)
+		base := 0x400000 + uint64(ci)*0x100000
+		period := cl.period
+		i := 0
+		var step func(sim.Time)
+		step = func(now sim.Time) {
+			if i >= 256 {
+				return
+			}
+			i++
+			a := addr.Phys(base + uint64(i)*4096)
+			if i%period == 0 {
+				a = a.WithNode(partner)
+			}
+			n.Issue(now, 0, cpu.Access{Addr: a}, false, step)
+		}
+		step(set.Now())
+	}
+	set.Run()
+	return stream
+}
+
+// TestSparseStreamOracle covers the horizon's fresh-intent cascade
+// term: on a sparse workload the dense oracle runs never exercise, the
+// canonical transmission stream must stay event-for-event identical
+// from one shard to 4 and 8 under every window policy.
+func TestSparseStreamOracle(t *testing.T) {
+	want := sparseStreamRun(t, 1, params.WindowUniform)
+	if len(want) == 0 {
+		t.Fatal("sparse oracle run recorded no transmissions")
+	}
+	for _, k := range []int{4, 8} {
+		for _, mode := range []params.WindowMode{params.WindowUniform, params.WindowDistance, params.WindowElide} {
+			got := sparseStreamRun(t, k, mode)
+			diffStreams(t, fmt.Sprintf("shards=%d window=%v", k, mode), want, got)
+		}
 	}
 }
 

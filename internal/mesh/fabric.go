@@ -116,7 +116,10 @@ func (f *Fabric) Topology() Topology { return f.topo }
 
 // AddExpressLink installs a dedicated bidirectional point-to-point link
 // between two nodes (one spare HTX connector each). Traffic only uses it
-// via DeliverExpress.
+// via DeliverExpress. In a sharded run, call it only with the shard set
+// parked — before Run or between Run calls — since the lookahead
+// recompute the topology-change hook triggers refuses to tighten the
+// bound matrix while windows are executing.
 func (f *Fabric) AddExpressLink(a, b addr.NodeID) error {
 	if !f.topo.Contains(a) || !f.topo.Contains(b) || a == b {
 		return fmt.Errorf("mesh: invalid express link %d<->%d", a, b)

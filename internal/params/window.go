@@ -137,6 +137,11 @@ func ParseLinkLat(spec string) (LinkLatSpec, error) {
 			if err != nil {
 				return LinkLatSpec{}, fmt.Errorf("params: linklat %s=%s: %w", key, val, err)
 			}
+			// In the spec struct zero means "unset: keep HopLatency", so an
+			// explicit x=0s must fail loudly rather than silently vanish.
+			if d <= 0 {
+				return LinkLatSpec{}, fmt.Errorf("params: linklat %s=%s must be positive (omit %s to keep the uniform hop latency)", key, val, key)
+			}
 			if key == "x" {
 				s.X = FromStd(d)
 			} else {
@@ -193,7 +198,7 @@ func parseCoord(s string) (x, y int, err error) {
 // endpoints are checked against the mesh geometry by Params.Validate.
 func (s LinkLatSpec) Validate() error {
 	if s.X < 0 || s.Y < 0 {
-		return fmt.Errorf("params: linklat axis latencies must be positive (x=%d, y=%d)", s.X, s.Y)
+		return fmt.Errorf("params: linklat axis latencies must not be negative (x=%d, y=%d); zero means unset", s.X, s.Y)
 	}
 	for _, e := range s.Edges {
 		if e.Lat <= 0 {

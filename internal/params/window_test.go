@@ -71,6 +71,9 @@ func TestLinkLatSpecRejections(t *testing.T) {
 		"edge=a.b-2.0:250ns",  // non-numeric coordinate
 		"edge=1.0-2.0:-250ns", // negative latency
 		"x",                   // not key=value
+		"x=0s",                // explicit zero is not "unset"
+		"y=0ns",               // explicit zero is not "unset"
+		"x=-100ns",            // negative axis latency
 	} {
 		if _, err := ParseLinkLat(spec); err == nil {
 			t.Errorf("ParseLinkLat(%q) succeeded, want error", spec)

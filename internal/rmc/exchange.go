@@ -82,6 +82,14 @@ type Exchange struct {
 	// send pulls the limit back to exactly what remains provable.
 	selfBound sim.Time
 
+	// freshMin is the earliest intent in xmits — recorded since the last
+	// Drain, not yet merged into the set's held suffix — or sim.MaxTime.
+	// The set's Earliest must see these the moment the shard parks: the
+	// replay horizon's cascade bound is derived from Earliest *before*
+	// Drain merges, and a horizon blind to fresh intents could replay a
+	// late intent ahead of an earlier one's not-yet-recorded response.
+	freshMin sim.Time
+
 	xmits  []xmit
 	defSrv []deferredSrv
 	defBuf []deferredBuf
@@ -90,7 +98,7 @@ type Exchange struct {
 
 // NewExchange returns the exchange for one shard's engine.
 func NewExchange(eng *sim.Engine) *Exchange {
-	return &Exchange{eng: eng}
+	return &Exchange{eng: eng, freshMin: sim.MaxTime}
 }
 
 // Engine returns the shard engine this exchange belongs to.
@@ -101,6 +109,9 @@ func (x *Exchange) Engine() *sim.Engine { return x.eng }
 // the shard cannot outrun the send it just recorded.
 func (x *Exchange) record(m xmit) {
 	x.xmits = append(x.xmits, m)
+	if m.t < x.freshMin {
+		x.freshMin = m.t
+	}
 	if x.selfBound > 0 {
 		x.eng.ClampWindow(m.t + x.selfBound)
 	}
@@ -160,8 +171,17 @@ func (es *ExchangeSet) Trace(fn func(t sim.Time, src, dst addr.NodeID, seq uint6
 
 // Earliest returns the earliest recorded-but-not-yet-replayed
 // transmission time attributable to shard j, or sim.MaxTime. It is the
-// shard set's intent source (ShardSet.SetIntentSource).
-func (es *ExchangeSet) Earliest(j int) sim.Time { return es.heldMin[j] }
+// shard set's intent source (ShardSet.SetIntentSource) and covers both
+// the held suffix of past drains and the intents shard j recorded in
+// the window that just ran — the scheduler reads it at the barrier,
+// before Drain merges those into held, and the replay horizon is only
+// safe if every pending intent's delivery cascade bounds it.
+func (es *ExchangeSet) Earliest(j int) sim.Time {
+	if f := es.shards[j].freshMin; f < es.heldMin[j] {
+		return f
+	}
+	return es.heldMin[j]
+}
 
 // Held returns the number of intents currently held past the horizon,
 // for diagnostics and tests.
@@ -187,6 +207,7 @@ func (es *ExchangeSet) Drain(horizon sim.Time) {
 	for _, x := range es.shards {
 		es.held = append(es.held, x.xmits...)
 		x.xmits = x.xmits[:0]
+		x.freshMin = sim.MaxTime // merged: whatever survives replay re-enters through heldMin
 	}
 	if len(es.held) > 1 {
 		slices.SortFunc(es.held, func(a, b xmit) int {

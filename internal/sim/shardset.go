@@ -68,6 +68,9 @@ type ShardSet struct {
 	Elided   uint64
 
 	stopReq atomic.Bool
+	// running is set for the duration of Run; ConfigureLookahead refuses
+	// to swap the bound matrix while it is up (see its doc comment).
+	running atomic.Bool
 
 	// Worker release/join machinery (K > 1). The coordinator publishes
 	// the per-shard limits, resets done, then bumps epoch; workers spin
@@ -186,12 +189,17 @@ func (s *ShardSet) OnBarrier(fn func(horizon Time)) { s.barrier = fn }
 // a fault plan armed, drain-time retransmission timers land at least a
 // full timeout after the send they re-arm, so no shard may run past the
 // earliest possible timer. Calling it again (after an express link
-// tightens the matrix) takes effect at the next window; shrinking
-// bounds mid-run is safe because frames already in flight were bounded
-// by the wider matrix.
+// tightens the matrix) is only allowed with the set parked — before Run
+// or between Run calls — and panics mid-run: a send routed over a new,
+// faster link inside the current window would be bounded by the tighter
+// matrix while the destination shard's limit was planned with the old
+// one, so the delivery could land in that shard's past.
 func (s *ShardSet) ConfigureLookahead(policy WindowPolicy, bounds [][]Time, capOver Time) {
 	if len(s.engines) == 1 {
 		return
+	}
+	if s.running.Load() {
+		panic("sim: ConfigureLookahead while Run is in progress; topology changes must wait for the set to park")
 	}
 	if bounds != nil && len(bounds) != len(s.engines) {
 		panic(fmt.Sprintf("sim: %d bound rows for %d shards", len(bounds), len(s.engines)))
@@ -224,12 +232,16 @@ func (s *ShardSet) ConfigureLookahead(policy WindowPolicy, bounds [][]Time, capO
 	}
 }
 
-// SetIntentSource installs the exchange's held-intent probe: fn(j)
+// SetIntentSource installs the exchange's pending-intent probe: fn(j)
 // returns the earliest recorded-but-not-yet-replayed transmission time
-// attributable to shard j, or MaxTime. The elision policy treats it as
-// pending work (a held intent is an appointment: its delivery lands at
-// or after t + B[j][i]), and the replay horizon uses the global minimum
-// to keep the canonical stream prefix-closed.
+// attributable to shard j, or MaxTime. It MUST cover intents recorded
+// in the window that just ran, not only those held from earlier drains:
+// the probe is read at the barrier, before the hook merges fresh
+// intents, and the replay horizon's cascade bound is only sound over
+// every pending intent. The elision policy treats the probe as pending
+// work (a held intent is an appointment: its delivery lands at or after
+// t + B[j][i]), and the replay horizon uses the global minimum to keep
+// the canonical stream prefix-closed.
 func (s *ShardSet) SetIntentSource(fn func(shard int) Time) { s.earliest = fn }
 
 // Now returns the maximum engine clock across shards: the time of the
@@ -275,6 +287,8 @@ func satAdd(t, d Time) Time {
 // called, and returns the final time. Like Engine.Run it may be called
 // again to resume after a Stop.
 func (s *ShardSet) Run() Time {
+	s.running.Store(true)
+	defer s.running.Store(false)
 	if len(s.engines) == 1 {
 		e := s.engines[0]
 		for {
@@ -387,7 +401,11 @@ func (s *ShardSet) plan() Time {
 // transmission intent can carry a time below it. Future sends originate
 // either from an already-queued event (bounded by the earliest queue
 // head) or from the delivery cascade of a pending intent (bounded by
-// the earliest intent plus the global minimum delivery bound).
+// the earliest intent plus the global minimum delivery bound). The
+// intent source must therefore report every pending intent — held from
+// past drains AND recorded in the window that just ran — since under
+// sparse queues the cascade term is all that keeps a late fresh intent
+// from replaying ahead of an earlier one's future response.
 func (s *ShardSet) horizon() Time {
 	h := MaxTime
 	for _, e := range s.engines {
